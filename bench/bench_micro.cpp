@@ -1,0 +1,113 @@
+// A2 — micro-benchmarks of the data structures behind the engine
+// (google-benchmark): run-queue operations, lock acquisition, scheduler
+// bookkeeping per pair, rng and value plumbing. These quantify the
+// "computations performed to maintain the data structures" that the paper's
+// speedup prediction is conditioned on.
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+
+#include "concurrency/blocking_queue.hpp"
+#include "concurrency/sharded_counter.hpp"
+#include "concurrency/spsc_ring.hpp"
+#include "core/scheduler.hpp"
+#include "event/value.hpp"
+#include "graph/generators.hpp"
+#include "graph/numbering.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace df;
+
+void BM_blocking_queue_push_pop(benchmark::State& state) {
+  conc::BlockingQueue<int> queue;
+  for (auto _ : state) {
+    queue.push(1);
+    benchmark::DoNotOptimize(queue.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_blocking_queue_push_pop);
+
+void BM_spsc_ring_push_pop(benchmark::State& state) {
+  conc::SpscRing<int> ring(1024);
+  for (auto _ : state) {
+    ring.push(1);
+    benchmark::DoNotOptimize(ring.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_spsc_ring_push_pop);
+
+void BM_mutex_lock_unlock(benchmark::State& state) {
+  std::mutex mutex;
+  for (auto _ : state) {
+    mutex.lock();
+    benchmark::DoNotOptimize(&mutex);
+    mutex.unlock();
+  }
+}
+BENCHMARK(BM_mutex_lock_unlock);
+
+void BM_sharded_counter_add(benchmark::State& state) {
+  conc::ShardedCounter counter;
+  for (auto _ : state) {
+    counter.add();
+  }
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_sharded_counter_add);
+
+/// Full scheduler bookkeeping cost per vertex-phase pair on a chain: one
+/// start_phase + N finish_execution calls per phase.
+void BM_scheduler_pair_bookkeeping(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const graph::Dag dag = graph::chain(n);
+  const graph::Numbering numbering =
+      graph::compute_satisfactory_numbering(dag);
+  std::uint64_t pairs = 0;
+  for (auto _ : state) {
+    core::Scheduler scheduler(numbering.m);
+    std::vector<core::Scheduler::ReadyPair> queue =
+        scheduler.start_phase(1, std::vector<event::InputBundle>(1));
+    while (!queue.empty()) {
+      core::Scheduler::ReadyPair pair = std::move(queue.back());
+      queue.pop_back();
+      std::vector<core::Scheduler::Delivery> deliveries;
+      if (pair.vertex < n) {
+        deliveries.push_back(core::Scheduler::Delivery{
+            pair.vertex + 1, 0, event::Value(1.0)});
+      }
+      auto ready = scheduler.finish_execution(pair.vertex, pair.phase,
+                                              std::move(deliveries));
+      for (auto& r : ready) {
+        queue.push_back(std::move(r));
+      }
+      ++pairs;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(pairs));
+}
+BENCHMARK(BM_scheduler_pair_bookkeeping)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_rng_next_normal(benchmark::State& state) {
+  support::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_normal());
+  }
+}
+BENCHMARK(BM_rng_next_normal);
+
+void BM_value_copy_double(benchmark::State& state) {
+  const event::Value value(3.14);
+  for (auto _ : state) {
+    event::Value copy = value;
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_value_copy_double);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// Money-laundering detection (paper section 1).
+//
+// "One of the steps in the application may be to detect anomalies in
+// banking transactions, where anomalies are defined as outlier points in a
+// statistical regression model. ... the module outputs a message only when
+// it receives an anomalous transaction."
+//
+// Graph:
+//   three transaction streams (different banks) -> per-stream z-score
+//   anomaly detectors (emit only on anomaly) -> a latch per stream -> an
+//   OR gate raising the composite "suspicious activity" condition, plus a
+//   cross-stream rate estimator watching the anomaly event rate.
+//
+// The run prints the anomaly events and the traffic statistics showing the
+// Δ-advantage: millions-to-one input-to-alert ratios cost nothing
+// downstream.
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "model/detectors.hpp"
+#include "model/logic.hpp"
+#include "model/sources.hpp"
+#include "model/stats_models.hpp"
+#include "model/synthetic.hpp"
+#include "spec/builder.hpp"
+#include "support/table.hpp"
+#include "trace/report.hpp"
+
+int main() {
+  using namespace df;
+
+  spec::GraphBuilder b;
+  std::vector<graph::VertexId> detectors;
+  std::vector<graph::VertexId> banks;
+  for (int i = 0; i < 3; ++i) {
+    const auto bank = b.add(
+        "bank" + std::to_string(i),
+        model::factory_of<model::TransactionSource>(
+            /*mean=*/100.0 + 20.0 * i, /*sigma=*/15.0,
+            /*anomaly_rate=*/5e-4, /*anomaly_scale=*/40.0));
+    const auto detector = b.add(
+        "anomaly" + std::to_string(i),
+        model::factory_of<model::ZScoreDetector>(std::size_t{256}, 6.0,
+                                                 std::size_t{32}));
+    b.connect(bank, detector);
+    banks.push_back(bank);
+    detectors.push_back(detector);
+  }
+
+  // Composite condition: any stream has shown an anomaly. A "tap" vertex
+  // fans out from each detector with a dangling output, so every anomaly
+  // event is also recorded in the sink store for the report below.
+  const auto alarm =
+      b.add("suspicious", model::factory_of<model::OrGate>(std::size_t{3}));
+  std::vector<graph::VertexId> taps;
+  for (int i = 0; i < 3; ++i) {
+    const auto latch =
+        b.add("latch" + std::to_string(i),
+              model::factory_of<model::LatchModule>());
+    const auto tap = b.add("tap" + std::to_string(i),
+                           model::factory_of<model::ForwardModule>());
+    b.connect(detectors[static_cast<std::size_t>(i)], latch);
+    b.connect(detectors[static_cast<std::size_t>(i)], tap);
+    b.connect(latch, 0, alarm, static_cast<graph::Port>(i));
+    taps.push_back(tap);
+  }
+
+  const core::Program program = std::move(b).build(/*seed=*/2026);
+
+  core::EngineOptions options;
+  options.threads = 4;
+  core::Engine engine(program, options);
+  const event::PhaseId phases = 50000;  // 50k transaction ticks per stream
+  engine.run(phases, nullptr);
+
+  std::printf("money laundering watch: %llu phases x 3 banks\n",
+              static_cast<unsigned long long>(phases));
+  std::size_t anomalies = 0;
+  for (const core::SinkRecord& record : engine.sinks().canonical()) {
+    for (std::size_t i = 0; i < taps.size(); ++i) {
+      if (record.vertex == taps[i]) {
+        std::printf("  phase %6llu bank%zu anomaly, z=%s\n",
+                    static_cast<unsigned long long>(record.phase), i,
+                    support::Table::num(record.value.as_double(), 2).c_str());
+        ++anomalies;
+      }
+    }
+    if (record.vertex == engine.instance().program().dag.vertex(
+                             "suspicious") &&
+        record.value.as_bool()) {
+      std::printf("  phase %6llu composite SUSPICIOUS-ACTIVITY raised\n",
+                  static_cast<unsigned long long>(record.phase));
+    }
+  }
+
+  const auto stats = engine.stats();
+  std::printf("\n%zu anomaly events out of %llu transactions (%.4f%%)\n",
+              anomalies,
+              static_cast<unsigned long long>(3 * phases),
+              100.0 * static_cast<double>(anomalies) /
+                  static_cast<double>(3 * phases));
+  std::printf("%s\n", trace::render_stats("engine", stats).c_str());
+  // The per-phase bank->detector feed is 3*phases messages by construction;
+  // everything past the detectors is anomaly-driven.
+  const std::uint64_t downstream =
+      stats.messages_delivered - 3 * phases;
+  std::printf(
+      "delta advantage: %llu messages crossed the detectors vs %llu that "
+      "per-input forwarding (option 1 of the paper) would have sent.\n",
+      static_cast<unsigned long long>(downstream),
+      static_cast<unsigned long long>(3 * phases));
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Barrier-synchronized parallel baseline: one phase at a time, parallelism
+// only *within* a phase.
+//
+// This is the natural parallelization of the sequential solution the paper
+// rejects as less efficient: vertices of one topological level execute in
+// parallel, a barrier separates levels, and a phase must drain completely
+// before the next begins. Comparing it against core::Engine isolates the
+// benefit of the paper's cross-phase pipelining (bench_pipeline,
+// bench_engines).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/executor.hpp"
+
+namespace df::baseline {
+
+class LockstepExecutor final : public core::Executor {
+ public:
+  LockstepExecutor(const core::Program& program, std::size_t threads);
+
+  void run(event::PhaseId num_phases, core::PhaseFeed* feed) override;
+
+  const core::SinkStore& sinks() const override { return sinks_; }
+  core::ExecStats stats() const override { return stats_; }
+
+ private:
+  core::ProgramInstance instance_;
+  std::size_t threads_;
+  core::SinkStore sinks_;
+  core::ExecStats stats_;
+  /// Internal indices grouped by topological level (level of a source is 0).
+  std::vector<std::vector<std::uint32_t>> levels_;
+};
+
+}  // namespace df::baseline

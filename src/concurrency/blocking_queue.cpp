@@ -1,0 +1,9 @@
+// Compile-test translation unit: instantiates the template to keep the
+// header self-contained.
+#include "concurrency/blocking_queue.hpp"
+
+namespace df::conc {
+
+template class BlockingQueue<int>;
+
+}  // namespace df::conc

@@ -1,0 +1,124 @@
+// Thread-safe blocking MPMC queue — the "run queue" of the paper.
+//
+// The paper (section 3.2) assumes "a thread-safe queue: any thread executing
+// a dequeue operation suspends until an item is available for dequeuing, and
+// the dequeue operation atomically removes an item from the queue such that
+// each item on the queue is dequeued at most once. It is also assumed to be
+// empty at system initialization time." Its Java prototype used
+// java.util.concurrent.BlockingQueue; this is the C++ equivalent, extended
+// with close() semantics so computation threads can shut down cleanly (the
+// paper's processes are infinite loops; real systems must terminate).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace df::conc {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  /// capacity == 0 means unbounded.
+  explicit BlockingQueue(std::size_t capacity = 0)
+      : capacity_(capacity == 0 ? std::numeric_limits<std::size_t>::max()
+                                : capacity) {}
+
+  BlockingQueue(const BlockingQueue&) = delete;
+  BlockingQueue& operator=(const BlockingQueue&) = delete;
+
+  /// Enqueues an item; blocks while the queue is at capacity.
+  /// Returns false (dropping the item) if the queue has been closed.
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) {
+      return false;
+    }
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking enqueue; returns false if full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  /// nullopt signals "closed and empty" — the worker-thread exit condition.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) {
+      return std::nullopt;  // closed and drained
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking dequeue.
+  std::optional<T> try_pop() {
+    std::unique_lock lock(mutex_);
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Closes the queue: pending and future pushes fail, blocked poppers wake
+  /// and drain the remaining items before receiving nullopt.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace df::conc

@@ -1,0 +1,69 @@
+// Single-producer single-consumer lock-free ring buffer.
+//
+// Used by the tracer: each worker thread records scheduler events into its
+// own ring; the report aggregator drains them without perturbing the global
+// lock the algorithm is built around.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace df::conc {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// capacity must be a power of two (masking instead of modulo).
+  explicit SpscRing(std::size_t capacity)
+      : buffer_(capacity), mask_(capacity - 1) {
+    DF_CHECK(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+             "SPSC ring capacity must be a power of two >= 2");
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when full (the item is not stored).
+  bool push(T item) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail == buffer_.size()) {
+      return false;
+    }
+    buffer_[head & mask_] = std::move(item);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.
+  std::optional<T> pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (head == tail) {
+      return std::nullopt;
+    }
+    T item = std::move(buffer_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return item;
+  }
+
+  std::size_t size() const {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+
+  bool empty() const { return size() == 0; }
+  std::size_t capacity() const { return buffer_.size(); }
+
+ private:
+  std::vector<T> buffer_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace df::conc

@@ -1,0 +1,207 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace df::core {
+
+Engine::Engine(const Program& program, EngineOptions options)
+    : instance_(program),
+      options_(options),
+      scheduler_(program.numbering.m) {
+  DF_CHECK(options_.threads >= 1, "engine needs at least one worker thread");
+}
+
+Engine::~Engine() {
+  if (started_ && !finished_) {
+    // Abandoned engine: stop workers without waiting for phase completion.
+    // Workers may still try to enqueue newly ready pairs; the flag lets
+    // them drop those instead of flagging the closed queue as a bug.
+    abandoning_.store(true, std::memory_order_release);
+    run_queue_.close();
+    for (auto& worker : workers_) {
+      worker.join();
+    }
+  }
+}
+
+void Engine::start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  workers_.reserve(options_.threads);
+  for (std::size_t i = 0; i < options_.threads; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+void Engine::start_phase(const std::vector<event::ExternalEvent>& events) {
+  DF_CHECK(started_ && !finished_, "start_phase outside start()/finish()");
+  // Group the batch into per-source input bundles (Listing 2's "phase
+  // signal" is implicit: every source gets a pair, with or without events).
+  std::vector<event::InputBundle> bundles(scheduler_.source_count());
+  for (const event::ExternalEvent& ev : events) {
+    const std::uint32_t index = instance_.internal_index(ev.vertex);
+    DF_CHECK(instance_.is_source(index),
+             "external events may only target source vertices, got '",
+             instance_.name(index), "'");
+    bundles[index - 1].push_back(event::Message{ev.port, ev.value});
+  }
+
+  std::vector<Scheduler::ReadyPair> ready;
+  {
+    std::unique_lock lock(mutex_);
+    progress_cv_.wait(lock, [this] {
+      return options_.max_inflight_phases == 0 ||
+             scheduler_.active_phase_count() < options_.max_inflight_phases;
+    });
+    const event::PhaseId p = scheduler_.pmax() + 1;
+    ready = scheduler_.start_phase(p, std::move(bundles));
+    max_inflight_ = std::max<std::uint64_t>(max_inflight_,
+                                            scheduler_.active_phase_count());
+    if (options_.observer != nullptr) {
+      options_.observer->on_transition(
+          SchedulerObserver::Transition::kPhaseStarted, 0, p,
+          scheduler_.snapshot());
+    }
+  }
+  enqueue_ready(std::move(ready));
+}
+
+void Engine::finish() {
+  DF_CHECK(started_, "finish() before start()");
+  if (finished_) {
+    return;
+  }
+  {
+    std::unique_lock lock(mutex_);
+    progress_cv_.wait(
+        lock, [this] { return scheduler_.all_started_phases_complete(); });
+  }
+  run_queue_.close();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
+  finished_ = true;
+  std::exception_ptr error;
+  {
+    std::lock_guard lock(mutex_);
+    error = first_error_;
+  }
+  if (error != nullptr) {
+    std::rethrow_exception(error);
+  }
+}
+
+void Engine::run(event::PhaseId num_phases, PhaseFeed* feed) {
+  support::Stopwatch wall;
+  NullFeed null_feed;
+  PhaseFeed& source = feed != nullptr ? *feed : null_feed;
+  start();
+  for (event::PhaseId p = 1; p <= num_phases; ++p) {
+    start_phase(source.events_for(p));
+  }
+  finish();
+  wall_seconds_ = wall.elapsed_s();
+}
+
+event::PhaseId Engine::completed_phases() const {
+  std::lock_guard lock(mutex_);
+  return scheduler_.completed_through();
+}
+
+void Engine::enqueue_ready(std::vector<Scheduler::ReadyPair> ready) {
+  for (Scheduler::ReadyPair& pair : ready) {
+    const bool accepted = run_queue_.push(std::move(pair));
+    DF_CHECK(accepted || abandoning_.load(std::memory_order_acquire),
+             "run queue closed while work was outstanding");
+  }
+}
+
+void Engine::worker_main() {
+  // Listing 1: dequeue, execute outside the lock, update sets under it.
+  while (auto item = run_queue_.pop()) {
+    support::Stopwatch compute_timer;
+    ExecutionResult result;
+    try {
+      result =
+          execute_vertex(instance_, item->vertex, item->phase, item->bundle);
+    } catch (...) {
+      // Record the first failure and let the pair complete with no output,
+      // so the remaining phases drain and finish() can rethrow cleanly.
+      std::lock_guard lock(mutex_);
+      if (first_error_ == nullptr) {
+        first_error_ = std::current_exception();
+      }
+      result = ExecutionResult{};
+    }
+    compute_ns_.add(compute_timer.elapsed_ns());
+
+    if (!result.sink_records.empty()) {
+      sink_records_.add(result.sink_records.size());
+      sinks_.record_batch(std::move(result.sink_records));
+    }
+
+    std::vector<Scheduler::Delivery> deliveries;
+    deliveries.reserve(result.deliveries.size());
+    for (ExecutionResult::Delivery& d : result.deliveries) {
+      deliveries.push_back(
+          Scheduler::Delivery{d.to_index, d.to_port, std::move(d.value)});
+    }
+    messages_delivered_.add(deliveries.size());
+
+    support::Stopwatch bookkeeping_timer;
+    std::vector<Scheduler::ReadyPair> ready;
+    {
+      std::lock_guard lock(mutex_);
+      const event::PhaseId completed_before = scheduler_.completed_through();
+      ready = scheduler_.finish_execution(item->vertex, item->phase,
+                                          std::move(deliveries));
+      if (options_.sample_inflight) {
+        const std::uint64_t active = scheduler_.active_phase_count();
+        inflight_.add(active);
+        inflight_sum_ += active;
+        ++inflight_samples_;
+      }
+      if (options_.observer != nullptr) {
+        options_.observer->on_transition(
+            SchedulerObserver::Transition::kPairFinished, item->vertex,
+            item->phase, scheduler_.snapshot());
+      }
+      if (scheduler_.completed_through() != completed_before) {
+        // Phase retirement frees window space and may satisfy finish().
+        progress_cv_.notify_all();
+      }
+    }
+    enqueue_ready(std::move(ready));
+    bookkeeping_ns_.add(bookkeeping_timer.elapsed_ns());
+    executed_pairs_.add(1);
+  }
+}
+
+ExecStats Engine::stats() const {
+  ExecStats stats;
+  stats.executed_pairs = executed_pairs_.value();
+  stats.messages_delivered = messages_delivered_.value();
+  stats.sink_records = sink_records_.value();
+  stats.compute_ns = compute_ns_.value();
+  stats.bookkeeping_ns = bookkeeping_ns_.value();
+  stats.wall_seconds = wall_seconds_;
+  {
+    std::lock_guard lock(mutex_);
+    stats.phases_completed = scheduler_.completed_through();
+    stats.max_inflight_phases = max_inflight_;
+    stats.mean_inflight_phases =
+        inflight_samples_ == 0
+            ? 0.0
+            : static_cast<double>(inflight_sum_) /
+                  static_cast<double>(inflight_samples_);
+  }
+  return stats;
+}
+
+}  // namespace df::core

@@ -1,0 +1,127 @@
+// The parallel event-correlation engine (paper section 3.2).
+//
+// Structure mirrors the paper exactly:
+//   * an arbitrary number of *computation processes* (worker threads), each
+//     an infinite loop: dequeue a ready vertex-phase pair from the run
+//     queue, execute it, lock, update the scheduler's sets, unlock
+//     (Listing 1);
+//   * an *environment* that starts phases by injecting source vertex-phase
+//     pairs into the full set (Listing 2). Here the environment runs on the
+//     caller's thread — run() drives it from a PhaseFeed, or the streaming
+//     API (start / start_phase / finish) lets applications start phases as
+//     real event batches arrive (event/phase.hpp assembles those);
+//   * one global lock guards all scheduler state; module execution happens
+//     outside the lock with the sealed input bundle from the queue item.
+//
+// Deviations from the listings, documented in DESIGN.md:
+//   * termination: the paper's loops never exit; we close the run queue
+//     once every started phase has completed, and workers exit on a drained
+//     closed queue;
+//   * backpressure: the paper's environment "sleeps for some amount of
+//     time"; we bound the number of in-flight phases instead so memory use
+//     is bounded at any event rate.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "concurrency/blocking_queue.hpp"
+#include "concurrency/sharded_counter.hpp"
+#include "core/executor.hpp"
+#include "core/observer.hpp"
+#include "core/program.hpp"
+#include "core/scheduler.hpp"
+#include "core/sink_store.hpp"
+#include "support/histogram.hpp"
+
+namespace df::core {
+
+struct EngineOptions {
+  /// Computation threads (the paper's thread pool size). The environment
+  /// runs on the calling thread, matching the paper's "always at least two
+  /// threads contending for the data structures".
+  std::size_t threads = 2;
+  /// Maximum phases in flight before start_phase blocks; 0 = unbounded.
+  std::size_t max_inflight_phases = 64;
+  /// Optional set-membership observer (tracing); see core/observer.hpp.
+  SchedulerObserver* observer = nullptr;
+  /// When true, records a histogram of in-flight phase counts sampled at
+  /// every pair completion (the Figure 1 pipelining measurement).
+  bool sample_inflight = false;
+};
+
+class Engine final : public Executor {
+ public:
+  Engine(const Program& program, EngineOptions options = {});
+  ~Engine() override;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Executor interface: drives the environment from `feed` for
+  /// `num_phases` phases and blocks until all of them complete.
+  void run(event::PhaseId num_phases, PhaseFeed* feed) override;
+
+  // Streaming interface --------------------------------------------------
+  /// Spawns the computation threads. Idempotent.
+  void start();
+  /// Starts the next phase carrying `events` (may be empty: pure phase
+  /// signal). Blocks while max_inflight_phases are active.
+  void start_phase(const std::vector<event::ExternalEvent>& events);
+  /// Blocks until every started phase has completed, then stops workers.
+  /// If any module threw during execution, the first exception is rethrown
+  /// here (the failed pair is treated as having produced no output, so the
+  /// rest of the computation still drains deterministically).
+  void finish();
+
+  /// Phases fully completed so far (prefix 1..k).
+  event::PhaseId completed_phases() const;
+
+  const SinkStore& sinks() const override { return sinks_; }
+  ExecStats stats() const override;
+
+  /// In-flight phase distribution (only populated with sample_inflight).
+  const support::CountHistogram& inflight_histogram() const {
+    return inflight_;
+  }
+
+  const ProgramInstance& instance() const { return instance_; }
+
+ private:
+  void worker_main();
+  void enqueue_ready(std::vector<Scheduler::ReadyPair> ready);
+
+  ProgramInstance instance_;
+  EngineOptions options_;
+  Scheduler scheduler_;
+  SinkStore sinks_;
+
+  mutable std::mutex mutex_;  // the paper's single global lock
+  std::condition_variable progress_cv_;
+  conc::BlockingQueue<Scheduler::ReadyPair> run_queue_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool finished_ = false;
+  /// Set by the destructor when tearing down with work outstanding; lets
+  /// workers drop ready pairs instead of treating a closed queue as a bug.
+  std::atomic<bool> abandoning_{false};
+  std::exception_ptr first_error_;  // guarded by mutex_
+
+  // Statistics.
+  conc::ShardedCounter executed_pairs_;
+  conc::ShardedCounter messages_delivered_;
+  conc::ShardedCounter sink_records_;
+  conc::ShardedCounter compute_ns_;
+  conc::ShardedCounter bookkeeping_ns_;
+  std::uint64_t max_inflight_ = 0;         // guarded by mutex_
+  std::uint64_t inflight_samples_ = 0;     // guarded by mutex_
+  std::uint64_t inflight_sum_ = 0;         // guarded by mutex_
+  support::CountHistogram inflight_{256};  // guarded by mutex_
+  double wall_seconds_ = 0.0;
+};
+
+}  // namespace df::core

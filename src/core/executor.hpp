@@ -1,0 +1,126 @@
+// Common executor interface plus the shared vertex-execution helper.
+//
+// Three executors implement this interface: the paper's parallel engine
+// (core::Engine), the sequential phase-at-a-time reference
+// (baseline::SequentialExecutor), the barrier-synchronized parallel baseline
+// (baseline::LockstepExecutor), and the non-Δ "obvious solution"
+// (baseline::EagerExecutor). Benches and the serializability checker swap
+// them freely over the same Program.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/program.hpp"
+#include "core/sink_store.hpp"
+#include "event/message.hpp"
+#include "event/phase.hpp"
+
+namespace df::core {
+
+/// Supplies the external events for each phase as it starts. Phases are
+/// requested in order 1, 2, 3, ...
+class PhaseFeed {
+ public:
+  virtual ~PhaseFeed() = default;
+  virtual std::vector<event::ExternalEvent> events_for(event::PhaseId p) = 0;
+};
+
+/// A feed with no external events: sources run purely off phase signals and
+/// their own rng streams (the paper's simulation mode).
+class NullFeed final : public PhaseFeed {
+ public:
+  std::vector<event::ExternalEvent> events_for(event::PhaseId) override {
+    return {};
+  }
+};
+
+/// Replays pre-assembled batches (index 0 holds phase 1's events).
+class VectorFeed final : public PhaseFeed {
+ public:
+  explicit VectorFeed(std::vector<std::vector<event::ExternalEvent>> batches)
+      : batches_(std::move(batches)) {}
+  std::vector<event::ExternalEvent> events_for(event::PhaseId p) override {
+    return p - 1 < batches_.size() ? batches_[p - 1]
+                                   : std::vector<event::ExternalEvent>{};
+  }
+
+ private:
+  std::vector<std::vector<event::ExternalEvent>> batches_;
+};
+
+/// Adapts a lambda.
+class CallbackFeed final : public PhaseFeed {
+ public:
+  using Fn = std::function<std::vector<event::ExternalEvent>(event::PhaseId)>;
+  explicit CallbackFeed(Fn fn) : fn_(std::move(fn)) {}
+  std::vector<event::ExternalEvent> events_for(event::PhaseId p) override {
+    return fn_(p);
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// Counters every executor reports. "Bookkeeping" covers scheduler/set
+/// maintenance under the lock; "compute" covers module on_phase bodies.
+struct ExecStats {
+  std::uint64_t executed_pairs = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t sink_records = 0;
+  std::uint64_t phases_completed = 0;
+  std::uint64_t compute_ns = 0;
+  std::uint64_t bookkeeping_ns = 0;
+  std::uint64_t max_inflight_phases = 0;
+  double mean_inflight_phases = 0.0;
+  double wall_seconds = 0.0;
+
+  double pairs_per_second() const {
+    return wall_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(executed_pairs) / wall_seconds;
+  }
+  double phases_per_second() const {
+    return wall_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(phases_completed) / wall_seconds;
+  }
+};
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Runs phases 1..num_phases to completion. `feed` may be null (NullFeed
+  /// semantics). Callable once per executor instance.
+  virtual void run(event::PhaseId num_phases, PhaseFeed* feed) = 0;
+
+  virtual const SinkStore& sinks() const = 0;
+  virtual ExecStats stats() const = 0;
+};
+
+/// Result of executing one vertex-phase pair: messages to deliver downstream
+/// (already split per route), sink records, and the raw port-level emissions
+/// (used by the eager baseline to forward last outputs every phase).
+struct ExecutionResult {
+  /// (to_internal_index, to_port, value) triples, in emission order.
+  struct Delivery {
+    std::uint32_t to_index;
+    graph::Port to_port;
+    event::Value value;
+  };
+  std::vector<Delivery> deliveries;
+  std::vector<SinkRecord> sink_records;
+  std::vector<event::Message> emissions;
+};
+
+/// Applies the input bundle to the vertex's latest-value table, runs the
+/// module, and routes emissions. Shared by every executor so Δ-semantics are
+/// identical everywhere. Not thread-safe per vertex (executors guarantee a
+/// vertex executes one phase at a time).
+ExecutionResult execute_vertex(ProgramInstance& instance, std::uint32_t index,
+                               event::PhaseId phase,
+                               const event::InputBundle& bundle);
+
+}  // namespace df::core

@@ -1,0 +1,32 @@
+// Scheduler transition observation hook.
+//
+// When installed, the engine invokes the observer under the global lock
+// after every scheduler transition with a full set-membership snapshot.
+// This is how the Figure 3 reproduction (bench_trace) and the definitional
+// property tests watch partial/full/ready evolve; production runs leave the
+// observer unset, adding zero cost.
+#pragma once
+
+#include <cstdint>
+
+#include "core/scheduler.hpp"
+#include "event/phase.hpp"
+
+namespace df::core {
+
+class SchedulerObserver {
+ public:
+  virtual ~SchedulerObserver() = default;
+
+  enum class Transition { kPhaseStarted, kPairFinished };
+
+  /// `vertex` is the internal index of the finished pair (0 for phase
+  /// starts); `phase` the affected phase. The snapshot reflects the state
+  /// *after* the transition. Called with the global scheduler lock held:
+  /// implementations must not call back into the engine.
+  virtual void on_transition(Transition transition, std::uint32_t vertex,
+                             event::PhaseId phase,
+                             const Scheduler::Snapshot& snapshot) = 0;
+};
+
+}  // namespace df::core

@@ -1,0 +1,87 @@
+#include "core/program.hpp"
+
+#include "support/check.hpp"
+
+namespace df::core {
+
+const std::vector<Route> ProgramInstance::kNoRoutes;
+
+Program make_program(graph::Dag dag,
+                     std::vector<model::ModuleFactory> factories,
+                     std::uint64_t seed) {
+  DF_CHECK(factories.size() == dag.vertex_count(),
+           "factory count ", factories.size(), " != vertex count ",
+           dag.vertex_count());
+  for (std::size_t i = 0; i < factories.size(); ++i) {
+    DF_CHECK(static_cast<bool>(factories[i]), "vertex '", dag.name(
+                 static_cast<graph::VertexId>(i)), "' has no module factory");
+  }
+  Program program;
+  program.numbering = graph::compute_satisfactory_numbering(dag);
+  program.dag = std::move(dag);
+  program.factories = std::move(factories);
+  program.seed = seed;
+  return program;
+}
+
+ProgramInstance::ProgramInstance(Program program)
+    : program_(std::move(program)),
+      n_(static_cast<std::uint32_t>(program_.dag.vertex_count())),
+      m_(program_.numbering.m) {
+  runtimes_.resize(n_ + 1);
+  routes_.resize(n_ + 1);
+  const support::Rng root(program_.seed);
+  for (std::uint32_t index = 1; index <= n_; ++index) {
+    const graph::VertexId orig = program_.numbering.vertex_at[index];
+    VertexRuntime& rt = runtimes_[index];
+    rt.module = program_.factories[orig]();
+    DF_CHECK(rt.module != nullptr, "factory for vertex '",
+             program_.dag.name(orig), "' returned null");
+    rt.rng = root.fork(index);
+    const std::size_t ports = program_.dag.in_port_count(orig);
+    rt.latest.resize(ports);
+    rt.has_latest.assign(ports, false);
+
+    routes_[index].resize(program_.dag.out_port_count(orig));
+    for (const graph::Edge& e : program_.dag.out_edges(orig)) {
+      routes_[index][e.from_port].push_back(
+          Route{program_.numbering.index_of[e.to], e.to_port});
+    }
+  }
+}
+
+VertexRuntime& ProgramInstance::runtime(std::uint32_t index) {
+  DF_CHECK(index >= 1 && index <= n_, "internal index out of range");
+  return runtimes_[index];
+}
+
+graph::VertexId ProgramInstance::original_id(std::uint32_t index) const {
+  DF_CHECK(index >= 1 && index <= n_, "internal index out of range");
+  return program_.numbering.vertex_at[index];
+}
+
+std::uint32_t ProgramInstance::internal_index(graph::VertexId vertex) const {
+  DF_CHECK(vertex < n_, "vertex id out of range");
+  return program_.numbering.index_of[vertex];
+}
+
+const std::string& ProgramInstance::name(std::uint32_t index) const {
+  return program_.dag.name(original_id(index));
+}
+
+const std::vector<Route>& ProgramInstance::routes(
+    std::uint32_t index, graph::Port out_port) const {
+  DF_CHECK(index >= 1 && index <= n_, "internal index out of range");
+  const auto& per_port = routes_[index];
+  if (out_port >= per_port.size()) {
+    return kNoRoutes;
+  }
+  return per_port[out_port];
+}
+
+std::size_t ProgramInstance::out_port_count(std::uint32_t index) const {
+  DF_CHECK(index >= 1 && index <= n_, "internal index out of range");
+  return routes_[index].size();
+}
+
+}  // namespace df::core

@@ -1,0 +1,92 @@
+// Programs: a computation graph plus the module factories for its vertices.
+//
+// A Program is immutable and shareable; each executor builds its own
+// ProgramInstance (fresh module state, topology remapped into the internal
+// 1..N index space of the satisfactory numbering) so that parallel and
+// sequential runs of the same Program are independent and comparable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "event/message.hpp"
+#include "event/phase.hpp"
+#include "graph/dag.hpp"
+#include "graph/numbering.hpp"
+#include "model/module.hpp"
+#include "support/rng.hpp"
+
+namespace df::core {
+
+struct Program {
+  graph::Dag dag;
+  graph::Numbering numbering;
+  /// One factory per dense vertex id of `dag`.
+  std::vector<model::ModuleFactory> factories;
+  /// Root seed; each vertex's rng stream is forked from it by internal index.
+  std::uint64_t seed = 0xdf5eedULL;
+};
+
+/// Validates the graph, computes a satisfactory numbering, and packages the
+/// factories. DF_CHECKs that factory count matches vertex count.
+Program make_program(graph::Dag dag,
+                     std::vector<model::ModuleFactory> factories,
+                     std::uint64_t seed = 0xdf5eedULL);
+
+/// Per-vertex mutable execution state owned by one executor run.
+struct VertexRuntime {
+  std::unique_ptr<model::Module> module;
+  /// Last value seen per input port (index == port); empty Value + false
+  /// flag until the first message arrives.
+  std::vector<event::Value> latest;
+  std::vector<bool> has_latest;
+  support::Rng rng{0};
+};
+
+/// One outgoing route of an internal vertex: deliver to (to_index, to_port).
+struct Route {
+  std::uint32_t to_index = 0;
+  graph::Port to_port = 0;
+};
+
+/// A Program instantiated for one run: fresh modules, internal-index
+/// topology, per-vertex rng streams. Internal indices run 1..n() and follow
+/// the satisfactory numbering, so edges always go from lower to higher index
+/// and sources are exactly the indices 1..m(0).
+///
+/// The instance stores its own copy of the Program, so executors may be
+/// constructed from temporaries safely.
+class ProgramInstance {
+ public:
+  explicit ProgramInstance(Program program);
+
+  std::uint32_t n() const { return n_; }
+  /// m(v) for v in 0..N (paper section 3.1.1).
+  const std::vector<std::uint32_t>& m() const { return m_; }
+  std::uint32_t source_count() const { return m_[0]; }
+  bool is_source(std::uint32_t index) const { return index <= m_[0]; }
+
+  VertexRuntime& runtime(std::uint32_t index);
+  graph::VertexId original_id(std::uint32_t index) const;
+  std::uint32_t internal_index(graph::VertexId vertex) const;
+  const std::string& name(std::uint32_t index) const;
+
+  /// Routes out of (index, out_port); empty means the port is a sink port
+  /// (emissions are recorded, not delivered).
+  const std::vector<Route>& routes(std::uint32_t index,
+                                   graph::Port out_port) const;
+  std::size_t out_port_count(std::uint32_t index) const;
+
+  const Program& program() const { return program_; }
+
+ private:
+  Program program_;
+  std::uint32_t n_;
+  std::vector<std::uint32_t> m_;
+  std::vector<VertexRuntime> runtimes_;           // [1..n], slot 0 unused
+  std::vector<std::vector<std::vector<Route>>> routes_;  // [index][out_port]
+  static const std::vector<Route> kNoRoutes;
+};
+
+}  // namespace df::core

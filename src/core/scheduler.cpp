@@ -1,0 +1,219 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace df::core {
+
+Scheduler::Scheduler(std::vector<std::uint32_t> m)
+    : m_(std::move(m)), n_(static_cast<std::uint32_t>(m_.size() - 1)) {
+  DF_CHECK(!m_.empty(), "m vector must have at least m(0)");
+  DF_CHECK(m_[n_] == n_, "m(N) != N — numbering is not satisfactory");
+  vertices_.resize(n_ + 1);
+}
+
+Scheduler::PhaseState& Scheduler::phase_state(event::PhaseId p) {
+  DF_CHECK(!phases_.empty(), "no active phases");
+  const event::PhaseId first = phases_.front().id;
+  DF_CHECK(p >= first && p < first + phases_.size(), "phase ", p,
+           " is not active");
+  return phases_[p - first];
+}
+
+const Scheduler::PhaseState* Scheduler::find_phase(event::PhaseId p) const {
+  if (phases_.empty()) {
+    return nullptr;
+  }
+  const event::PhaseId first = phases_.front().id;
+  if (p < first || p >= first + phases_.size()) {
+    return nullptr;
+  }
+  return &phases_[p - first];
+}
+
+std::uint32_t Scheduler::x(event::PhaseId p) const {
+  if (p == 0 || p <= completed_through_) {
+    return n_;  // x_0 = N by definition; retired phases are complete
+  }
+  const PhaseState* state = find_phase(p);
+  return state == nullptr ? 0 : state->x;
+}
+
+std::vector<Scheduler::ReadyPair> Scheduler::start_phase(
+    event::PhaseId p, std::vector<event::InputBundle> bundles) {
+  // Listing 2, statements 11-19.
+  DF_CHECK(p == pmax_ + 1, "phases must start in order: expected ",
+           pmax_ + 1, ", got ", p);
+  DF_CHECK(bundles.size() == m_[0], "need one bundle per source vertex");
+  pmax_ = p;
+
+  PhaseState state;
+  state.id = p;
+  state.x = 0;
+  phases_.push_back(std::move(state));
+  PhaseState& ps = phases_.back();
+
+  // Source vertices are exactly internal indices 1..m(0); each receives its
+  // external bundle plus the implicit phase signal, entering the full set
+  // directly (x_p = 0 and 0 < v <= m(0) = m(x_p)).
+  std::set<std::uint32_t> affected;
+  for (std::uint32_t s = 1; s <= m_[0]; ++s) {
+    VertexState& vs = vertices_[s];
+    DF_CHECK(vs.full.find(p) == vs.full.end(), "duplicate phase start");
+    vs.full.emplace(p, std::move(bundles[s - 1]));
+    ps.pending.insert(s);
+    affected.insert(s);
+  }
+  return collect_ready(affected);
+}
+
+std::vector<Scheduler::ReadyPair> Scheduler::finish_execution(
+    std::uint32_t vertex, event::PhaseId p,
+    std::vector<Delivery> deliveries) {
+  // Listing 1, statements 4-31.
+  DF_CHECK(vertex >= 1 && vertex <= n_, "vertex index out of range");
+  VertexState& vs = vertices_[vertex];
+  DF_CHECK(vs.in_ready && vs.ready_phase == p,
+           "finish_execution for a pair that was not issued: vertex ",
+           vertex, " phase ", p);
+  // Statements 5-7: remove (v,p) from full/ready (the full entry was taken
+  // when the pair was issued; here we clear the ready occupancy).
+  vs.in_ready = false;
+
+  // Statements 8-11: new messages put successors into the partial set.
+  PhaseState& ps = phase_state(p);
+  std::set<std::uint32_t> affected;
+  for (Delivery& d : deliveries) {
+    DF_CHECK(d.to_index > vertex,
+             "messages must flow to higher-indexed vertices");
+    // The recipient cannot already be full/ready/executing for p: that would
+    // require all its predecessors (including `vertex`) to have finished p.
+    DF_DCHECK(ps.pending.find(d.to_index) == ps.pending.end() ||
+                  ps.partial.find(d.to_index) != ps.partial.end(),
+              "delivery to a vertex already past partial in this phase");
+    ps.partial[d.to_index].push_back(
+        event::Message{d.to_port, std::move(d.value)});
+    ps.pending.insert(d.to_index);
+  }
+
+  // (v,p) is finished: drop it from the pending index behind x_p.
+  const std::size_t erased = ps.pending.erase(vertex);
+  DF_CHECK(erased == 1, "finished vertex was not pending");
+
+  // Statements 12-23: recompute the frontier for p and all later phases.
+  update_x_from(p);
+  // Statements 24-26: promote partial pairs within the new frontiers.
+  promote_newly_full(p, affected);
+  // Phases whose frontier reached N are complete; retire from the front.
+  retire_completed();
+  // Statements 27-30: issue newly ready pairs.
+  affected.insert(vertex);  // vertex may have a later full phase queued
+  return collect_ready(affected);
+}
+
+void Scheduler::update_x_from(event::PhaseId from) {
+  if (phases_.empty()) {
+    return;
+  }
+  const event::PhaseId first = phases_.front().id;
+  DF_CHECK(from >= first, "updating a retired phase");
+  for (std::size_t i = from - first; i < phases_.size(); ++i) {
+    PhaseState& ps = phases_[i];
+    // Statement 15/17: x_i = N if no pair with phase i remains, otherwise
+    // min vertex still pending minus one.
+    std::uint32_t candidate =
+        ps.pending.empty() ? n_ : *ps.pending.begin() - 1;
+    // Statements 19-21: never overtake the previous phase.
+    const std::uint32_t previous =
+        i == 0 ? x(ps.id - 1) : phases_[i - 1].x;
+    candidate = std::min(candidate, previous);
+    DF_CHECK(candidate >= ps.x, "x must be monotone within a phase");
+    ps.x = candidate;
+  }
+}
+
+void Scheduler::promote_newly_full(event::PhaseId from,
+                                   std::set<std::uint32_t>& affected) {
+  if (phases_.empty()) {
+    return;
+  }
+  const event::PhaseId first = phases_.front().id;
+  for (std::size_t i = from >= first ? from - first : 0; i < phases_.size();
+       ++i) {
+    PhaseState& ps = phases_[i];
+    const std::uint32_t bound = m_[ps.x];
+    // partial is ordered by vertex: the promotable pairs form a prefix.
+    while (!ps.partial.empty() && ps.partial.begin()->first <= bound) {
+      auto node = ps.partial.extract(ps.partial.begin());
+      const std::uint32_t w = node.key();
+      VertexState& vs = vertices_[w];
+      DF_DCHECK(vs.full.find(ps.id) == vs.full.end(),
+                "pair already in full");
+      vs.full.emplace(ps.id, std::move(node.mapped()));
+      affected.insert(w);
+    }
+  }
+}
+
+std::vector<Scheduler::ReadyPair> Scheduler::collect_ready(
+    const std::set<std::uint32_t>& affected) {
+  std::vector<ReadyPair> ready;
+  for (const std::uint32_t v : affected) {
+    VertexState& vs = vertices_[v];
+    if (vs.in_ready || vs.full.empty()) {
+      continue;  // at most one issued pair per vertex; phases in order
+    }
+    auto node = vs.full.extract(vs.full.begin());
+    vs.in_ready = true;
+    vs.ready_phase = node.key();
+    ready.push_back(ReadyPair{v, node.key(), std::move(node.mapped())});
+  }
+  return ready;
+}
+
+void Scheduler::retire_completed() {
+  while (!phases_.empty() && phases_.front().x == n_) {
+    DF_CHECK(phases_.front().pending.empty(),
+             "complete phase still has pending pairs");
+    DF_CHECK(phases_.front().partial.empty(),
+             "complete phase still has partial pairs");
+    completed_through_ = phases_.front().id;
+    phases_.pop_front();
+  }
+}
+
+Scheduler::Snapshot Scheduler::snapshot() const {
+  Snapshot snap;
+  snap.pmax = pmax_;
+  snap.completed_through = completed_through_;
+  for (const PhaseState& ps : phases_) {
+    snap.x.emplace_back(ps.id, ps.x);
+    for (const auto& [vertex, bundle] : ps.partial) {
+      (void)bundle;
+      snap.partial.push_back(Snapshot::Pair{vertex, ps.id});
+    }
+  }
+  for (std::uint32_t v = 1; v <= n_; ++v) {
+    const VertexState& vs = vertices_[v];
+    for (const auto& [phase, bundle] : vs.full) {
+      (void)bundle;
+      snap.full.push_back(Snapshot::Pair{v, phase});
+    }
+    if (vs.in_ready) {
+      // Issued pairs remain in the paper's full ∩ ready until finished.
+      snap.full.push_back(Snapshot::Pair{v, vs.ready_phase});
+      snap.ready.push_back(Snapshot::Pair{v, vs.ready_phase});
+    }
+  }
+  const auto by_phase_vertex = [](const Snapshot::Pair& a,
+                                  const Snapshot::Pair& b) {
+    return a.phase != b.phase ? a.phase < b.phase : a.vertex < b.vertex;
+  };
+  std::sort(snap.partial.begin(), snap.partial.end(), by_phase_vertex);
+  std::sort(snap.full.begin(), snap.full.end(), by_phase_vertex);
+  std::sort(snap.ready.begin(), snap.ready.end(), by_phase_vertex);
+  return snap;
+}
+
+}  // namespace df::core

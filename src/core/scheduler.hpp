@@ -1,0 +1,152 @@
+// The paper's scheduling state machine (section 3.1.2, Listings 1 and 2).
+//
+// The Scheduler maintains, for every active phase p, the paper's data
+// structures:
+//
+//   x_p       highest index such that all vertices indexed <= x_p have
+//             finished phase p, clamped to x_{p-1} (no overtaking);
+//   partial   vertex-phase pairs with at least one message but not yet a
+//             full set of inputs (eqn 9): msg(v,p) and v > m(x_p);
+//   full      pairs with a full set of inputs (eqn 7): msg(v,p) and
+//             x_p < v <= m(x_p);
+//   ready     the subset of full with the minimum phase per vertex (eqn 8);
+//             pairs enter ready exactly once and leave when executed.
+//
+// The Scheduler is deliberately *passive*: it has no threads and no internal
+// lock. The Engine calls it while holding the single global mutex (matching
+// the paper's lock/unlock discipline); unit and property tests call it
+// single-threaded and check the set definitions directly.
+//
+// Internal vertex indices 1..N follow a satisfactory numbering, so
+//   * edges go from lower to higher index,
+//   * sources are exactly 1..m(0),
+//   * x_p < min(pending_p) - pairs at or below the frontier are finished.
+//
+// Because x_p <= x_{p-1}, phases complete in order, the set of active phases
+// is a contiguous window, and completed state can be retired from the front.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "event/message.hpp"
+#include "event/phase.hpp"
+#include "graph/numbering.hpp"
+
+namespace df::core {
+
+class Scheduler {
+ public:
+  /// A vertex-phase pair that just entered the ready set, with its sealed
+  /// input bundle. The caller must execute it exactly once.
+  struct ReadyPair {
+    std::uint32_t vertex = 0;  // internal index 1..N
+    event::PhaseId phase = 0;
+    event::InputBundle bundle;
+  };
+
+  /// A message produced by an execution, addressed by internal index.
+  struct Delivery {
+    std::uint32_t to_index = 0;
+    graph::Port to_port = 0;
+    event::Value value;
+  };
+
+  /// Set-membership snapshot for tracing (Figure 3 reproductions) and for
+  /// property tests that re-evaluate the set definitions from scratch.
+  struct Snapshot {
+    struct Pair {
+      std::uint32_t vertex;
+      event::PhaseId phase;
+    };
+    event::PhaseId pmax = 0;
+    event::PhaseId completed_through = 0;
+    /// (phase, x_p) for each active phase, in phase order.
+    std::vector<std::pair<event::PhaseId, std::uint32_t>> x;
+    std::vector<Pair> partial;
+    std::vector<Pair> full;   // includes pairs currently in ready
+    std::vector<Pair> ready;  // issued but not yet finished
+  };
+
+  /// `m` is the numbering's m-vector (m[0..N]); n = m.size() - 1.
+  explicit Scheduler(std::vector<std::uint32_t> m);
+
+  /// Environment side (Listing 2 loop body): starts phase pmax+1. Source
+  /// vertex i (1-based source ordinal, internal index == ordinal) receives
+  /// source_bundles[i-1] plus the implicit phase signal. Returns pairs that
+  /// became ready. `p` must equal pmax() + 1.
+  std::vector<ReadyPair> start_phase(event::PhaseId p,
+                                     std::vector<event::InputBundle> bundles);
+
+  /// Worker side (Listing 1, statements 4-31): records that (vertex, p)
+  /// finished executing and produced `deliveries`. Returns pairs that became
+  /// ready as a result.
+  std::vector<ReadyPair> finish_execution(std::uint32_t vertex,
+                                          event::PhaseId p,
+                                          std::vector<Delivery> deliveries);
+
+  event::PhaseId pmax() const { return pmax_; }
+  /// All phases <= completed_through() have fully finished (x_p = N).
+  event::PhaseId completed_through() const { return completed_through_; }
+  bool all_started_phases_complete() const { return phases_.empty(); }
+  std::size_t active_phase_count() const { return phases_.size(); }
+
+  /// x_p for any phase <= pmax: N for retired phases, 0 if never started.
+  std::uint32_t x(event::PhaseId p) const;
+
+  std::uint32_t n() const { return n_; }
+  std::uint32_t source_count() const { return m_[0]; }
+
+  Snapshot snapshot() const;
+
+ private:
+  /// Per active phase state. partial maps vertex -> accumulated bundle;
+  /// pending is partial ∪ full ∪ ready (vertices not yet finished for this
+  /// phase), which drives the x computation (min pending - 1).
+  struct PhaseState {
+    event::PhaseId id = 0;
+    std::uint32_t x = 0;
+    std::map<std::uint32_t, event::InputBundle> partial;
+    std::set<std::uint32_t> pending;
+  };
+
+  /// Per vertex: full pairs not yet issued to the run queue (phase ->
+  /// bundle), plus the at-most-one issued-but-unfinished ready pair.
+  struct VertexState {
+    std::map<event::PhaseId, event::InputBundle> full;
+    bool in_ready = false;
+    event::PhaseId ready_phase = 0;
+  };
+
+  std::vector<std::uint32_t> m_;
+  std::uint32_t n_;
+  event::PhaseId pmax_ = 0;
+  event::PhaseId completed_through_ = 0;
+  std::deque<PhaseState> phases_;  // contiguous, front = oldest active
+  std::vector<VertexState> vertices_;  // [1..n], slot 0 unused
+
+  PhaseState& phase_state(event::PhaseId p);
+  const PhaseState* find_phase(event::PhaseId p) const;
+
+  /// Statements 1.12-1.23: recompute x_i for all active phases i >= from,
+  /// clamping to the previous phase's x.
+  void update_x_from(event::PhaseId from);
+
+  /// Statements 1.24-1.26: move partial pairs with vertex <= m(x_q) into
+  /// full for every active phase q >= from; collects affected vertices.
+  void promote_newly_full(event::PhaseId from,
+                          std::set<std::uint32_t>& affected);
+
+  /// Statements 1.27-1.30 / 2.16-2.19: for each affected vertex, if it has
+  /// no issued pair and a non-empty full set, issue its minimum phase.
+  std::vector<ReadyPair> collect_ready(const std::set<std::uint32_t>& affected);
+
+  /// Retires completed phases from the front of the window.
+  void retire_completed();
+};
+
+}  // namespace df::core

@@ -1,0 +1,63 @@
+#include "core/sink_store.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace df::core {
+
+void SinkStore::record_batch(std::vector<SinkRecord> batch) {
+  if (batch.empty()) {
+    return;
+  }
+  std::lock_guard lock(mutex_);
+  records_.insert(records_.end(), std::make_move_iterator(batch.begin()),
+                  std::make_move_iterator(batch.end()));
+}
+
+std::size_t SinkStore::size() const {
+  std::lock_guard lock(mutex_);
+  return records_.size();
+}
+
+std::vector<SinkRecord> SinkStore::canonical() const {
+  std::vector<SinkRecord> out;
+  {
+    std::lock_guard lock(mutex_);
+    out = records_;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SinkRecord& a, const SinkRecord& b) {
+                     if (a.phase != b.phase) {
+                       return a.phase < b.phase;
+                     }
+                     if (a.vertex != b.vertex) {
+                       return a.vertex < b.vertex;
+                     }
+                     return a.port < b.port;
+                   });
+  return out;
+}
+
+std::vector<SinkRecord> SinkStore::for_vertex(graph::VertexId vertex) const {
+  std::vector<SinkRecord> out;
+  for (const SinkRecord& r : canonical()) {
+    if (r.vertex == vertex) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+void SinkStore::clear() {
+  std::lock_guard lock(mutex_);
+  records_.clear();
+}
+
+std::string to_string(const SinkRecord& record) {
+  std::ostringstream out;
+  out << "phase " << record.phase << " vertex " << record.vertex << " port "
+      << record.port << " = " << record.value.to_string();
+  return out.str();
+}
+
+}  // namespace df::core

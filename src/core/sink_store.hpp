@@ -1,0 +1,56 @@
+// Collection point for sink output.
+//
+// "Sink vertices are read by input/output units outside the data fusion
+// system" (paper section 2). Every emission on a port with no downstream
+// edge is recorded here, tagged with its phase. The store is the basis of
+// the serializability checker: a parallel execution is correct iff its
+// sorted sink records equal the sequential reference's.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "event/phase.hpp"
+#include "event/value.hpp"
+#include "graph/dag.hpp"
+
+namespace df::core {
+
+struct SinkRecord {
+  event::PhaseId phase = 0;
+  graph::VertexId vertex = 0;  // original (dense) vertex id
+  graph::Port port = 0;
+  event::Value value;
+
+  friend bool operator==(const SinkRecord&, const SinkRecord&) = default;
+};
+
+class SinkStore {
+ public:
+  /// Appends a batch of records produced by one vertex-phase execution.
+  /// Thread-safe; the batch stays contiguous, preserving emission order.
+  void record_batch(std::vector<SinkRecord> batch);
+
+  std::size_t size() const;
+
+  /// All records in canonical order: sorted by (phase, vertex, port) with
+  /// per-execution emission order preserved (stable sort). Two serializable
+  /// executions of the same program produce identical canonical vectors.
+  std::vector<SinkRecord> canonical() const;
+
+  /// Records for a single vertex in phase order.
+  std::vector<SinkRecord> for_vertex(graph::VertexId vertex) const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<SinkRecord> records_;
+};
+
+/// Human-readable one-line rendering, for diagnostics and examples.
+std::string to_string(const SinkRecord& record);
+
+}  // namespace df::core

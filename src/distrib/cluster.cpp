@@ -1,0 +1,168 @@
+#include "distrib/cluster.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/engine.hpp"
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace df::distrib {
+
+namespace {
+
+/// Earliest-free-core tracker for one simulated machine.
+class MachineCores {
+ public:
+  explicit MachineCores(std::size_t cores) : free_at_(cores, 0) {}
+
+  /// Schedules a task that is ready at `ready_ns` for `cost_ns`; returns
+  /// its finish time.
+  std::uint64_t schedule(std::uint64_t ready_ns, std::uint64_t cost_ns) {
+    auto earliest = std::min_element(free_at_.begin(), free_at_.end());
+    const std::uint64_t start = std::max(*earliest, ready_ns);
+    *earliest = start + cost_ns;
+    return *earliest;
+  }
+
+  std::uint64_t last_finish() const {
+    return *std::max_element(free_at_.begin(), free_at_.end());
+  }
+
+ private:
+  std::vector<std::uint64_t> free_at_;
+};
+
+}  // namespace
+
+ClusterExecutor::ClusterExecutor(const core::Program& program,
+                                 ClusterOptions options)
+    : instance_(program), options_(options),
+      partitioning_(options.partitioning.bounds.empty()
+                        ? graph::partition_balanced(program.numbering,
+                                                    options.machines)
+                        : options.partitioning) {
+  DF_CHECK(options_.machines >= 1, "cluster needs at least one machine");
+  DF_CHECK(options_.cores_per_machine >= 1,
+           "machines need at least one core");
+  DF_CHECK(partitioning_.block_count() == options_.machines,
+           "partitioning block count must equal machine count");
+  DF_CHECK(partitioning_.bounds.back() == instance_.n(),
+           "partitioning does not cover the graph");
+}
+
+void ClusterExecutor::run(event::PhaseId num_phases, core::PhaseFeed* feed) {
+  core::NullFeed null_feed;
+  core::PhaseFeed& source = feed != nullptr ? *feed : null_feed;
+  const std::uint32_t n = instance_.n();
+
+  support::Stopwatch wall;
+  std::vector<MachineCores> machines(
+      options_.machines, MachineCores(options_.cores_per_machine));
+  cluster_stats_.busy_ns.assign(options_.machines, 0);
+
+  // Per-vertex pending bundle and per-vertex earliest message-arrival time
+  // within the current phase (simulated clock, ns).
+  std::vector<std::optional<event::InputBundle>> pending(n + 1);
+  std::vector<std::uint64_t> ready_at(n + 1, 0);
+
+  for (event::PhaseId p = 1; p <= num_phases; ++p) {
+    for (const event::ExternalEvent& ev : source.events_for(p)) {
+      const std::uint32_t index = instance_.internal_index(ev.vertex);
+      DF_CHECK(instance_.is_source(index),
+               "external events may only target source vertices");
+      if (!pending[index].has_value()) {
+        pending[index].emplace();
+      }
+      pending[index]->push_back(event::Message{ev.port, ev.value});
+    }
+
+    for (std::uint32_t v = 1; v <= n; ++v) {
+      const bool is_source = instance_.is_source(v);
+      if (!is_source && !pending[v].has_value()) {
+        ready_at[v] = 0;
+        continue;
+      }
+      const event::InputBundle bundle =
+          pending[v].has_value() ? std::move(*pending[v])
+                                 : event::InputBundle{};
+      pending[v].reset();
+
+      // Semantics: identical to the sequential reference.
+      support::Stopwatch compute_timer;
+      core::ExecutionResult result =
+          core::execute_vertex(instance_, v, p, bundle);
+      const std::uint64_t measured_ns = compute_timer.elapsed_ns();
+      ++stats_.executed_pairs;
+      stats_.compute_ns += measured_ns;
+
+      // Timing model: occupy a core on the owning machine.
+      const std::size_t machine = partitioning_.block_of(v);
+      const std::uint64_t cost = options_.fixed_vertex_cost_ns > 0
+                                     ? options_.fixed_vertex_cost_ns
+                                     : measured_ns;
+      const std::uint64_t finish =
+          machines[machine].schedule(ready_at[v], cost);
+      cluster_stats_.busy_ns[machine] += cost;
+      ready_at[v] = 0;
+
+      for (core::ExecutionResult::Delivery& d : result.deliveries) {
+        const std::size_t dest = partitioning_.block_of(d.to_index);
+        std::uint64_t arrival = finish;
+        if (dest != machine) {
+          arrival += options_.network_latency_ns;
+          ++cluster_stats_.network_messages;
+        } else {
+          ++cluster_stats_.local_messages;
+        }
+        ready_at[d.to_index] = std::max(ready_at[d.to_index], arrival);
+        if (!pending[d.to_index].has_value()) {
+          pending[d.to_index].emplace();
+        }
+        pending[d.to_index]->push_back(
+            event::Message{d.to_port, std::move(d.value)});
+        ++stats_.messages_delivered;
+      }
+      stats_.sink_records += result.sink_records.size();
+      sinks_.record_batch(std::move(result.sink_records));
+    }
+    ++stats_.phases_completed;
+  }
+
+  for (const MachineCores& machine : machines) {
+    cluster_stats_.makespan_ns =
+        std::max(cluster_stats_.makespan_ns, machine.last_finish());
+  }
+  stats_.wall_seconds = wall.elapsed_s();
+  stats_.max_inflight_phases = 1;
+  stats_.mean_inflight_phases = 1.0;
+}
+
+bool run_replicated(
+    const core::Program& program, std::size_t replicas,
+    event::PhaseId num_phases,
+    const std::vector<std::vector<event::ExternalEvent>>& batches,
+    std::size_t threads_per_replica, std::size_t* records) {
+  DF_CHECK(replicas >= 1, "need at least one replica");
+  std::vector<std::vector<core::SinkRecord>> outputs;
+  outputs.reserve(replicas);
+  for (std::size_t r = 0; r < replicas; ++r) {
+    core::EngineOptions options;
+    options.threads = threads_per_replica;
+    core::Engine engine(program, options);
+    core::VectorFeed feed(batches);
+    engine.run(num_phases, &feed);
+    outputs.push_back(engine.sinks().canonical());
+  }
+  for (std::size_t r = 1; r < replicas; ++r) {
+    if (outputs[r] != outputs[0]) {
+      return false;
+    }
+  }
+  if (records != nullptr) {
+    *records = outputs[0].size();
+  }
+  return true;
+}
+
+}  // namespace df::distrib

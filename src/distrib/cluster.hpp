@@ -1,0 +1,97 @@
+// Simulated multi-machine execution (paper section 6, future work).
+//
+// The paper's algorithm targets one shared-memory multiprocessor; its
+// future work asks about "networks of multiprocessor machines ...
+// partitioning the computation graph across multiple machines and
+// replication of event streams". We do not have a cluster in this
+// environment, so this module *simulates* one (see DESIGN.md,
+// substitutions): the computation executes with exact Δ-semantics (sink
+// output identical to the sequential reference) while a discrete timing
+// model tracks per-machine clocks:
+//
+//   * the graph is cut into contiguous index blocks (graph/partition.hpp);
+//     machine k owns block k, so cross-machine traffic flows forward only;
+//   * each machine has `cores_per_machine` cores; executing (v,p) occupies
+//     a core for the vertex's measured (or modelled) cost;
+//   * a message crossing machines arrives network_latency_ns after its
+//     sender finishes; intra-machine delivery is free;
+//   * a vertex starts when its machine has a free core AND all its phase-p
+//     messages have arrived; phases pipeline naturally because machine
+//     clocks carry over between phases.
+//
+// The simulated makespan, per-machine utilisation and network traffic let
+// bench_partition compare partitioning strategies — the exact question the
+// paper leaves open.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "graph/partition.hpp"
+
+namespace df::distrib {
+
+struct ClusterOptions {
+  std::size_t machines = 2;
+  std::size_t cores_per_machine = 1;
+  std::uint64_t network_latency_ns = 50000;  // ~50 us per hop
+  /// If > 0, use this fixed per-vertex cost instead of measured wall time
+  /// (makes simulations deterministic and platform-independent).
+  std::uint64_t fixed_vertex_cost_ns = 0;
+  /// Partitioning to use; if empty bounds, a balanced one is computed.
+  graph::Partitioning partitioning;
+};
+
+struct ClusterStats {
+  /// Simulated end-to-end completion time of the whole run.
+  std::uint64_t makespan_ns = 0;
+  /// Simulated busy time per machine.
+  std::vector<std::uint64_t> busy_ns;
+  /// Messages that crossed machines (paid latency).
+  std::uint64_t network_messages = 0;
+  /// Messages delivered within a machine.
+  std::uint64_t local_messages = 0;
+
+  double utilisation(std::size_t machine, std::size_t cores) const {
+    return makespan_ns == 0
+               ? 0.0
+               : static_cast<double>(busy_ns[machine]) /
+                     (static_cast<double>(makespan_ns) *
+                      static_cast<double>(cores));
+  }
+};
+
+class ClusterExecutor final : public core::Executor {
+ public:
+  ClusterExecutor(const core::Program& program, ClusterOptions options);
+
+  void run(event::PhaseId num_phases, core::PhaseFeed* feed) override;
+
+  const core::SinkStore& sinks() const override { return sinks_; }
+  core::ExecStats stats() const override { return stats_; }
+  const ClusterStats& cluster_stats() const { return cluster_stats_; }
+  const graph::Partitioning& partitioning() const { return partitioning_; }
+
+ private:
+  core::ProgramInstance instance_;
+  ClusterOptions options_;
+  graph::Partitioning partitioning_;
+  core::SinkStore sinks_;
+  core::ExecStats stats_;
+  ClusterStats cluster_stats_;
+};
+
+/// Stream replication (the other section 6 direction): runs `replicas`
+/// engines over the same program and feed batches and checks that every
+/// replica produced identical sink streams (what a fault-tolerant
+/// replicated deployment must guarantee). Returns true iff all replicas
+/// agree; the agreed record count is written to *records.
+bool run_replicated(const core::Program& program, std::size_t replicas,
+                    event::PhaseId num_phases,
+                    const std::vector<std::vector<event::ExternalEvent>>&
+                        batches,
+                    std::size_t threads_per_replica,
+                    std::size_t* records = nullptr);
+
+}  // namespace df::distrib

@@ -1,0 +1,37 @@
+#include "event/phase.hpp"
+
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace df::event {
+
+std::optional<PhaseBatch> PhaseAssembler::feed(const TimestampedEvent& event) {
+  if (!pending_.has_value()) {
+    pending_ = PhaseBatch{next_phase_, event.timestamp, {event.event}};
+    return std::nullopt;
+  }
+  DF_CHECK(event.timestamp >= pending_->timestamp,
+           "timestamps must be non-decreasing (got ", event.timestamp,
+           " after ", pending_->timestamp, ")");
+  if (event.timestamp == pending_->timestamp) {
+    pending_->events.push_back(event.event);
+    return std::nullopt;
+  }
+  PhaseBatch done = std::move(*pending_);
+  ++next_phase_;
+  pending_ = PhaseBatch{next_phase_, event.timestamp, {event.event}};
+  return done;
+}
+
+std::optional<PhaseBatch> PhaseAssembler::flush() {
+  if (!pending_.has_value()) {
+    return std::nullopt;
+  }
+  PhaseBatch done = std::move(*pending_);
+  pending_.reset();
+  ++next_phase_;
+  return done;
+}
+
+}  // namespace df::event

@@ -1,0 +1,62 @@
+// Phases and the timestamp -> phase mapping (paper section 2).
+//
+// "Assume that events arrive at times t1, t2, t3, ...; all events that
+// arrive at the same time are considered part of the same phase. Phases are
+// indexed sequentially." PhaseAssembler implements exactly that: it consumes
+// timestamped external events and groups runs of equal timestamps into
+// consecutively numbered phases.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "event/message.hpp"
+
+namespace df::event {
+
+/// Phases are numbered 1, 2, 3, ... (0 means "before the first phase").
+using PhaseId = std::uint64_t;
+
+/// Timestamps are arbitrary non-decreasing integers (e.g. microseconds).
+using Timestamp = std::int64_t;
+
+struct TimestampedEvent {
+  Timestamp timestamp = 0;
+  ExternalEvent event;
+};
+
+/// One assembled phase: its id, the originating timestamp, and the external
+/// events that arrived at that instant.
+struct PhaseBatch {
+  PhaseId phase = 0;
+  Timestamp timestamp = 0;
+  std::vector<ExternalEvent> events;
+};
+
+/// Groups a non-decreasing stream of timestamped events into phases.
+///
+/// The paper assumes no delivery delay and perfect clocks, so a phase can be
+/// closed as soon as an event with a strictly later timestamp arrives (or the
+/// stream is flushed). Out-of-order timestamps are rejected — handling clock
+/// drift is explicitly out of scope in the paper (section 6).
+class PhaseAssembler {
+ public:
+  /// Feeds one event. Returns a completed batch when the event's timestamp
+  /// strictly exceeds the pending one (the pending phase closes).
+  std::optional<PhaseBatch> feed(const TimestampedEvent& event);
+
+  /// Closes and returns the pending phase, if any.
+  std::optional<PhaseBatch> flush();
+
+  /// Number of phases fully assembled so far.
+  PhaseId completed_phases() const { return next_phase_ - 1; }
+
+  bool has_pending() const { return pending_.has_value(); }
+
+ private:
+  std::optional<PhaseBatch> pending_;
+  PhaseId next_phase_ = 1;
+};
+
+}  // namespace df::event

@@ -1,0 +1,73 @@
+#include "event/value.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/table.hpp"
+
+namespace df::event {
+
+bool Value::as_bool() const {
+  DF_CHECK(is_bool(), "value is not a bool: ", to_string());
+  return std::get<bool>(storage_);
+}
+
+std::int64_t Value::as_int() const {
+  DF_CHECK(is_int(), "value is not an int: ", to_string());
+  return std::get<std::int64_t>(storage_);
+}
+
+double Value::as_double() const {
+  DF_CHECK(is_double(), "value is not a double: ", to_string());
+  return std::get<double>(storage_);
+}
+
+const std::string& Value::as_string() const {
+  DF_CHECK(is_string(), "value is not a string: ", to_string());
+  return std::get<std::string>(storage_);
+}
+
+const std::vector<double>& Value::as_vector() const {
+  DF_CHECK(is_vector(), "value is not a vector: ", to_string());
+  return std::get<std::vector<double>>(storage_);
+}
+
+double Value::as_number() const {
+  if (is_int()) {
+    return static_cast<double>(std::get<std::int64_t>(storage_));
+  }
+  DF_CHECK(is_double(), "value is not numeric: ", to_string());
+  return std::get<double>(storage_);
+}
+
+std::string Value::to_string() const {
+  std::ostringstream out;
+  std::visit(
+      [&out](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::monostate>) {
+          out << "<empty>";
+        } else if constexpr (std::is_same_v<T, bool>) {
+          out << (v ? "true" : "false");
+        } else if constexpr (std::is_same_v<T, std::int64_t>) {
+          out << v;
+        } else if constexpr (std::is_same_v<T, double>) {
+          out << support::Table::num(v, 6);
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          out << '"' << v << '"';
+        } else {
+          out << '[';
+          for (std::size_t i = 0; i < v.size(); ++i) {
+            if (i != 0) {
+              out << ", ";
+            }
+            out << support::Table::num(v[i], 6);
+          }
+          out << ']';
+        }
+      },
+      storage_);
+  return out.str();
+}
+
+}  // namespace df::event

@@ -1,0 +1,69 @@
+// Event payload values.
+//
+// The paper's modules exchange heterogeneous events (sensor readings,
+// transactions, alerts). Value is a small tagged union closed over the types
+// the model library needs; bitwise-comparable so the serializability checker
+// can compare parallel and sequential sink streams exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace df::event {
+
+class Value {
+ public:
+  using Storage = std::variant<std::monostate, bool, std::int64_t, double,
+                               std::string, std::vector<double>>;
+
+  Value() = default;
+  Value(bool v) : storage_(v) {}                        // NOLINT(google-explicit-constructor)
+  Value(std::int64_t v) : storage_(v) {}                // NOLINT(google-explicit-constructor)
+  Value(int v) : storage_(static_cast<std::int64_t>(v)) {}  // NOLINT(google-explicit-constructor)
+  Value(double v) : storage_(v) {}                      // NOLINT(google-explicit-constructor)
+  Value(std::string v) : storage_(std::move(v)) {}      // NOLINT(google-explicit-constructor)
+  Value(const char* v) : storage_(std::string(v)) {}    // NOLINT(google-explicit-constructor)
+  Value(std::vector<double> v) : storage_(std::move(v)) {}  // NOLINT(google-explicit-constructor)
+
+  bool is_empty() const {
+    return std::holds_alternative<std::monostate>(storage_);
+  }
+  bool is_bool() const { return std::holds_alternative<bool>(storage_); }
+  bool is_int() const {
+    return std::holds_alternative<std::int64_t>(storage_);
+  }
+  bool is_double() const { return std::holds_alternative<double>(storage_); }
+  bool is_string() const {
+    return std::holds_alternative<std::string>(storage_);
+  }
+  bool is_vector() const {
+    return std::holds_alternative<std::vector<double>>(storage_);
+  }
+
+  /// Checked accessors (DF_CHECK on type mismatch).
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const;
+  const std::vector<double>& as_vector() const;
+
+  /// Numeric coercion: int and double read as double; everything else fails.
+  double as_number() const;
+  bool is_number() const { return is_int() || is_double(); }
+
+  const Storage& storage() const { return storage_; }
+
+  std::string to_string() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.storage_ == b.storage_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+ private:
+  Storage storage_;
+};
+
+}  // namespace df::event

@@ -1,0 +1,76 @@
+#include "event/watermark.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace df::event {
+
+DelayModel::DelayModel(Timestamp base_delay, double mean_extra_delay,
+                       std::uint64_t seed)
+    : base_delay_(base_delay), mean_extra_delay_(mean_extra_delay),
+      rng_(seed) {
+  DF_CHECK(base_delay >= 0, "base delay must be non-negative");
+  DF_CHECK(mean_extra_delay >= 0.0, "mean extra delay must be non-negative");
+}
+
+DelayedEvent DelayModel::delay(const TimestampedEvent& event) {
+  Timestamp extra = 0;
+  if (mean_extra_delay_ > 0.0) {
+    extra = static_cast<Timestamp>(
+        std::llround(rng_.next_exponential(1.0 / mean_extra_delay_)));
+  }
+  return DelayedEvent{event.timestamp,
+                      event.timestamp + base_delay_ + extra, event.event};
+}
+
+std::vector<DelayedEvent> DelayModel::arrival_order(
+    std::vector<DelayedEvent> events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const DelayedEvent& a, const DelayedEvent& b) {
+                     return a.arrived < b.arrived;
+                   });
+  return events;
+}
+
+WatermarkAssembler::WatermarkAssembler(Timestamp wait) : wait_(wait) {
+  DF_CHECK(wait >= 0, "watermark wait must be non-negative");
+}
+
+std::vector<PhaseBatch> WatermarkAssembler::feed(const DelayedEvent& event) {
+  if (event.generated <= closed_through_ &&
+      closed_through_ != std::numeric_limits<Timestamp>::min()) {
+    ++late_events_;  // its phase has already been handed to the engine
+    return {};
+  }
+  pending_[event.generated].push_back(event.event);
+  ++accepted_events_;
+  watermark_ = std::max(watermark_, event.arrived);
+  // A generation time t is safe to close once watermark - wait >= t.
+  return close_up_to(watermark_ - wait_);
+}
+
+std::vector<PhaseBatch> WatermarkAssembler::flush() {
+  return close_up_to(std::numeric_limits<Timestamp>::max());
+}
+
+std::vector<PhaseBatch> WatermarkAssembler::close_up_to(Timestamp through) {
+  std::vector<PhaseBatch> closed;
+  while (!pending_.empty() && pending_.begin()->first <= through) {
+    auto node = pending_.extract(pending_.begin());
+    closed.push_back(
+        PhaseBatch{next_phase_++, node.key(), std::move(node.mapped())});
+    closed_through_ = std::max(closed_through_, node.key());
+  }
+  if (through != std::numeric_limits<Timestamp>::max() &&
+      (closed_through_ == std::numeric_limits<Timestamp>::min() ||
+       closed_through_ < through)) {
+    // Remember that everything at or before `through` is closed, even if no
+    // events were pending there, so stragglers still count as late.
+    closed_through_ = std::max(closed_through_, through);
+  }
+  return closed;
+}
+
+}  // namespace df::event

@@ -1,0 +1,87 @@
+// Out-of-order event handling (paper section 6, future work).
+//
+// "In reality, clocks in sensors are noisy and message delays may be
+// significant and random. The fusion engine must wait long enough after
+// time t to ensure that sensor data taken at time t arrives with high
+// probability."
+//
+// WatermarkAssembler implements that waiting policy: events arrive in
+// *arrival* order carrying their original (generation) timestamps; a phase
+// for generation time t is closed only when the watermark
+// (max arrival time seen - wait) passes t. Events that arrive after their
+// phase closed are counted as late and dropped — the false-negative risk
+// the paper's error analysis would quantify; bench_watermark sweeps the
+// wait against a random delay model to measure exactly that trade-off.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "event/phase.hpp"
+#include "support/rng.hpp"
+
+namespace df::event {
+
+/// An event as it reaches the fusion engine over a noisy network: the
+/// generation timestamp plus the (later) arrival time.
+struct DelayedEvent {
+  Timestamp generated = 0;
+  Timestamp arrived = 0;
+  ExternalEvent event;
+};
+
+/// Applies a random delay model to an in-order stream of generated events,
+/// producing the arrival-ordered stream the engine actually observes.
+class DelayModel {
+ public:
+  /// Delays are base + Exponential(1/mean_extra) time units.
+  DelayModel(Timestamp base_delay, double mean_extra_delay,
+             std::uint64_t seed);
+
+  DelayedEvent delay(const TimestampedEvent& event);
+
+  /// Sorts a batch of delayed events into arrival order (stable on ties).
+  static std::vector<DelayedEvent> arrival_order(
+      std::vector<DelayedEvent> events);
+
+ private:
+  Timestamp base_delay_;
+  double mean_extra_delay_;
+  support::Rng rng_;
+};
+
+/// Groups delayed events into phases by *generation* timestamp, closing a
+/// phase once the watermark passes it. Feed events in arrival order.
+class WatermarkAssembler {
+ public:
+  /// `wait` is how long past a generation time the assembler holds the
+  /// phase open (the paper's "wait long enough after time t").
+  explicit WatermarkAssembler(Timestamp wait);
+
+  /// Feeds one arrival. Returns every phase that became closed (in
+  /// generation-time order). Events for already-closed times are dropped
+  /// and counted as late.
+  std::vector<PhaseBatch> feed(const DelayedEvent& event);
+
+  /// Closes and returns all pending phases (end of stream).
+  std::vector<PhaseBatch> flush();
+
+  std::uint64_t late_events() const { return late_events_; }
+  std::uint64_t accepted_events() const { return accepted_events_; }
+  PhaseId phases_closed() const { return next_phase_ - 1; }
+
+ private:
+  Timestamp wait_;
+  Timestamp watermark_ = std::numeric_limits<Timestamp>::min();
+  Timestamp closed_through_ = std::numeric_limits<Timestamp>::min();
+  std::map<Timestamp, std::vector<ExternalEvent>> pending_;
+  PhaseId next_phase_ = 1;
+  std::uint64_t late_events_ = 0;
+  std::uint64_t accepted_events_ = 0;
+
+  std::vector<PhaseBatch> close_up_to(Timestamp through);
+};
+
+}  // namespace df::event

@@ -1,0 +1,52 @@
+#include "graph/dot.hpp"
+
+#include <sstream>
+
+namespace df::graph {
+
+namespace {
+
+std::string escape(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string render(const Dag& dag, const Numbering* numbering) {
+  std::ostringstream out;
+  out << "digraph deltaflow {\n  rankdir=TB;\n";
+  for (VertexId v = 0; v < dag.vertex_count(); ++v) {
+    out << "  n" << v << " [label=\"" << escape(dag.name(v));
+    if (numbering != nullptr) {
+      out << "\\n#" << numbering->index_of[v];
+    }
+    out << "\"";
+    if (dag.is_source(v)) {
+      out << ", shape=invtriangle";
+    } else if (dag.is_sink(v)) {
+      out << ", shape=doublecircle";
+    }
+    out << "];\n";
+  }
+  for (const Edge& e : dag.edges()) {
+    out << "  n" << e.from << " -> n" << e.to << " [label=\""
+        << e.from_port << ":" << e.to_port << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace
+
+std::string to_dot(const Dag& dag) { return render(dag, nullptr); }
+
+std::string to_dot(const Dag& dag, const Numbering& numbering) {
+  return render(dag, &numbering);
+}
+
+}  // namespace df::graph

@@ -1,0 +1,18 @@
+// Graphviz DOT export for computation graphs, optionally annotated with a
+// numbering (index and m values) for debugging and documentation.
+#pragma once
+
+#include <string>
+
+#include "graph/dag.hpp"
+#include "graph/numbering.hpp"
+
+namespace df::graph {
+
+/// Renders the DAG in DOT format. Vertex labels are names.
+std::string to_dot(const Dag& dag);
+
+/// Renders the DAG with "name\n#index" labels from the numbering.
+std::string to_dot(const Dag& dag, const Numbering& numbering);
+
+}  // namespace df::graph

@@ -1,0 +1,58 @@
+// Computation-graph generators for tests, examples and benchmarks,
+// including the exact example graphs from the paper's figures.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/dag.hpp"
+#include "support/rng.hpp"
+
+namespace df::graph {
+
+/// The 7-vertex graph of the paper's Figure 2, with vertex names "v1".."v7"
+/// matching the *satisfactory* numbering of Figure 2(b): three sources
+/// v1,v2,v3 and edges v2->v4, v3->v5, v5->v6, v4->v7, v6->v7.
+/// Dense ids equal figure index minus one.
+Dag paper_figure2();
+
+/// The paper's *unsatisfactory* Figure 2(a) numbering of that same graph
+/// (indices of the middle vertices transposed), as an index_of vector over
+/// paper_figure2()'s dense ids. Topologically sorted, but S(2) = {1,2,3,5}.
+std::vector<std::uint32_t> paper_figure2a_indices();
+
+/// A 6-vertex graph shaped like the paper's Figure 3 trace example: two
+/// sources (v1, v2) feeding a diamond into two sinks.
+/// Edges: v1->v3, v2->v3, v2->v4, v3->v5, v4->v5, v4->v6.
+Dag paper_figure3();
+
+/// Linear pipeline: v1 -> v2 -> ... -> vN. Worst case for parallelism within
+/// a phase, best case for cross-phase pipelining.
+Dag chain(std::uint32_t length);
+
+/// Diamond: one source fanning out to `width` middle vertices that all fan
+/// into one sink.
+Dag diamond(std::uint32_t width);
+
+/// Layered DAG: `layers` layers of `width` vertices; every vertex in layer k
+/// has `fan_in` predecessors in layer k-1 (clamped to width). Layer 0
+/// vertices are sources.
+Dag layered(std::uint32_t layers, std::uint32_t width, std::uint32_t fan_in,
+            support::Rng& rng);
+
+/// Complete binary in-tree (leaves are sources, root is the sink) of the
+/// given depth; 2^depth - 1 vertices.
+Dag binary_in_tree(std::uint32_t depth);
+
+/// Complete binary out-tree (root is the source, leaves are sinks).
+Dag binary_out_tree(std::uint32_t depth);
+
+/// Random DAG over n vertices: edge (i, j), i < j in a random topological
+/// order, present with probability `edge_probability`. Vertices left with no
+/// inputs become sources. Input ports are assigned densely per vertex.
+Dag random_dag(std::uint32_t n, double edge_probability, support::Rng& rng);
+
+/// The 10-vertex layered graph used to illustrate Figure 1 (5 phases in
+/// flight): four layers of sizes 3/3/3/1.
+Dag figure1_style_graph(support::Rng& rng);
+
+}  // namespace df::graph

@@ -1,0 +1,173 @@
+#include "graph/numbering.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace df::graph {
+
+namespace {
+
+/// Computes m[0..N] from release indices: m(v) = |{w : r(w) <= v}|.
+std::vector<std::uint32_t> compute_m(const std::vector<std::uint32_t>& release,
+                                     std::uint32_t n) {
+  std::vector<std::uint32_t> histogram(n + 1, 0);
+  for (const std::uint32_t r : release) {
+    ++histogram[r];
+  }
+  std::vector<std::uint32_t> m(n + 1, 0);
+  std::uint32_t running = 0;
+  for (std::uint32_t v = 0; v <= n; ++v) {
+    running += histogram[v];
+    m[v] = running;
+  }
+  return m;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> release_indices(const Dag& dag,
+                                           const Numbering& numbering) {
+  std::vector<std::uint32_t> release(dag.vertex_count(), 0);
+  for (VertexId v = 0; v < dag.vertex_count(); ++v) {
+    for (const Edge& e : dag.in_edges(v)) {
+      release[v] = std::max(release[v], numbering.index_of[e.from]);
+    }
+  }
+  return release;
+}
+
+Numbering compute_satisfactory_numbering(const Dag& dag) {
+  dag.validate();
+  const auto n = static_cast<std::uint32_t>(dag.vertex_count());
+
+  Numbering numbering;
+  numbering.index_of.assign(n, 0);
+  numbering.vertex_at.assign(n + 1, 0);
+
+  // Frontier of vertices whose predecessors are all numbered, keyed by
+  // (release index, original id) so the emitted releases are non-decreasing
+  // and ties are deterministic.
+  using Entry = std::pair<std::uint32_t, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
+  std::vector<std::size_t> unnumbered_preds(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    unnumbered_preds[v] = dag.in_degree(v);
+    if (unnumbered_preds[v] == 0) {
+      frontier.emplace(0U, v);
+    }
+  }
+
+  std::uint32_t next_index = 0;
+  std::uint32_t last_release = 0;
+  while (!frontier.empty()) {
+    const auto [release, v] = frontier.top();
+    frontier.pop();
+    DF_CHECK(release >= last_release,
+             "greedy numbering emitted a decreasing release");
+    last_release = release;
+    ++next_index;
+    numbering.index_of[v] = next_index;
+    numbering.vertex_at[next_index] = v;
+    for (const Edge& e : dag.out_edges(v)) {
+      if (--unnumbered_preds[e.to] == 0) {
+        // The successor's last-numbered predecessor is v, so its release is
+        // exactly next_index.
+        frontier.emplace(next_index, e.to);
+      }
+    }
+  }
+  DF_CHECK(next_index == n, "graph has a cycle; numbering incomplete");
+
+  numbering.m = compute_m(release_indices(dag, numbering), n);
+  verify_numbering(dag, numbering);
+  return numbering;
+}
+
+Numbering make_numbering(const Dag& dag,
+                         const std::vector<std::uint32_t>& index_of) {
+  const auto n = static_cast<std::uint32_t>(dag.vertex_count());
+  DF_CHECK(index_of.size() == n, "index_of size mismatch");
+
+  Numbering numbering;
+  numbering.index_of = index_of;
+  numbering.vertex_at.assign(n + 1, 0);
+  std::vector<bool> seen(n + 1, false);
+  for (VertexId v = 0; v < n; ++v) {
+    const std::uint32_t i = index_of[v];
+    DF_CHECK(i >= 1 && i <= n, "index ", i, " out of range 1..", n);
+    DF_CHECK(!seen[i], "duplicate index ", i);
+    seen[i] = true;
+    numbering.vertex_at[i] = v;
+  }
+  numbering.m = compute_m(release_indices(dag, numbering), n);
+  return numbering;
+}
+
+std::set<std::uint32_t> compute_S(const Dag& dag, const Numbering& numbering,
+                                  std::uint32_t v) {
+  // Direct evaluation of eqn (1): w is in S(v) iff every predecessor u of w
+  // satisfies index(u) <= v.
+  std::set<std::uint32_t> result;
+  for (VertexId w = 0; w < dag.vertex_count(); ++w) {
+    bool all_preds_low = true;
+    for (const Edge& e : dag.in_edges(w)) {
+      if (numbering.index_of[e.from] > v) {
+        all_preds_low = false;
+        break;
+      }
+    }
+    if (all_preds_low) {
+      result.insert(numbering.index_of[w]);
+    }
+  }
+  return result;
+}
+
+bool is_topological(const Dag& dag, const Numbering& numbering) {
+  for (const Edge& e : dag.edges()) {
+    if (numbering.index_of[e.from] >= numbering.index_of[e.to]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_satisfactory(const Dag& dag, const Numbering& numbering) {
+  if (!is_topological(dag, numbering)) {
+    return false;
+  }
+  // Prefix condition <=> release indices are non-decreasing in index order.
+  const auto release = release_indices(dag, numbering);
+  std::uint32_t previous = 0;
+  for (std::uint32_t i = 1; i <= dag.vertex_count(); ++i) {
+    const std::uint32_t r = release[numbering.vertex_at[i]];
+    if (r < previous) {
+      return false;
+    }
+    previous = r;
+  }
+  return true;
+}
+
+void verify_numbering(const Dag& dag, const Numbering& numbering) {
+  const auto n = static_cast<std::uint32_t>(dag.vertex_count());
+  DF_CHECK(is_topological(dag, numbering), "numbering is not topological");
+  DF_CHECK(is_satisfactory(dag, numbering),
+           "numbering violates the prefix restriction");
+  DF_CHECK(numbering.m.size() == n + 1, "m has wrong length");
+  // Eqn (2): monotone.
+  for (std::uint32_t v = 1; v <= n; ++v) {
+    DF_CHECK(numbering.m[v - 1] <= numbering.m[v], "m not monotone at ", v);
+  }
+  // Eqn (3): v < m(v) for 1 <= v < N.
+  for (std::uint32_t v = 1; v < n; ++v) {
+    DF_CHECK(v < numbering.m[v], "m(", v, ") = ", numbering.m[v],
+             " violates v < m(v)");
+  }
+  // Eqn (4): m(N) = N.
+  DF_CHECK(numbering.m[n] == n, "m(N) != N");
+}
+
+}  // namespace df::graph

@@ -1,0 +1,79 @@
+// Vertex numbering machinery (paper section 3.1.1).
+//
+// The algorithm requires vertex indices 1..N that are (a) topologically
+// sorted and (b) "satisfactory": for every v, the set
+//
+//   S(v) = { w | every predecessor u of w has index u <= v }        (eqn 1)
+//
+// must be exactly the prefix {1, 2, ..., m(v)} where m(v) = |S(v)|. The
+// function m then drives the scheduler: when all vertices indexed <= v have
+// finished phase p, all vertices indexed <= m(v) have full information for
+// phase p.
+//
+// Such a numbering always exists for any DAG. Define the *release index*
+// r(w) of a vertex as the largest index among its predecessors (0 for a
+// source); the prefix condition is equivalent to r being non-decreasing in
+// index order. compute_satisfactory_numbering() builds one greedily: among
+// vertices whose predecessors are all numbered, always number next the one
+// with the smallest release index. A newly released vertex has release equal
+// to the index just assigned, which is larger than every release already in
+// the frontier, so the emitted release sequence is non-decreasing and the
+// result is always satisfactory (verified by verify_numbering and by tests).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "graph/dag.hpp"
+
+namespace df::graph {
+
+/// A 1-based numbering of a DAG plus the derived m function.
+struct Numbering {
+  /// index_of[v] in 1..N for each dense VertexId v.
+  std::vector<std::uint32_t> index_of;
+  /// vertex_at[i] for i in 1..N (element 0 is unused).
+  std::vector<VertexId> vertex_at;
+  /// m[v] for v in 0..N; m[0] is the number of source vertices.
+  std::vector<std::uint32_t> m;
+
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(index_of.size());
+  }
+};
+
+/// Builds a satisfactory numbering for any DAG (greedy min-release).
+/// Deterministic: ties break toward the smallest original vertex id.
+Numbering compute_satisfactory_numbering(const Dag& dag);
+
+/// Wraps an externally chosen numbering (e.g. the paper's Figure 2 examples)
+/// given index_of; computes vertex_at and m. The numbering must be a
+/// permutation of 1..N but need not be satisfactory.
+Numbering make_numbering(const Dag& dag,
+                         const std::vector<std::uint32_t>& index_of);
+
+/// S(v) under a numbering: indices (1-based) of vertices all of whose
+/// predecessors have index <= v. Direct evaluation of eqn (1) for testing.
+std::set<std::uint32_t> compute_S(const Dag& dag, const Numbering& numbering,
+                                  std::uint32_t v);
+
+/// True iff the numbering is topologically sorted (every edge goes from a
+/// lower index to a higher index).
+bool is_topological(const Dag& dag, const Numbering& numbering);
+
+/// True iff every S(v) is the prefix {1..|S(v)|} (the paper's additional
+/// restriction).
+bool is_satisfactory(const Dag& dag, const Numbering& numbering);
+
+/// Checks the m-function properties the correctness argument relies on:
+/// monotonicity (eqn 2), v < m(v) for v < N (eqn 3), and m(N) = N (eqn 4).
+/// Throws via DF_CHECK on violation.
+void verify_numbering(const Dag& dag, const Numbering& numbering);
+
+/// Release index r(w): the largest index among w's predecessors, 0 for
+/// sources. The prefix property is equivalent to r non-decreasing in index.
+std::vector<std::uint32_t> release_indices(const Dag& dag,
+                                           const Numbering& numbering);
+
+}  // namespace df::graph

@@ -1,0 +1,68 @@
+// Graph partitioning (paper section 6, future work).
+//
+// "We are investigating various ways of using networks of multiprocessor
+// machines to improve performance and efficiency, including methods for
+// partitioning the computation graph across multiple machines."
+//
+// Because a satisfactory numbering orders vertices so that all edges go
+// from lower to higher index, cutting the index range into contiguous
+// blocks yields partitions whose cross-traffic flows strictly forward —
+// machine i never needs messages from machine j > i. This module provides
+// two partitioners over that index space plus quality metrics; the
+// distributed-simulation executor in src/distrib consumes them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "graph/numbering.hpp"
+
+namespace df::graph {
+
+/// A partitioning of internal indices 1..N into contiguous blocks.
+/// Block k covers (bounds[k-1], bounds[k]]; bounds.front() == 0 and
+/// bounds.back() == N.
+struct Partitioning {
+  std::vector<std::uint32_t> bounds;
+
+  std::size_t block_count() const { return bounds.size() - 1; }
+  /// Block index (0-based) owning internal index v.
+  std::size_t block_of(std::uint32_t v) const;
+  std::uint32_t block_begin(std::size_t k) const { return bounds[k] + 1; }
+  std::uint32_t block_end(std::size_t k) const { return bounds[k + 1]; }
+};
+
+/// Splits 1..N into `blocks` contiguous ranges of near-equal vertex count.
+Partitioning partition_balanced(const Numbering& numbering,
+                                std::size_t blocks);
+
+/// Splits 1..N into `blocks` ranges of near-equal *weight*, where weight[v]
+/// is the cost of the vertex at internal index v (index 0 unused).
+Partitioning partition_weighted(const Numbering& numbering,
+                                const std::vector<double>& weight,
+                                std::size_t blocks);
+
+/// Greedy cut refinement: starting from a balanced partitioning, slides
+/// each boundary within +/- `slack` positions to the location that
+/// minimizes the number of edges crossing it (keeping blocks non-empty).
+Partitioning partition_min_cut(const Dag& dag, const Numbering& numbering,
+                               std::size_t blocks, std::uint32_t slack = 8);
+
+/// Quality metrics for a partitioning.
+struct PartitionMetrics {
+  std::size_t blocks = 0;
+  /// Edges whose endpoints live in different blocks (network messages).
+  std::size_t edge_cut = 0;
+  /// Largest / smallest block size.
+  std::uint32_t max_block = 0;
+  std::uint32_t min_block = 0;
+  /// max_block * blocks / N — 1.0 is perfectly balanced.
+  double imbalance = 0.0;
+};
+
+PartitionMetrics evaluate_partitioning(const Dag& dag,
+                                       const Numbering& numbering,
+                                       const Partitioning& partitioning);
+
+}  // namespace df::graph

@@ -1,0 +1,78 @@
+#include "model/clustering.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace df::model {
+
+OnlineKMeansModule::OnlineKMeansModule(std::size_t k, double outlier_distance)
+    : k_(k), outlier_distance_(outlier_distance) {
+  DF_CHECK(k >= 1, "k-means needs at least one cluster");
+}
+
+std::vector<double> OnlineKMeansModule::as_point(const event::Value& value) {
+  if (value.is_vector()) {
+    return value.as_vector();
+  }
+  return {value.as_number()};
+}
+
+double OnlineKMeansModule::squared_distance(const std::vector<double>& a,
+                                            const std::vector<double>& b) {
+  DF_CHECK(a.size() == b.size(), "dimension mismatch in k-means point");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+void OnlineKMeansModule::on_phase(PhaseContext& ctx) {
+  if (!ctx.has_input(0)) {
+    return;
+  }
+  const std::vector<double> point = as_point(ctx.input(0));
+
+  // Seeding: first k distinct points become centroids.
+  if (centroids_.size() < k_) {
+    for (const auto& centroid : centroids_) {
+      if (squared_distance(centroid, point) == 0.0) {
+        return;  // duplicate of an existing seed; wait for a distinct one
+      }
+    }
+    centroids_.push_back(point);
+    counts_.push_back(1);
+    return;
+  }
+
+  std::size_t best = 0;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    const double d = squared_distance(centroids_[c], point);
+    if (d < best_distance) {
+      best_distance = d;
+      best = c;
+    }
+  }
+
+  // MacQueen update: centroid moves toward the point by 1/n_c.
+  ++counts_[best];
+  const double rate = 1.0 / static_cast<double>(counts_[best]);
+  for (std::size_t i = 0; i < centroids_[best].size(); ++i) {
+    centroids_[best][i] += rate * (point[i] - centroids_[best][i]);
+  }
+
+  if (!last_assignment_.has_value() || best != *last_assignment_) {
+    last_assignment_ = best;
+    ctx.emit(0, static_cast<std::int64_t>(best));
+  }
+  if (outlier_distance_ > 0.0 &&
+      std::sqrt(best_distance) > outlier_distance_) {
+    ctx.emit(1, std::sqrt(best_distance));
+  }
+}
+
+}  // namespace df::model

@@ -1,0 +1,41 @@
+// Online clustering (the paper lists "clustering of points in
+// multidimensional spaces" among the model types composed in fusion graphs).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "model/module.hpp"
+
+namespace df::model {
+
+/// Sequential (online) k-means over points arriving on port 0 (scalar or
+/// vector values). Centroids are seeded from the first k distinct points,
+/// then updated with a per-centroid harmonic learning rate (MacQueen).
+/// Emits the assigned cluster index when the assignment *changes* relative
+/// to the previous point (a Δ-signal that the stream moved between regimes);
+/// also emits the distance to the assigned centroid on port 1 whenever the
+/// point is farther than `outlier_distance` (0 disables).
+class OnlineKMeansModule final : public Module {
+ public:
+  OnlineKMeansModule(std::size_t k, double outlier_distance = 0.0);
+  void on_phase(PhaseContext& ctx) override;
+
+  const std::vector<std::vector<double>>& centroids() const {
+    return centroids_;
+  }
+
+ private:
+  std::size_t k_;
+  double outlier_distance_;
+  std::vector<std::vector<double>> centroids_;
+  std::vector<std::uint64_t> counts_;
+  std::optional<std::size_t> last_assignment_;
+
+  static std::vector<double> as_point(const event::Value& value);
+  static double squared_distance(const std::vector<double>& a,
+                                 const std::vector<double>& b);
+};
+
+}  // namespace df::model

@@ -1,0 +1,129 @@
+#include "model/detectors.hpp"
+
+#include <cmath>
+
+namespace df::model {
+
+ThresholdDetector::ThresholdDetector(double threshold)
+    : threshold_(threshold) {}
+
+void ThresholdDetector::on_phase(PhaseContext& ctx) {
+  if (!ctx.has_input(0)) {
+    return;
+  }
+  const bool above = ctx.input(0).as_number() > threshold_;
+  if (!state_.has_value() || above != *state_) {
+    state_ = above;
+    ctx.emit(0, above);
+  }
+}
+
+ZScoreDetector::ZScoreDetector(std::size_t window, double z_threshold,
+                               std::size_t min_samples)
+    : stats_(window), z_threshold_(z_threshold), min_samples_(min_samples) {}
+
+void ZScoreDetector::on_phase(PhaseContext& ctx) {
+  if (!ctx.has_input(0)) {
+    return;
+  }
+  const double value = ctx.input(0).as_number();
+  if (stats_.size() >= min_samples_ && stats_.stddev() > 1e-12) {
+    const double z = (value - stats_.mean()) / stats_.stddev();
+    if (std::abs(z) > z_threshold_) {
+      ctx.emit(0, z);
+    }
+  }
+  // The anomalous point still enters the history: models adapt (the paper's
+  // modules "adjust assumptions appropriately" on violation).
+  stats_.add(value);
+}
+
+RegressionResidualDetector::RegressionResidualDetector(std::size_t window,
+                                                       double sigmas,
+                                                       std::size_t min_samples)
+    : window_(window), sigmas_(sigmas), min_samples_(min_samples),
+      residuals_(window) {}
+
+void RegressionResidualDetector::on_phase(PhaseContext& ctx) {
+  if (!ctx.has_input(0)) {
+    return;
+  }
+  const double x = static_cast<double>(ctx.phase());
+  const double y = ctx.input(0).as_number();
+  if (regression_.count() >= min_samples_ && regression_.has_fit()) {
+    const double residual = regression_.residual(x, y);
+    const double sigma = residuals_.stddev();
+    if (sigma > 1e-12 && std::abs(residual) > sigmas_ * sigma) {
+      ctx.emit(0, y);
+    }
+    residuals_.add(residual);
+  } else if (regression_.has_fit()) {
+    residuals_.add(regression_.residual(x, y));
+  }
+  samples_.emplace_back(x, y);
+  regression_.add(x, y);
+  if (samples_.size() > window_) {
+    const auto [old_x, old_y] = samples_.front();
+    samples_.pop_front();
+    regression_.remove(old_x, old_y);
+  }
+}
+
+ExpectationMonitor::ExpectationMonitor(double tolerance)
+    : tolerance_(tolerance) {}
+
+void ExpectationMonitor::on_phase(PhaseContext& ctx) {
+  if (!ctx.has_latest(0) || !ctx.has_latest(1)) {
+    return;  // nothing observed or no assumption published yet
+  }
+  const double observed = ctx.latest(0).as_number();
+  const double assumed = ctx.latest(1).as_number();
+  const bool violation = std::abs(observed - assumed) > tolerance_;
+  if (violation && !violated_) {
+    // Notify the assuming model exactly once per excursion.
+    ctx.emit(0, observed);
+  }
+  violated_ = violation;
+}
+
+CusumDetector::CusumDetector(double k, double h, std::size_t warmup)
+    : k_(k), h_(h), warmup_(warmup) {}
+
+void CusumDetector::on_phase(PhaseContext& ctx) {
+  if (!ctx.has_input(0)) {
+    return;
+  }
+  const double value = ctx.input(0).as_number();
+  if (reference_.count() < warmup_) {
+    reference_.add(value);
+    return;
+  }
+  const double deviation = value - reference_.mean();
+  positive_ = std::max(0.0, positive_ + deviation - k_);
+  negative_ = std::max(0.0, negative_ - deviation - k_);
+  if (positive_ > h_) {
+    ctx.emit(0, 1.0);
+    positive_ = 0.0;
+    negative_ = 0.0;
+  } else if (negative_ > h_) {
+    ctx.emit(0, -1.0);
+    positive_ = 0.0;
+    negative_ = 0.0;
+  }
+}
+
+SpikeDetector::SpikeDetector(std::size_t window, double factor)
+    : stats_(window), factor_(factor) {}
+
+void SpikeDetector::on_phase(PhaseContext& ctx) {
+  if (!ctx.has_input(0)) {
+    return;
+  }
+  const double value = ctx.input(0).as_number();
+  if (stats_.full() && value > factor_ * stats_.mean()) {
+    ctx.emit(0, value);
+  }
+  stats_.add(value);
+}
+
+}  // namespace df::model

@@ -1,0 +1,92 @@
+#include "model/logic.hpp"
+
+#include "support/check.hpp"
+
+namespace df::model {
+
+BoolGate::BoolGate(std::size_t fan_in) : fan_in_(fan_in) {
+  DF_CHECK(fan_in >= 1, "gate needs at least one input");
+}
+
+void BoolGate::on_phase(PhaseContext& ctx) {
+  std::vector<bool> inputs(fan_in_, false);
+  for (std::size_t port = 0; port < fan_in_; ++port) {
+    const auto p = static_cast<graph::Port>(port);
+    if (ctx.has_latest(p)) {
+      inputs[port] = ctx.latest(p).as_bool();
+    }
+  }
+  const bool output = combine(inputs);
+  if (!last_output_.has_value() || output != *last_output_) {
+    last_output_ = output;
+    ctx.emit(0, output);
+  }
+}
+
+bool AndGate::combine(const std::vector<bool>& inputs) const {
+  for (const bool b : inputs) {
+    if (!b) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool OrGate::combine(const std::vector<bool>& inputs) const {
+  for (const bool b : inputs) {
+    if (b) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool XorGate::combine(const std::vector<bool>& inputs) const {
+  bool acc = false;
+  for (const bool b : inputs) {
+    acc = acc != b;
+  }
+  return acc;
+}
+
+MajorityGate::MajorityGate(std::size_t fan_in, std::size_t quorum)
+    : BoolGate(fan_in), quorum_(quorum) {
+  DF_CHECK(quorum >= 1 && quorum <= fan_in, "quorum out of range");
+}
+
+bool MajorityGate::combine(const std::vector<bool>& inputs) const {
+  std::size_t count = 0;
+  for (const bool b : inputs) {
+    count += b ? 1 : 0;
+  }
+  return count >= quorum_;
+}
+
+bool NotGate::combine(const std::vector<bool>& inputs) const {
+  return !inputs[0];
+}
+
+void LatchModule::on_phase(PhaseContext& ctx) {
+  if (fired_) {
+    return;
+  }
+  if (ctx.has_input(0)) {
+    fired_ = true;
+    ctx.emit(0, true);
+  }
+}
+
+PulseCounterModule::PulseCounterModule(std::uint64_t stride)
+    : stride_(stride == 0 ? 1 : stride) {}
+
+void PulseCounterModule::on_phase(PhaseContext& ctx) {
+  if (!ctx.has_input(0)) {
+    return;
+  }
+  ++count_;
+  if (count_ % stride_ == 0) {
+    ctx.emit(0, static_cast<std::int64_t>(count_));
+  }
+}
+
+}  // namespace df::model

@@ -1,0 +1,5 @@
+// model/module.hpp is interface-only; this translation unit anchors the
+// vtables of PhaseContext and Module so they are emitted exactly once.
+#include "model/module.hpp"
+
+namespace df::model {}  // namespace df::model

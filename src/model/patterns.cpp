@@ -1,0 +1,112 @@
+#include "model/patterns.hpp"
+
+#include "support/check.hpp"
+
+namespace df::model {
+
+SequenceDetector::SequenceDetector(event::PhaseId window) : window_(window) {
+  DF_CHECK(window >= 1, "sequence window must be at least one phase");
+}
+
+void SequenceDetector::on_phase(PhaseContext& ctx) {
+  const event::PhaseId now = ctx.phase();
+  // Expire a stale A first so an A and B in the same execution can match.
+  if (pending_a_.has_value() && now - *pending_a_ > window_) {
+    pending_a_.reset();
+  }
+  if (ctx.has_input(1) && pending_a_.has_value()) {
+    ctx.emit(0, static_cast<std::int64_t>(now - *pending_a_));
+    pending_a_.reset();
+  }
+  if (ctx.has_input(0)) {
+    pending_a_ = now;  // most recent unmatched A wins
+  }
+}
+
+CountWindowDetector::CountWindowDetector(std::size_t count,
+                                         event::PhaseId window)
+    : count_(count), window_(window) {
+  DF_CHECK(count >= 1, "count threshold must be positive");
+  DF_CHECK(window >= 1, "count window must be at least one phase");
+}
+
+void CountWindowDetector::on_phase(PhaseContext& ctx) {
+  if (!ctx.has_input(0)) {
+    return;
+  }
+  const event::PhaseId now = ctx.phase();
+  arrivals_.push_back(now);
+  while (!arrivals_.empty() && now - arrivals_.front() >= window_) {
+    arrivals_.pop_front();
+  }
+  if (arrivals_.size() >= count_) {
+    ctx.emit(0, static_cast<std::int64_t>(arrivals_.size()));
+    arrivals_.clear();  // edge-triggered: re-arm for the next burst
+  }
+}
+
+AbsenceDetector::AbsenceDetector(event::PhaseId timeout) : timeout_(timeout) {
+  DF_CHECK(timeout >= 1, "absence timeout must be at least one phase");
+}
+
+void AbsenceDetector::on_phase(PhaseContext& ctx) {
+  const event::PhaseId now = ctx.phase();
+  if (ctx.has_input(1)) {
+    last_seen_ = now;
+    if (alarmed_) {
+      alarmed_ = false;
+      ctx.emit(0, false);  // stream resumed
+    }
+    return;
+  }
+  // Clock tick without a watched event.
+  if (last_seen_.has_value() && !alarmed_ && now - *last_seen_ > timeout_) {
+    alarmed_ = true;
+    ctx.emit(0, true);  // heartbeat lost
+  }
+}
+
+HysteresisDetector::HysteresisDetector(double low, double high)
+    : low_(low), high_(high) {
+  DF_CHECK(low < high, "hysteresis requires low < high");
+}
+
+void HysteresisDetector::on_phase(PhaseContext& ctx) {
+  if (!ctx.has_input(0)) {
+    return;
+  }
+  const double value = ctx.input(0).as_number();
+  bool next = state_.value_or(false);
+  if (value > high_) {
+    next = true;
+  } else if (value < low_) {
+    next = false;
+  }
+  if (!state_.has_value() || next != *state_) {
+    state_ = next;
+    ctx.emit(0, next);
+  } else {
+    state_ = next;
+  }
+}
+
+RangeDetector::RangeDetector(double lo, double hi) : lo_(lo), hi_(hi) {
+  DF_CHECK(lo <= hi, "range is inverted");
+}
+
+void RangeDetector::on_phase(PhaseContext& ctx) {
+  if (!ctx.has_input(0)) {
+    return;
+  }
+  const double value = ctx.input(0).as_number();
+  const bool inside = value >= lo_ && value <= hi_;
+  if (!inside) {
+    ctx.emit(0, value);  // the offending reading
+  }
+  if (!in_range_.has_value() || inside != *in_range_) {
+    in_range_ = inside;
+    ctx.emit(1, inside);
+  }
+}
+
+}  // namespace df::model

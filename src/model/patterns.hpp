@@ -1,0 +1,89 @@
+// Temporal pattern detectors over event streams — the "composite conditions
+// over multiple data streams" of the paper's abstract, expressed as phase-
+// window patterns: A-then-B sequences, event bursts, and the absence of
+// expected events (heartbeat loss), which is the purest form of the paper's
+// "information is conveyed by the absence of events".
+//
+// Absence cannot be detected by a module that only runs when messages
+// arrive, so AbsenceDetector takes a *clock* on port 0 (connect any
+// every-phase source, e.g. CounterSource) and the watched stream on port 1.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "model/module.hpp"
+
+namespace df::model {
+
+/// Detects "A then B within `window` phases": port 0 carries A events,
+/// port 1 carries B events. Emits the phase distance (int) when a B event
+/// arrives within `window` phases after the most recent unmatched A.
+/// Each A matches at most one B.
+class SequenceDetector final : public Module {
+ public:
+  explicit SequenceDetector(event::PhaseId window);
+  void on_phase(PhaseContext& ctx) override;
+
+ private:
+  event::PhaseId window_;
+  std::optional<event::PhaseId> pending_a_;
+};
+
+/// Fires when at least `count` events arrive on port 0 within any sliding
+/// `window` of phases; emits the count, then resets (edge-triggered).
+class CountWindowDetector final : public Module {
+ public:
+  CountWindowDetector(std::size_t count, event::PhaseId window);
+  void on_phase(PhaseContext& ctx) override;
+
+ private:
+  std::size_t count_;
+  event::PhaseId window_;
+  std::deque<event::PhaseId> arrivals_;
+};
+
+/// Heartbeat-loss detector: port 0 is a clock (message every phase), port 1
+/// the watched stream. Emits `true` when no port-1 event has arrived for
+/// more than `timeout` phases, and `false` when the stream resumes. Until
+/// the first port-1 event, nothing is emitted (stream not yet established).
+class AbsenceDetector final : public Module {
+ public:
+  explicit AbsenceDetector(event::PhaseId timeout);
+  void on_phase(PhaseContext& ctx) override;
+
+ private:
+  event::PhaseId timeout_;
+  std::optional<event::PhaseId> last_seen_;
+  bool alarmed_ = false;
+};
+
+/// Hysteresis threshold: output switches to true above `high` and back to
+/// false below `low` (low < high); emits only on state change. The noise-
+/// robust sibling of ThresholdDetector.
+class HysteresisDetector final : public Module {
+ public:
+  HysteresisDetector(double low, double high);
+  void on_phase(PhaseContext& ctx) override;
+
+ private:
+  double low_;
+  double high_;
+  std::optional<bool> state_;
+};
+
+/// Range monitor: emits the value whenever the input leaves [lo, hi], and
+/// `true`/`false` transitions of the in-range condition on port 1.
+class RangeDetector final : public Module {
+ public:
+  RangeDetector(double lo, double hi);
+  void on_phase(PhaseContext& ctx) override;
+
+ private:
+  double lo_;
+  double hi_;
+  std::optional<bool> in_range_;
+};
+
+}  // namespace df::model

@@ -1,0 +1,327 @@
+#include "model/registry.hpp"
+
+#include "model/clustering.hpp"
+#include "model/detectors.hpp"
+#include "model/logic.hpp"
+#include "model/patterns.hpp"
+#include "model/regression.hpp"
+#include "model/sources.hpp"
+#include "model/stats_models.hpp"
+#include "model/synthetic.hpp"
+#include "support/check.hpp"
+#include "support/strings.hpp"
+
+namespace df::model {
+
+Params::Params(std::map<std::string, std::string> values)
+    : values_(std::move(values)) {}
+
+bool Params::has(const std::string& key) const {
+  return values_.find(key) != values_.end();
+}
+
+std::string Params::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Params::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  const auto parsed = support::parse_double(it->second);
+  DF_CHECK(parsed.has_value(), "parameter '", key, "' is not a number: ",
+           it->second);
+  return *parsed;
+}
+
+std::int64_t Params::get_int(const std::string& key,
+                             std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  const auto parsed = support::parse_int(it->second);
+  DF_CHECK(parsed.has_value(), "parameter '", key, "' is not an integer: ",
+           it->second);
+  return *parsed;
+}
+
+std::uint64_t Params::get_uint(const std::string& key,
+                               std::uint64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  const auto parsed = support::parse_uint(it->second);
+  DF_CHECK(parsed.has_value(), "parameter '", key,
+           "' is not an unsigned integer: ", it->second);
+  return *parsed;
+}
+
+bool Params::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  const auto parsed = support::parse_bool(it->second);
+  DF_CHECK(parsed.has_value(), "parameter '", key, "' is not a boolean: ",
+           it->second);
+  return *parsed;
+}
+
+double Params::require_double(const std::string& key) const {
+  DF_CHECK(has(key), "missing required parameter '", key, "'");
+  return get_double(key, 0.0);
+}
+
+std::uint64_t Params::require_uint(const std::string& key) const {
+  DF_CHECK(has(key), "missing required parameter '", key, "'");
+  return get_uint(key, 0);
+}
+
+void Registry::register_type(const std::string& name, ModuleBuilder builder) {
+  DF_CHECK(builders_.find(name) == builders_.end(),
+           "duplicate module type '", name, "'");
+  builders_.emplace(name, std::move(builder));
+}
+
+bool Registry::has_type(const std::string& name) const {
+  return builders_.find(name) != builders_.end();
+}
+
+std::vector<std::string> Registry::type_names() const {
+  std::vector<std::string> names;
+  names.reserve(builders_.size());
+  for (const auto& [name, builder] : builders_) {
+    (void)builder;
+    names.push_back(name);
+  }
+  return names;
+}
+
+ModuleFactory Registry::build(const std::string& name, const Params& params,
+                              std::size_t fan_in) const {
+  const auto it = builders_.find(name);
+  DF_CHECK(it != builders_.end(), "unknown module type '", name, "'");
+  return it->second(params, fan_in);
+}
+
+const Registry& Registry::builtin() {
+  static const Registry* const kRegistry = [] {
+    auto* registry = new Registry();
+    register_builtin_modules(*registry);
+    return registry;
+  }();
+  return *kRegistry;
+}
+
+void register_builtin_modules(Registry& registry) {
+  // Sources ---------------------------------------------------------------
+  registry.register_type("constant", [](const Params& p, std::size_t) {
+    const double value = p.get_double("value", 0.0);
+    return ModuleFactory(
+        [value] { return std::make_unique<ConstantSource>(value); });
+  });
+  registry.register_type("counter", [](const Params&, std::size_t) {
+    return factory_of<CounterSource>();
+  });
+  registry.register_type("uniform", [](const Params& p, std::size_t) {
+    return factory_of<UniformSource>(p.get_double("lo", 0.0),
+                                     p.get_double("hi", 1.0),
+                                     p.get_double("emit_probability", 1.0));
+  });
+  registry.register_type("gaussian", [](const Params& p, std::size_t) {
+    return factory_of<GaussianSource>(p.get_double("mean", 0.0),
+                                      p.get_double("stddev", 1.0),
+                                      p.get_double("emit_probability", 1.0));
+  });
+  registry.register_type("random_walk", [](const Params& p, std::size_t) {
+    return factory_of<RandomWalkSource>(p.get_double("start", 0.0),
+                                        p.get_double("step_stddev", 1.0),
+                                        p.get_double("emit_threshold", 0.0));
+  });
+  registry.register_type("temperature", [](const Params& p, std::size_t) {
+    return factory_of<TemperatureSource>(
+        p.get_double("base", 20.0), p.get_double("amplitude", 8.0),
+        p.get_uint("period", 24), p.get_double("noise", 0.5),
+        p.get_double("report_delta", 1.0));
+  });
+  registry.register_type("transactions", [](const Params& p, std::size_t) {
+    return factory_of<TransactionSource>(
+        p.get_double("mean", 100.0), p.get_double("sigma", 30.0),
+        p.get_double("anomaly_rate", 1e-3),
+        p.get_double("anomaly_scale", 50.0));
+  });
+  registry.register_type("disease_incidence",
+                         [](const Params& p, std::size_t) {
+    return factory_of<DiseaseIncidenceSource>(
+        p.get_double("base_rate", 5.0),
+        p.get_double("outbreak_probability", 0.01),
+        p.get_double("outbreak_boost", 4.0), p.get_double("decay", 0.9));
+  });
+  registry.register_type("burst", [](const Params& p, std::size_t) {
+    return factory_of<BurstSource>(p.get_double("burst_probability", 0.01),
+                                   p.get_double("mean_burst_length", 5.0));
+  });
+  registry.register_type("sparse_events", [](const Params& p, std::size_t) {
+    return factory_of<SparseEventSource>(p.get_double("probability", 0.01));
+  });
+  registry.register_type("external", [](const Params&, std::size_t) {
+    return factory_of<ExternalPassthroughSource>();
+  });
+
+  // Streaming statistics ---------------------------------------------------
+  registry.register_type("moving_average", [](const Params& p, std::size_t) {
+    return factory_of<MovingAverageModule>(p.get_uint("window", 16));
+  });
+  registry.register_type("moving_stddev", [](const Params& p, std::size_t) {
+    return factory_of<MovingStdDevModule>(p.get_uint("window", 16));
+  });
+  registry.register_type("ewma", [](const Params& p, std::size_t) {
+    return factory_of<EwmaModule>(p.get_double("alpha", 0.2));
+  });
+  registry.register_type("sum", [](const Params&, std::size_t fan_in) {
+    return factory_of<SumModule>(fan_in);
+  });
+  registry.register_type("max", [](const Params&, std::size_t fan_in) {
+    return factory_of<MaxModule>(fan_in);
+  });
+  registry.register_type("min", [](const Params&, std::size_t fan_in) {
+    return factory_of<MinModule>(fan_in);
+  });
+  registry.register_type("join", [](const Params&, std::size_t fan_in) {
+    return factory_of<SnapshotJoinModule>(fan_in);
+  });
+  registry.register_type("quantile", [](const Params& p, std::size_t) {
+    return factory_of<QuantileModule>(p.get_double("q", 0.5));
+  });
+  registry.register_type("change_filter", [](const Params& p, std::size_t) {
+    return factory_of<ChangeFilterModule>(p.get_double("epsilon", 0.0));
+  });
+  registry.register_type("debounce", [](const Params& p, std::size_t) {
+    return factory_of<DebounceModule>(p.get_uint("min_gap", 1));
+  });
+  registry.register_type("rate", [](const Params& p, std::size_t) {
+    return factory_of<RateEstimatorModule>(p.get_uint("window", 16));
+  });
+  registry.register_type("correlator", [](const Params& p, std::size_t) {
+    return factory_of<CorrelatorModule>(p.get_uint("window", 32));
+  });
+
+  // Detectors ---------------------------------------------------------------
+  registry.register_type("threshold", [](const Params& p, std::size_t) {
+    return factory_of<ThresholdDetector>(p.require_double("threshold"));
+  });
+  registry.register_type("zscore", [](const Params& p, std::size_t) {
+    return factory_of<ZScoreDetector>(p.get_uint("window", 64),
+                                      p.get_double("z", 3.0),
+                                      p.get_uint("min_samples", 8));
+  });
+  registry.register_type("regression_residual",
+                         [](const Params& p, std::size_t) {
+    return factory_of<RegressionResidualDetector>(
+        p.get_uint("window", 64), p.get_double("sigmas", 3.0),
+        p.get_uint("min_samples", 8));
+  });
+  registry.register_type("expectation", [](const Params& p, std::size_t) {
+    return factory_of<ExpectationMonitor>(p.get_double("tolerance", 1.0));
+  });
+  registry.register_type("cusum", [](const Params& p, std::size_t) {
+    return factory_of<CusumDetector>(p.get_double("k", 0.5),
+                                     p.get_double("h", 5.0),
+                                     p.get_uint("warmup", 16));
+  });
+  registry.register_type("spike", [](const Params& p, std::size_t) {
+    return factory_of<SpikeDetector>(p.get_uint("window", 16),
+                                     p.get_double("factor", 3.0));
+  });
+
+  // Regression / forecasting ------------------------------------------------
+  registry.register_type("trend", [](const Params& p, std::size_t) {
+    return factory_of<TrendModule>(p.get_uint("window", 32),
+                                   p.get_uint("min_samples", 4));
+  });
+  registry.register_type("forecast", [](const Params& p, std::size_t) {
+    return factory_of<ForecastModule>(p.get_uint("window", 32),
+                                      p.get_uint("horizon", 1),
+                                      p.get_uint("min_samples", 4));
+  });
+  registry.register_type("holt", [](const Params& p, std::size_t) {
+    return factory_of<HoltForecastModule>(p.get_double("alpha", 0.5),
+                                          p.get_double("beta", 0.3));
+  });
+
+  // Clustering ----------------------------------------------------------------
+  registry.register_type("kmeans", [](const Params& p, std::size_t) {
+    return factory_of<OnlineKMeansModule>(
+        static_cast<std::size_t>(p.get_uint("k", 2)),
+        p.get_double("outlier_distance", 0.0));
+  });
+
+  // Logic -----------------------------------------------------------------
+  registry.register_type("and", [](const Params&, std::size_t fan_in) {
+    return factory_of<AndGate>(fan_in);
+  });
+  registry.register_type("or", [](const Params&, std::size_t fan_in) {
+    return factory_of<OrGate>(fan_in);
+  });
+  registry.register_type("xor", [](const Params&, std::size_t fan_in) {
+    return factory_of<XorGate>(fan_in);
+  });
+  registry.register_type("majority", [](const Params& p, std::size_t fan_in) {
+    return factory_of<MajorityGate>(
+        fan_in, static_cast<std::size_t>(
+                    p.get_uint("quorum", (fan_in + 1) / 2)));
+  });
+  registry.register_type("not", [](const Params&, std::size_t) {
+    return factory_of<NotGate>();
+  });
+  registry.register_type("latch", [](const Params&, std::size_t) {
+    return factory_of<LatchModule>();
+  });
+  registry.register_type("pulse_counter", [](const Params& p, std::size_t) {
+    return factory_of<PulseCounterModule>(p.get_uint("stride", 1));
+  });
+
+  // Temporal patterns -------------------------------------------------------
+  registry.register_type("sequence", [](const Params& p, std::size_t) {
+    return factory_of<SequenceDetector>(p.get_uint("window", 16));
+  });
+  registry.register_type("count_window", [](const Params& p, std::size_t) {
+    return factory_of<CountWindowDetector>(
+        static_cast<std::size_t>(p.get_uint("count", 3)),
+        p.get_uint("window", 16));
+  });
+  registry.register_type("absence", [](const Params& p, std::size_t) {
+    return factory_of<AbsenceDetector>(p.get_uint("timeout", 8));
+  });
+  registry.register_type("hysteresis", [](const Params& p, std::size_t) {
+    return factory_of<HysteresisDetector>(p.require_double("low"),
+                                          p.require_double("high"));
+  });
+  registry.register_type("range", [](const Params& p, std::size_t) {
+    return factory_of<RangeDetector>(p.require_double("lo"),
+                                     p.require_double("hi"));
+  });
+
+  // Synthetic workloads -----------------------------------------------------
+  registry.register_type("busy_source", [](const Params& p, std::size_t) {
+    return factory_of<BusyWorkSource>(p.get_uint("spin_ns", 1000),
+                                      p.get_double("emit_probability", 1.0));
+  });
+  registry.register_type("busy", [](const Params& p, std::size_t fan_in) {
+    return factory_of<BusyWorkModule>(p.get_uint("spin_ns", 1000), fan_in,
+                                      p.get_double("emit_probability", 1.0));
+  });
+  registry.register_type("forward", [](const Params&, std::size_t) {
+    return factory_of<ForwardModule>();
+  });
+  registry.register_type("noop", [](const Params&, std::size_t) {
+    return factory_of<NoOpModule>();
+  });
+}
+
+}  // namespace df::model

@@ -1,0 +1,72 @@
+// Module registry: maps specification type names to module factories.
+//
+// The paper's prototype instantiates vertices from an XML specification file
+// naming "Java classes conforming to well-defined guidelines"; here the
+// equivalent is a string type name plus key=value parameters, resolved
+// through this registry. All built-in models register under the names
+// documented in README.md; applications can register their own.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/module.hpp"
+
+namespace df::model {
+
+/// Typed view over string parameters from a vertex specification.
+class Params {
+ public:
+  Params() = default;
+  explicit Params(std::map<std::string, std::string> values);
+
+  bool has(const std::string& key) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  std::uint64_t get_uint(const std::string& key,
+                         std::uint64_t fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Required variants: DF_CHECK when missing.
+  double require_double(const std::string& key) const;
+  std::uint64_t require_uint(const std::string& key) const;
+
+  const std::map<std::string, std::string>& raw() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// A registered module kind: builds a factory from parameters. `fan_in` is
+/// the vertex's input-edge count from the graph spec, passed so fan-in-aware
+/// modules (gates, joins, aggregators) need no duplicate parameter.
+using ModuleBuilder =
+    std::function<ModuleFactory(const Params& params, std::size_t fan_in)>;
+
+class Registry {
+ public:
+  /// The registry preloaded with every built-in model type.
+  static const Registry& builtin();
+
+  Registry() = default;
+
+  void register_type(const std::string& name, ModuleBuilder builder);
+  bool has_type(const std::string& name) const;
+  std::vector<std::string> type_names() const;
+
+  /// Builds a factory; DF_CHECKs the type exists.
+  ModuleFactory build(const std::string& name, const Params& params,
+                      std::size_t fan_in) const;
+
+ private:
+  std::map<std::string, ModuleBuilder> builders_;
+};
+
+/// Registers all built-in module types into `registry` (used by builtin()).
+void register_builtin_modules(Registry& registry);
+
+}  // namespace df::model

@@ -1,0 +1,81 @@
+#include "model/regression.hpp"
+
+#include "support/check.hpp"
+
+namespace df::model {
+
+namespace {
+
+/// Shared sliding-window update for phase-indexed regressions.
+void slide_add(std::deque<std::pair<double, double>>& samples,
+               support::OnlineLinearRegression& regression,
+               std::size_t window, double x, double y) {
+  samples.emplace_back(x, y);
+  regression.add(x, y);
+  if (samples.size() > window) {
+    const auto [old_x, old_y] = samples.front();
+    samples.pop_front();
+    regression.remove(old_x, old_y);
+  }
+}
+
+}  // namespace
+
+TrendModule::TrendModule(std::size_t window, std::size_t min_samples)
+    : window_(window), min_samples_(min_samples) {
+  DF_CHECK(window >= 2, "trend window must hold at least two samples");
+}
+
+void TrendModule::on_phase(PhaseContext& ctx) {
+  if (!ctx.has_input(0)) {
+    return;
+  }
+  slide_add(samples_, regression_, window_,
+            static_cast<double>(ctx.phase()), ctx.input(0).as_number());
+  if (regression_.count() >= min_samples_ && regression_.has_fit()) {
+    ctx.emit(0, regression_.slope());
+  }
+}
+
+ForecastModule::ForecastModule(std::size_t window, event::PhaseId horizon,
+                               std::size_t min_samples)
+    : window_(window), horizon_(horizon), min_samples_(min_samples) {
+  DF_CHECK(window >= 2, "forecast window must hold at least two samples");
+}
+
+void ForecastModule::on_phase(PhaseContext& ctx) {
+  if (!ctx.has_input(0)) {
+    return;
+  }
+  slide_add(samples_, regression_, window_,
+            static_cast<double>(ctx.phase()), ctx.input(0).as_number());
+  if (regression_.count() >= min_samples_ && regression_.has_fit()) {
+    ctx.emit(0, regression_.predict(
+                    static_cast<double>(ctx.phase() + horizon_)));
+  }
+}
+
+HoltForecastModule::HoltForecastModule(double alpha, double beta)
+    : alpha_(alpha), beta_(beta) {
+  DF_CHECK(alpha > 0.0 && alpha <= 1.0, "Holt alpha out of (0,1]");
+  DF_CHECK(beta > 0.0 && beta <= 1.0, "Holt beta out of (0,1]");
+}
+
+void HoltForecastModule::on_phase(PhaseContext& ctx) {
+  if (!ctx.has_input(0)) {
+    return;
+  }
+  const double observed = ctx.input(0).as_number();
+  if (!initialized_) {
+    level_ = observed;
+    trend_ = 0.0;
+    initialized_ = true;
+  } else {
+    const double previous_level = level_;
+    level_ = alpha_ * observed + (1.0 - alpha_) * (level_ + trend_);
+    trend_ = beta_ * (level_ - previous_level) + (1.0 - beta_) * trend_;
+  }
+  ctx.emit(0, level_ + trend_);
+}
+
+}  // namespace df::model

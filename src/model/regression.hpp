@@ -1,0 +1,60 @@
+// Regression and forecasting models (the paper's "models forecasting
+// temperature variation in the coming day, load on the power grid and
+// future prices").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "model/module.hpp"
+#include "support/stats.hpp"
+
+namespace df::model {
+
+/// Sliding-window linear trend of the input against the phase number; emits
+/// the slope after each input once `min_samples` have been seen.
+class TrendModule final : public Module {
+ public:
+  explicit TrendModule(std::size_t window, std::size_t min_samples = 4);
+  void on_phase(PhaseContext& ctx) override;
+
+ private:
+  std::size_t window_;
+  std::size_t min_samples_;
+  std::deque<std::pair<double, double>> samples_;
+  support::OnlineLinearRegression regression_;
+};
+
+/// Forecaster: fits a sliding linear model of the input vs phase and emits
+/// the prediction `horizon` phases ahead after each input. Downstream
+/// ExpectationMonitors compare observations with this forecast.
+class ForecastModule final : public Module {
+ public:
+  ForecastModule(std::size_t window, event::PhaseId horizon,
+                 std::size_t min_samples = 4);
+  void on_phase(PhaseContext& ctx) override;
+
+ private:
+  std::size_t window_;
+  event::PhaseId horizon_;
+  std::size_t min_samples_;
+  std::deque<std::pair<double, double>> samples_;
+  support::OnlineLinearRegression regression_;
+};
+
+/// Holt's linear double-exponential smoothing: level+trend forecast of the
+/// input one step ahead; emits the forecast after each input.
+class HoltForecastModule final : public Module {
+ public:
+  HoltForecastModule(double alpha, double beta);
+  void on_phase(PhaseContext& ctx) override;
+
+ private:
+  double alpha_;
+  double beta_;
+  bool initialized_ = false;
+  double level_ = 0.0;
+  double trend_ = 0.0;
+};
+
+}  // namespace df::model

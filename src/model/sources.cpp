@@ -1,0 +1,151 @@
+#include "model/sources.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace df::model {
+
+ConstantSource::ConstantSource(event::Value value)
+    : value_(std::move(value)) {}
+
+void ConstantSource::on_phase(PhaseContext& ctx) {
+  if (!emitted_) {
+    ctx.emit(0, value_);
+    emitted_ = true;
+  }
+}
+
+void CounterSource::on_phase(PhaseContext& ctx) {
+  ctx.emit(0, static_cast<std::int64_t>(ctx.phase()));
+}
+
+UniformSource::UniformSource(double lo, double hi, double emit_probability)
+    : lo_(lo), hi_(hi), emit_probability_(emit_probability) {}
+
+void UniformSource::on_phase(PhaseContext& ctx) {
+  if (ctx.rng().next_bernoulli(emit_probability_)) {
+    ctx.emit(0, ctx.rng().next_double(lo_, hi_));
+  }
+}
+
+GaussianSource::GaussianSource(double mean, double stddev,
+                               double emit_probability)
+    : mean_(mean), stddev_(stddev), emit_probability_(emit_probability) {}
+
+void GaussianSource::on_phase(PhaseContext& ctx) {
+  if (ctx.rng().next_bernoulli(emit_probability_)) {
+    ctx.emit(0, ctx.rng().next_normal(mean_, stddev_));
+  }
+}
+
+RandomWalkSource::RandomWalkSource(double start, double step_stddev,
+                                   double emit_threshold)
+    : value_(start), step_stddev_(step_stddev),
+      emit_threshold_(emit_threshold) {}
+
+void RandomWalkSource::on_phase(PhaseContext& ctx) {
+  value_ += ctx.rng().next_normal(0.0, step_stddev_);
+  if (!last_emitted_.has_value() ||
+      std::abs(value_ - *last_emitted_) >= emit_threshold_) {
+    last_emitted_ = value_;
+    ctx.emit(0, value_);
+  }
+}
+
+TemperatureSource::TemperatureSource(double base, double amplitude,
+                                     std::uint64_t period, double noise,
+                                     double report_delta)
+    : base_(base), amplitude_(amplitude), period_(period == 0 ? 1 : period),
+      noise_(noise), report_delta_(report_delta) {}
+
+void TemperatureSource::on_phase(PhaseContext& ctx) {
+  const double angle = 2.0 * std::numbers::pi *
+                       static_cast<double>(ctx.phase() % period_) /
+                       static_cast<double>(period_);
+  const double reading = base_ + amplitude_ * std::sin(angle) +
+                         ctx.rng().next_normal(0.0, noise_);
+  if (!last_reported_.has_value() ||
+      std::abs(reading - *last_reported_) >= report_delta_) {
+    last_reported_ = reading;
+    ctx.emit(0, reading);
+  }
+}
+
+TransactionSource::TransactionSource(double mean, double sigma,
+                                     double anomaly_rate,
+                                     double anomaly_scale)
+    : mean_(mean), sigma_(sigma), anomaly_rate_(anomaly_rate),
+      anomaly_scale_(anomaly_scale) {}
+
+void TransactionSource::on_phase(PhaseContext& ctx) {
+  double amount = std::abs(ctx.rng().next_normal(mean_, sigma_));
+  if (ctx.rng().next_bernoulli(anomaly_rate_)) {
+    amount *= anomaly_scale_;
+  }
+  ctx.emit(0, amount);
+}
+
+DiseaseIncidenceSource::DiseaseIncidenceSource(double base_rate,
+                                               double outbreak_probability,
+                                               double outbreak_boost,
+                                               double decay)
+    : base_rate_(base_rate), outbreak_probability_(outbreak_probability),
+      outbreak_boost_(outbreak_boost), decay_(decay) {}
+
+void DiseaseIncidenceSource::on_phase(PhaseContext& ctx) {
+  if (ctx.rng().next_bernoulli(outbreak_probability_)) {
+    current_boost_ *= outbreak_boost_;
+  }
+  // Outbreak effect decays geometrically back toward 1.
+  current_boost_ = 1.0 + (current_boost_ - 1.0) * decay_;
+  const auto count = static_cast<std::int64_t>(
+      ctx.rng().next_poisson(base_rate_ * current_boost_));
+  if (!last_emitted_.has_value() || count != *last_emitted_) {
+    last_emitted_ = count;
+    ctx.emit(0, count);
+  }
+}
+
+BurstSource::BurstSource(double burst_probability, double mean_burst_length)
+    : burst_probability_(burst_probability),
+      continue_probability_(mean_burst_length <= 1.0
+                                ? 0.0
+                                : 1.0 - 1.0 / mean_burst_length) {}
+
+void BurstSource::on_phase(PhaseContext& ctx) {
+  if (in_burst_) {
+    in_burst_ = ctx.rng().next_bernoulli(continue_probability_);
+  } else {
+    in_burst_ = ctx.rng().next_bernoulli(burst_probability_);
+  }
+  if (in_burst_) {
+    ctx.emit(0, 1.0);
+  }
+}
+
+SparseEventSource::SparseEventSource(double probability, event::Value payload)
+    : probability_(probability), payload_(std::move(payload)) {}
+
+void SparseEventSource::on_phase(PhaseContext& ctx) {
+  if (ctx.rng().next_bernoulli(probability_)) {
+    ctx.emit(0, payload_);
+  }
+}
+
+ReplaySource::ReplaySource(std::vector<std::optional<event::Value>> script)
+    : script_(std::move(script)) {}
+
+void ReplaySource::on_phase(PhaseContext& ctx) {
+  const event::PhaseId p = ctx.phase();
+  if (p >= 1 && p <= script_.size() && script_[p - 1].has_value()) {
+    ctx.emit(0, *script_[p - 1]);
+  }
+}
+
+void ExternalPassthroughSource::on_phase(PhaseContext& ctx) {
+  if (ctx.has_input(0)) {
+    ctx.emit(0, ctx.input(0));
+  }
+}
+
+}  // namespace df::model

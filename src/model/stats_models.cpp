@@ -1,0 +1,178 @@
+#include "model/stats_models.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace df::model {
+
+namespace {
+
+/// Latest numeric value across ports [0, fan_in); nullopt until every port
+/// has seen at least one value.
+template <typename Fold>
+std::optional<double> fold_latest(PhaseContext& ctx, std::size_t fan_in,
+                                  double init, Fold fold) {
+  double acc = init;
+  for (std::size_t port = 0; port < fan_in; ++port) {
+    const auto p = static_cast<graph::Port>(port);
+    if (!ctx.has_latest(p)) {
+      return std::nullopt;
+    }
+    acc = fold(acc, ctx.latest(p).as_number());
+  }
+  return acc;
+}
+
+}  // namespace
+
+MovingAverageModule::MovingAverageModule(std::size_t window)
+    : stats_(window) {}
+
+void MovingAverageModule::on_phase(PhaseContext& ctx) {
+  if (!ctx.has_input(0)) {
+    return;
+  }
+  stats_.add(ctx.input(0).as_number());
+  ctx.emit(0, stats_.mean());
+}
+
+MovingStdDevModule::MovingStdDevModule(std::size_t window) : stats_(window) {}
+
+void MovingStdDevModule::on_phase(PhaseContext& ctx) {
+  if (!ctx.has_input(0)) {
+    return;
+  }
+  stats_.add(ctx.input(0).as_number());
+  ctx.emit(0, stats_.stddev());
+}
+
+EwmaModule::EwmaModule(double alpha) : ewma_(alpha) {}
+
+void EwmaModule::on_phase(PhaseContext& ctx) {
+  if (!ctx.has_input(0)) {
+    return;
+  }
+  ewma_.add(ctx.input(0).as_number());
+  ctx.emit(0, ewma_.value());
+}
+
+SumModule::SumModule(std::size_t fan_in) : fan_in_(fan_in) {}
+
+void SumModule::on_phase(PhaseContext& ctx) {
+  const auto sum = fold_latest(ctx, fan_in_, 0.0,
+                               [](double a, double b) { return a + b; });
+  if (sum.has_value() && sum != last_sum_) {
+    last_sum_ = sum;
+    ctx.emit(0, *sum);
+  }
+}
+
+MaxModule::MaxModule(std::size_t fan_in) : fan_in_(fan_in) {}
+
+void MaxModule::on_phase(PhaseContext& ctx) {
+  const auto value =
+      fold_latest(ctx, fan_in_, -std::numeric_limits<double>::infinity(),
+                  [](double a, double b) { return std::max(a, b); });
+  if (value.has_value() && value != last_max_) {
+    last_max_ = value;
+    ctx.emit(0, *value);
+  }
+}
+
+MinModule::MinModule(std::size_t fan_in) : fan_in_(fan_in) {}
+
+void MinModule::on_phase(PhaseContext& ctx) {
+  const auto value =
+      fold_latest(ctx, fan_in_, std::numeric_limits<double>::infinity(),
+                  [](double a, double b) { return std::min(a, b); });
+  if (value.has_value() && value != last_min_) {
+    last_min_ = value;
+    ctx.emit(0, *value);
+  }
+}
+
+SnapshotJoinModule::SnapshotJoinModule(std::size_t fan_in)
+    : fan_in_(fan_in) {}
+
+void SnapshotJoinModule::on_phase(PhaseContext& ctx) {
+  std::vector<double> snapshot;
+  snapshot.reserve(fan_in_);
+  for (std::size_t port = 0; port < fan_in_; ++port) {
+    const auto p = static_cast<graph::Port>(port);
+    if (!ctx.has_latest(p)) {
+      return;  // incomplete join: some stream has produced nothing yet
+    }
+    snapshot.push_back(ctx.latest(p).as_number());
+  }
+  ctx.emit(0, std::move(snapshot));
+}
+
+QuantileModule::QuantileModule(double q) : sketch_(q) {}
+
+void QuantileModule::on_phase(PhaseContext& ctx) {
+  if (!ctx.has_input(0)) {
+    return;
+  }
+  sketch_.add(ctx.input(0).as_number());
+  ctx.emit(0, sketch_.value());
+}
+
+ChangeFilterModule::ChangeFilterModule(double epsilon) : epsilon_(epsilon) {}
+
+void ChangeFilterModule::on_phase(PhaseContext& ctx) {
+  if (!ctx.has_input(0)) {
+    return;
+  }
+  const double value = ctx.input(0).as_number();
+  if (!last_forwarded_.has_value() ||
+      std::abs(value - *last_forwarded_) > epsilon_) {
+    last_forwarded_ = value;
+    ctx.emit(0, value);
+  }
+}
+
+DebounceModule::DebounceModule(event::PhaseId min_gap) : min_gap_(min_gap) {}
+
+void DebounceModule::on_phase(PhaseContext& ctx) {
+  if (!ctx.has_input(0)) {
+    return;
+  }
+  if (!last_forward_phase_.has_value() ||
+      ctx.phase() - *last_forward_phase_ >= min_gap_) {
+    last_forward_phase_ = ctx.phase();
+    ctx.emit(0, ctx.input(0));
+  }
+}
+
+RateEstimatorModule::RateEstimatorModule(event::PhaseId window)
+    : window_(window == 0 ? 1 : window) {}
+
+void RateEstimatorModule::on_phase(PhaseContext& ctx) {
+  if (!ctx.has_input(0)) {
+    return;
+  }
+  const event::PhaseId now = ctx.phase();
+  arrivals_.push_back(now);
+  while (!arrivals_.empty() && arrivals_.front() + window_ <= now) {
+    arrivals_.pop_front();
+  }
+  ctx.emit(0, static_cast<double>(arrivals_.size()) /
+                  static_cast<double>(window_));
+}
+
+CorrelatorModule::CorrelatorModule(std::size_t window) : corr_(window) {}
+
+void CorrelatorModule::on_phase(PhaseContext& ctx) {
+  if (!ctx.has_input(0) && !ctx.has_input(1)) {
+    return;
+  }
+  if (!ctx.has_latest(0) || !ctx.has_latest(1)) {
+    return;  // wait until both streams have produced at least one sample
+  }
+  corr_.add(ctx.latest(0).as_number(), ctx.latest(1).as_number());
+  if (corr_.size() >= 2) {
+    ctx.emit(0, corr_.correlation());
+  }
+}
+
+}  // namespace df::model

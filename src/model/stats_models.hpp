@@ -1,0 +1,153 @@
+// Streaming statistical models over event streams: moving windows, EWMA,
+// joins, aggregation — the "complex functions of event histories" the paper
+// composes into correlation graphs.
+//
+// Convention: models consume input port 0 (unless documented otherwise) and
+// emit on output port 0. They execute only when an input message arrives
+// (delta semantics), so absence of output means "unchanged".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "model/module.hpp"
+#include "support/quantile.hpp"
+#include "support/stats.hpp"
+
+namespace df::model {
+
+/// Moving point average over the last `window` input values; emits the mean
+/// after each input.
+class MovingAverageModule final : public Module {
+ public:
+  explicit MovingAverageModule(std::size_t window);
+  void on_phase(PhaseContext& ctx) override;
+
+ private:
+  support::WindowedStats stats_;
+};
+
+/// Moving standard deviation over the last `window` inputs.
+class MovingStdDevModule final : public Module {
+ public:
+  explicit MovingStdDevModule(std::size_t window);
+  void on_phase(PhaseContext& ctx) override;
+
+ private:
+  support::WindowedStats stats_;
+};
+
+/// Exponentially weighted moving average of the input.
+class EwmaModule final : public Module {
+ public:
+  explicit EwmaModule(double alpha);
+  void on_phase(PhaseContext& ctx) override;
+
+ private:
+  support::Ewma ewma_;
+};
+
+/// Sum of the latest values on all input ports; emits when the sum changes.
+class SumModule final : public Module {
+ public:
+  explicit SumModule(std::size_t fan_in);
+  void on_phase(PhaseContext& ctx) override;
+
+ private:
+  std::size_t fan_in_;
+  std::optional<double> last_sum_;
+};
+
+/// Maximum of the latest values on all input ports; emits on change.
+class MaxModule final : public Module {
+ public:
+  explicit MaxModule(std::size_t fan_in);
+  void on_phase(PhaseContext& ctx) override;
+
+ private:
+  std::size_t fan_in_;
+  std::optional<double> last_max_;
+};
+
+/// Minimum of the latest values on all input ports; emits on change.
+class MinModule final : public Module {
+ public:
+  explicit MinModule(std::size_t fan_in);
+  void on_phase(PhaseContext& ctx) override;
+
+ private:
+  std::size_t fan_in_;
+  std::optional<double> last_min_;
+};
+
+/// Snapshot join: whenever any input changes and every input has a value,
+/// emits the vector of latest values across all ports — the stream
+/// correlation primitive ("fusing" streams into one composite event).
+class SnapshotJoinModule final : public Module {
+ public:
+  explicit SnapshotJoinModule(std::size_t fan_in);
+  void on_phase(PhaseContext& ctx) override;
+
+ private:
+  std::size_t fan_in_;
+};
+
+/// Streaming quantile estimate (P²) of the input; emits after each input.
+class QuantileModule final : public Module {
+ public:
+  explicit QuantileModule(double q);
+  void on_phase(PhaseContext& ctx) override;
+
+ private:
+  support::P2Quantile sketch_;
+};
+
+/// Forwards the input only when it differs from the last forwarded value by
+/// more than epsilon — the Δ-filter that converts chatty streams into
+/// change streams.
+class ChangeFilterModule final : public Module {
+ public:
+  explicit ChangeFilterModule(double epsilon);
+  void on_phase(PhaseContext& ctx) override;
+
+ private:
+  double epsilon_;
+  std::optional<double> last_forwarded_;
+};
+
+/// Forwards at most one input per `min_gap` phases (drops the rest).
+class DebounceModule final : public Module {
+ public:
+  explicit DebounceModule(event::PhaseId min_gap);
+  void on_phase(PhaseContext& ctx) override;
+
+ private:
+  event::PhaseId min_gap_;
+  std::optional<event::PhaseId> last_forward_phase_;
+};
+
+/// Event-rate estimator: emits events-per-phase over a sliding phase window
+/// after each input event.
+class RateEstimatorModule final : public Module {
+ public:
+  explicit RateEstimatorModule(event::PhaseId window);
+  void on_phase(PhaseContext& ctx) override;
+
+ private:
+  event::PhaseId window_;
+  std::deque<event::PhaseId> arrivals_;
+};
+
+/// Rolling Pearson correlation of two streams (ports 0 and 1) over a
+/// sliding window of synchronized samples; emits when both ports have seen
+/// values and at least one changed this phase.
+class CorrelatorModule final : public Module {
+ public:
+  explicit CorrelatorModule(std::size_t window);
+  void on_phase(PhaseContext& ctx) override;
+
+ private:
+  support::RollingCorrelation corr_;
+};
+
+}  // namespace df::model

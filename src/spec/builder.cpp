@@ -1,0 +1,49 @@
+#include "spec/builder.hpp"
+
+#include "support/check.hpp"
+
+namespace df::spec {
+
+graph::VertexId GraphBuilder::add(std::string name,
+                                  model::ModuleFactory factory) {
+  DF_CHECK(static_cast<bool>(factory), "vertex '", name,
+           "' needs a module factory");
+  const graph::VertexId id = dag_.add_vertex(std::move(name));
+  factories_.push_back(std::move(factory));
+  next_in_port_.push_back(0);
+  return id;
+}
+
+graph::VertexId GraphBuilder::add_lambda(
+    std::string name, std::function<void(model::PhaseContext&)> body) {
+  auto shared =
+      std::make_shared<std::function<void(model::PhaseContext&)>>(
+          std::move(body));
+  return add(std::move(name), [shared] {
+    return std::make_unique<model::LambdaModule>(*shared);
+  });
+}
+
+GraphBuilder& GraphBuilder::connect(graph::VertexId from, graph::VertexId to) {
+  DF_CHECK(to < next_in_port_.size(), "unknown target vertex");
+  return connect(from, 0, to, next_in_port_[to]);
+}
+
+GraphBuilder& GraphBuilder::connect(graph::VertexId from,
+                                    graph::Port from_port, graph::VertexId to,
+                                    graph::Port to_port) {
+  dag_.add_edge(from, from_port, to, to_port);
+  next_in_port_[to] = std::max<graph::Port>(
+      next_in_port_[to], static_cast<graph::Port>(to_port + 1));
+  return *this;
+}
+
+core::Program GraphBuilder::build(std::uint64_t seed) && {
+  return core::make_program(std::move(dag_), std::move(factories_), seed);
+}
+
+core::Program GraphBuilder::build(std::uint64_t seed) const& {
+  return core::make_program(dag_, factories_, seed);
+}
+
+}  // namespace df::spec

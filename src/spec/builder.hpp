@@ -1,0 +1,49 @@
+// Fluent in-code graph builder: the programmatic alternative to XML specs.
+//
+//   spec::GraphBuilder b;
+//   auto temp  = b.add("temp", model::factory_of<model::TemperatureSource>(
+//                                  20.0, 8.0, 24, 0.5, 1.0));
+//   auto avg   = b.add("avg", model::factory_of<model::MovingAverageModule>(24));
+//   auto alarm = b.add("alarm", model::factory_of<model::ThresholdDetector>(28.0));
+//   b.connect(temp, avg).connect(avg, alarm);
+//   core::Program program = b.build(/*seed=*/42);
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/program.hpp"
+#include "model/module.hpp"
+
+namespace df::spec {
+
+class GraphBuilder {
+ public:
+  /// Adds a vertex with an explicit module factory; returns its id.
+  graph::VertexId add(std::string name, model::ModuleFactory factory);
+
+  /// Adds a vertex with an inline lambda body.
+  graph::VertexId add_lambda(std::string name,
+                             std::function<void(model::PhaseContext&)> body);
+
+  /// Connects from:from_port -> to:next free input port (or an explicit
+  /// to_port). Returns *this for chaining.
+  GraphBuilder& connect(graph::VertexId from, graph::VertexId to);
+  GraphBuilder& connect(graph::VertexId from, graph::Port from_port,
+                        graph::VertexId to, graph::Port to_port);
+
+  std::size_t vertex_count() const { return factories_.size(); }
+
+  /// Validates and assembles the Program. The builder is consumed.
+  core::Program build(std::uint64_t seed = 0xdf5eedULL) &&;
+  /// Copying build for reuse across executors/benches.
+  core::Program build(std::uint64_t seed = 0xdf5eedULL) const&;
+
+ private:
+  graph::Dag dag_;
+  std::vector<model::ModuleFactory> factories_;
+  std::vector<graph::Port> next_in_port_;
+};
+
+}  // namespace df::spec

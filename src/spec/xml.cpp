@@ -1,0 +1,341 @@
+#include "spec/xml.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/strings.hpp"
+
+namespace df::spec {
+
+xml_error::xml_error(const std::string& message, std::size_t line,
+                     std::size_t column)
+    : std::runtime_error(message + " at line " + std::to_string(line) +
+                         ", column " + std::to_string(column)),
+      line_(line), column_(column) {}
+
+bool XmlNode::has_attribute(const std::string& key) const {
+  return attributes.find(key) != attributes.end();
+}
+
+const std::string& XmlNode::attribute(const std::string& key) const {
+  const auto it = attributes.find(key);
+  DF_CHECK(it != attributes.end(), "element <", name,
+           "> is missing attribute '", key, "'");
+  return it->second;
+}
+
+std::string XmlNode::attribute_or(const std::string& key,
+                                  const std::string& fallback) const {
+  const auto it = attributes.find(key);
+  return it == attributes.end() ? fallback : it->second;
+}
+
+const XmlNode* XmlNode::child(const std::string& name) const {
+  for (const XmlNode& node : children) {
+    if (node.name == name) {
+      return &node;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::children_named(
+    const std::string& name) const {
+  std::vector<const XmlNode*> out;
+  for (const XmlNode& node : children) {
+    if (node.name == name) {
+      out.push_back(&node);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  XmlNode parse_document() {
+    skip_misc();
+    if (at_end()) {
+      fail("document has no root element");
+    }
+    XmlNode root = parse_element();
+    skip_misc();
+    if (!at_end()) {
+      fail("trailing content after the root element");
+    }
+    return root;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+
+  bool at_end() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  char advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw xml_error(message, line_, column_);
+  }
+
+  bool starts_with(const char* prefix) const {
+    return text_.compare(pos_, std::char_traits<char>::length(prefix),
+                         prefix) == 0;
+  }
+
+  void expect(char c) {
+    if (at_end() || peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    advance();
+  }
+
+  void skip_whitespace() {
+    while (!at_end() &&
+           std::isspace(static_cast<unsigned char>(peek())) != 0) {
+      advance();
+    }
+  }
+
+  /// Skips whitespace, comments, and processing instructions / XML decls.
+  void skip_misc() {
+    for (;;) {
+      skip_whitespace();
+      if (starts_with("<!--")) {
+        skip_comment();
+      } else if (starts_with("<?")) {
+        skip_processing_instruction();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void skip_comment() {
+    pos_ += 4;  // "<!--"
+    const std::size_t end = text_.find("-->", pos_);
+    if (end == std::string::npos) {
+      fail("unterminated comment");
+    }
+    while (pos_ < end + 3) {
+      advance();
+    }
+  }
+
+  void skip_processing_instruction() {
+    const std::size_t end = text_.find("?>", pos_);
+    if (end == std::string::npos) {
+      fail("unterminated processing instruction");
+    }
+    while (pos_ < end + 2) {
+      advance();
+    }
+  }
+
+  static bool is_name_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+  }
+  static bool is_name_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  }
+
+  std::string parse_name() {
+    if (at_end() || !is_name_start(peek())) {
+      fail("expected a name");
+    }
+    std::string name;
+    while (!at_end() && is_name_char(peek())) {
+      name.push_back(advance());
+    }
+    return name;
+  }
+
+  std::string decode_entities(const std::string& raw) {
+    std::string out;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i]);
+        continue;
+      }
+      const std::size_t end = raw.find(';', i);
+      if (end == std::string::npos) {
+        fail("unterminated entity reference");
+      }
+      const std::string entity = raw.substr(i + 1, end - i - 1);
+      if (entity == "lt") {
+        out.push_back('<');
+      } else if (entity == "gt") {
+        out.push_back('>');
+      } else if (entity == "amp") {
+        out.push_back('&');
+      } else if (entity == "quot") {
+        out.push_back('"');
+      } else if (entity == "apos") {
+        out.push_back('\'');
+      } else {
+        fail("unknown entity '&" + entity + ";'");
+      }
+      i = end;
+    }
+    return out;
+  }
+
+  std::string parse_attribute_value() {
+    if (at_end() || (peek() != '"' && peek() != '\'')) {
+      fail("expected a quoted attribute value");
+    }
+    const char quote = advance();
+    std::string raw;
+    while (!at_end() && peek() != quote) {
+      if (peek() == '<') {
+        fail("'<' is not allowed inside attribute values");
+      }
+      raw.push_back(advance());
+    }
+    if (at_end()) {
+      fail("unterminated attribute value");
+    }
+    advance();  // closing quote
+    return decode_entities(raw);
+  }
+
+  XmlNode parse_element() {
+    expect('<');
+    XmlNode node;
+    node.name = parse_name();
+
+    // Attributes.
+    for (;;) {
+      skip_whitespace();
+      if (at_end()) {
+        fail("unterminated start tag");
+      }
+      if (peek() == '/' || peek() == '>') {
+        break;
+      }
+      const std::string key = parse_name();
+      skip_whitespace();
+      expect('=');
+      skip_whitespace();
+      if (node.attributes.find(key) != node.attributes.end()) {
+        fail("duplicate attribute '" + key + "'");
+      }
+      node.attributes.emplace(key, parse_attribute_value());
+    }
+
+    if (peek() == '/') {
+      advance();
+      expect('>');
+      return node;  // self-closing
+    }
+    expect('>');
+
+    // Content: text, children, comments.
+    std::string text;
+    for (;;) {
+      if (at_end()) {
+        fail("unterminated element <" + node.name + ">");
+      }
+      if (starts_with("</")) {
+        advance();  // '<'
+        advance();  // '/'
+        const std::string closing = parse_name();
+        if (closing != node.name) {
+          fail("mismatched closing tag </" + closing + "> for <" +
+               node.name + ">");
+        }
+        skip_whitespace();
+        expect('>');
+        node.text = std::string(support::trim(decode_entities(text)));
+        return node;
+      }
+      if (starts_with("<!--")) {
+        skip_comment();
+        continue;
+      }
+      if (starts_with("<?")) {
+        skip_processing_instruction();
+        continue;
+      }
+      if (peek() == '<') {
+        node.children.push_back(parse_element());
+        continue;
+      }
+      text.push_back(advance());
+    }
+  }
+};
+
+std::string encode_entities(const std::string& raw) {
+  std::string out;
+  for (const char c : raw) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+XmlNode parse_xml(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+std::string to_xml(const XmlNode& node, int indent) {
+  std::ostringstream out;
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  out << pad << '<' << node.name;
+  for (const auto& [key, value] : node.attributes) {
+    out << ' ' << key << "=\"" << encode_entities(value) << '"';
+  }
+  if (node.children.empty() && node.text.empty()) {
+    out << "/>\n";
+    return out.str();
+  }
+  out << '>';
+  if (!node.text.empty()) {
+    out << encode_entities(node.text);
+  }
+  if (!node.children.empty()) {
+    out << '\n';
+    for (const XmlNode& child : node.children) {
+      out << to_xml(child, indent + 1);
+    }
+    out << pad;
+  }
+  out << "</" << node.name << ">\n";
+  return out.str();
+}
+
+}  // namespace df::spec

@@ -1,0 +1,57 @@
+// Minimal XML parser for computation specifications.
+//
+// The paper's prototype "takes as input an XML specification file for a
+// computation" (section 4). This parser covers the subset such files need:
+// nested elements, attributes (single or double quoted), self-closing tags,
+// character data, comments, processing instructions/XML declarations, and
+// the five predefined entities. No DTDs, namespaces, or CDATA.
+//
+// Written from scratch (no external dependencies), with precise error
+// positions so malformed specs fail with actionable messages.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace df::spec {
+
+class xml_error : public std::runtime_error {
+ public:
+  xml_error(const std::string& message, std::size_t line, std::size_t column);
+
+  std::size_t line() const { return line_; }
+  std::size_t column() const { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+struct XmlNode {
+  std::string name;
+  std::map<std::string, std::string> attributes;
+  std::vector<XmlNode> children;
+  /// Concatenated character data directly inside this element, trimmed.
+  std::string text;
+
+  bool has_attribute(const std::string& key) const;
+  /// DF_CHECKs presence.
+  const std::string& attribute(const std::string& key) const;
+  std::string attribute_or(const std::string& key,
+                           const std::string& fallback) const;
+  /// First child with the given element name, or nullptr.
+  const XmlNode* child(const std::string& name) const;
+  /// All children with the given element name.
+  std::vector<const XmlNode*> children_named(const std::string& name) const;
+};
+
+/// Parses a document and returns its root element. Throws xml_error.
+XmlNode parse_xml(const std::string& text);
+
+/// Serializes a node tree back to XML (used for spec round-trip tests).
+std::string to_xml(const XmlNode& node, int indent = 0);
+
+}  // namespace df::spec

@@ -1,0 +1,17 @@
+#include "support/check.hpp"
+
+#include <sstream>
+
+namespace df::support {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream out;
+  out << "DF_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) {
+    out << " — " << message;
+  }
+  throw check_error(out.str());
+}
+
+}  // namespace df::support

@@ -1,0 +1,59 @@
+// Runtime invariant checking for deltaflow.
+//
+// DF_CHECK is active in all build types: the engine's correctness argument
+// (paper section 3.3) is encoded as cheap checked invariants, and the cost of
+// a predicate test is negligible next to the scheduler's locked section.
+// DF_DCHECK compiles away in NDEBUG builds and is used on hot paths.
+//
+// Extra arguments are streamed into the failure message:
+//   DF_CHECK(x < n, "index ", x, " out of range ", n);
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace df::support {
+
+/// Thrown when a DF_CHECK fails. Carries the failing expression and location.
+class check_error : public std::logic_error {
+ public:
+  explicit check_error(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+
+namespace detail {
+
+template <typename... Args>
+std::string concat_message(const Args&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return {};
+  } else {
+    std::ostringstream stream;
+    (stream << ... << args);
+    return stream.str();
+  }
+}
+
+}  // namespace detail
+
+}  // namespace df::support
+
+#define DF_CHECK(expr, ...)                                               \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::df::support::check_failed(                                        \
+          #expr, __FILE__, __LINE__,                                      \
+          ::df::support::detail::concat_message(__VA_ARGS__));            \
+    }                                                                     \
+  } while (false)
+
+#ifdef NDEBUG
+#define DF_DCHECK(expr, ...) \
+  do {                       \
+  } while (false)
+#else
+#define DF_DCHECK(expr, ...) DF_CHECK(expr, __VA_ARGS__)
+#endif

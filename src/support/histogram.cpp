@@ -1,0 +1,178 @@
+#include "support/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace df::support {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  DF_CHECK(hi > lo, "histogram range is empty");
+  DF_CHECK(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto index = static_cast<std::size_t>((x - lo_) / bin_width_);
+  index = std::min(index, counts_.size() - 1);
+  ++counts_[index];
+}
+
+void Histogram::merge(const Histogram& other) {
+  DF_CHECK(other.counts_.size() == counts_.size() && other.lo_ == lo_ &&
+               other.hi_ == hi_,
+           "merging incompatible histograms");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0ULL);
+  underflow_ = overflow_ = total_ = 0;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + bin_width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return lo_ + bin_width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::quantile(double q) const {
+  DF_CHECK(q >= 0.0 && q <= 1.0, "quantile out of range");
+  if (total_ == 0) {
+    return lo_;
+  }
+  const double target = q * static_cast<double>(total_);
+  double cumulative = static_cast<double>(underflow_);
+  if (cumulative >= target) {
+    return lo_;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double fraction =
+          (target - cumulative) / static_cast<double>(counts_[i]);
+      return bin_lo(i) + fraction * bin_width_;
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar =
+        static_cast<std::size_t>(static_cast<double>(counts_[i]) /
+                                 static_cast<double>(peak) *
+                                 static_cast<double>(width));
+    out << "[" << bin_lo(i) << ", " << bin_hi(i) << ") "
+        << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  if (underflow_ != 0) {
+    out << "underflow " << underflow_ << "\n";
+  }
+  if (overflow_ != 0) {
+    out << "overflow " << overflow_ << "\n";
+  }
+  return out.str();
+}
+
+CountHistogram::CountHistogram(std::uint64_t direct)
+    : direct_(direct), direct_counts_(direct, 0), pow2_counts_(64, 0) {
+  DF_CHECK(direct > 0, "direct range must be positive");
+}
+
+void CountHistogram::add(std::uint64_t value) {
+  ++total_;
+  sum_ += static_cast<double>(value);
+  max_seen_ = std::max(max_seen_, value);
+  if (value < direct_) {
+    ++direct_counts_[value];
+  } else {
+    ++pow2_counts_[static_cast<std::size_t>(std::bit_width(value) - 1)];
+  }
+}
+
+void CountHistogram::reset() {
+  std::fill(direct_counts_.begin(), direct_counts_.end(), 0ULL);
+  std::fill(pow2_counts_.begin(), pow2_counts_.end(), 0ULL);
+  total_ = 0;
+  max_seen_ = 0;
+  sum_ = 0.0;
+}
+
+double CountHistogram::mean() const {
+  return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+std::uint64_t CountHistogram::quantile(double q) const {
+  DF_CHECK(q >= 0.0 && q <= 1.0, "quantile out of range");
+  if (total_ == 0) {
+    return 0;
+  }
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  std::uint64_t cumulative = 0;
+  for (std::uint64_t v = 0; v < direct_; ++v) {
+    cumulative += direct_counts_[v];
+    if (cumulative >= target) {
+      return v;
+    }
+  }
+  for (std::size_t i = 0; i < pow2_counts_.size(); ++i) {
+    cumulative += pow2_counts_[i];
+    if (cumulative >= target) {
+      return 1ULL << i;  // bucket lower bound
+    }
+  }
+  return max_seen_;
+}
+
+std::string CountHistogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : direct_counts_) {
+    peak = std::max(peak, c);
+  }
+  std::ostringstream out;
+  const std::uint64_t shown = std::min<std::uint64_t>(direct_, max_seen_ + 1);
+  for (std::uint64_t v = 0; v < shown; ++v) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(direct_counts_[v]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    out << v << ": " << std::string(bar, '#') << " " << direct_counts_[v]
+        << "\n";
+  }
+  for (std::size_t i = 0; i < pow2_counts_.size(); ++i) {
+    if (pow2_counts_[i] != 0) {
+      out << "[" << (1ULL << i) << ", " << (1ULL << (i + 1)) << "): "
+          << pow2_counts_[i] << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace df::support

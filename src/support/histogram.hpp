@@ -1,0 +1,72 @@
+// Fixed-bin and logarithmic histograms for the benchmark harness
+// (latency distributions, pipeline-depth distributions).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace df::support {
+
+/// Linear histogram over [lo, hi) with uniform bins plus underflow/overflow.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void merge(const Histogram& other);
+  void reset();
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+  /// Approximate quantile (q in [0,1]) by linear interpolation within the
+  /// containing bin. Underflow/overflow mass collapses to the range edges.
+  double quantile(double q) const;
+
+  /// Multi-line ASCII rendering, bars scaled to `width` columns.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Histogram of non-negative integer counts with exact small values
+/// (0..direct-1) and power-of-two buckets beyond. Used for distributions of
+/// in-flight phases and queue depths where small values dominate.
+class CountHistogram {
+ public:
+  explicit CountHistogram(std::uint64_t direct = 64);
+
+  void add(std::uint64_t value);
+  void reset();
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t max_seen() const { return max_seen_; }
+  double mean() const;
+  /// Exact quantile over recorded values (bucketed beyond `direct`).
+  std::uint64_t quantile(double q) const;
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  std::uint64_t direct_;
+  std::vector<std::uint64_t> direct_counts_;
+  std::vector<std::uint64_t> pow2_counts_;  // bucket i: [2^i, 2^(i+1))
+  std::uint64_t total_ = 0;
+  std::uint64_t max_seen_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace df::support

@@ -1,0 +1,112 @@
+#include "support/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace df::support {
+
+P2Quantile::P2Quantile(double q) : quantile_(q) {
+  DF_CHECK(q > 0.0 && q < 1.0, "P2 quantile must be strictly inside (0,1)");
+  reset();
+}
+
+void P2Quantile::reset() {
+  heights_.fill(0.0);
+  count_ = 0;
+  positions_ = {1.0, 2.0, 3.0, 4.0, 5.0};
+  desired_ = {1.0, 1.0 + 2.0 * quantile_, 1.0 + 4.0 * quantile_,
+              3.0 + 2.0 * quantile_, 5.0};
+  increments_ = {0.0, quantile_ / 2.0, quantile_, (1.0 + quantile_) / 2.0,
+                 1.0};
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  const double qi = heights_[static_cast<std::size_t>(i)];
+  const double qip = heights_[static_cast<std::size_t>(i + 1)];
+  const double qim = heights_[static_cast<std::size_t>(i - 1)];
+  const double ni = positions_[static_cast<std::size_t>(i)];
+  const double nip = positions_[static_cast<std::size_t>(i + 1)];
+  const double nim = positions_[static_cast<std::size_t>(i - 1)];
+  return qi + d / (nip - nim) *
+                  ((ni - nim + d) * (qip - qi) / (nip - ni) +
+                   (nip - ni - d) * (qi - qim) / (ni - nim));
+}
+
+double P2Quantile::linear(int i, double d) const {
+  const auto idx = static_cast<std::size_t>(i);
+  const auto next = static_cast<std::size_t>(i + static_cast<int>(d));
+  return heights_[idx] + d * (heights_[next] - heights_[idx]) /
+                             (positions_[next] - positions_[idx]);
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    heights_[count_] = x;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+    }
+    return;
+  }
+  ++count_;
+
+  // Find the cell containing x and clamp the extreme markers.
+  std::size_t k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], x);
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) {
+      ++k;
+    }
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) {
+    positions_[i] += 1.0;
+  }
+  for (std::size_t i = 0; i < 5; ++i) {
+    desired_[i] += increments_[i];
+  }
+
+  // Adjust the three interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const double delta = desired_[idx] - positions_[idx];
+    const bool room_right = positions_[idx + 1] - positions_[idx] > 1.0;
+    const bool room_left = positions_[idx - 1] - positions_[idx] < -1.0;
+    if ((delta >= 1.0 && room_right) || (delta <= -1.0 && room_left)) {
+      const double d = delta >= 1.0 ? 1.0 : -1.0;
+      double candidate = parabolic(i, d);
+      if (heights_[idx - 1] < candidate && candidate < heights_[idx + 1]) {
+        heights_[idx] = candidate;
+      } else {
+        heights_[idx] = linear(i, d);
+      }
+      positions_[idx] += d;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  if (count_ < 5) {
+    // Exact for tiny streams: nearest-rank on the sorted prefix.
+    std::array<double, 5> sorted{};
+    std::copy_n(heights_.begin(), count_, sorted.begin());
+    std::sort(sorted.begin(), sorted.begin() + static_cast<long>(count_));
+    const auto rank = static_cast<std::size_t>(
+        quantile_ * static_cast<double>(count_ - 1) + 0.5);
+    return sorted[std::min(rank, count_ - 1)];
+  }
+  return heights_[2];
+}
+
+}  // namespace df::support

@@ -1,0 +1,37 @@
+// P² (piecewise-parabolic) streaming quantile estimator.
+//
+// Jain & Chlamtac, CACM 1985. O(1) memory per tracked quantile; used by the
+// model library's QuantileSketch module and by the bench harness for latency
+// percentiles without storing full sample vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace df::support {
+
+/// Estimates a single quantile q of a stream using five markers.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  void add(double x);
+  void reset();
+
+  std::uint64_t count() const { return count_; }
+  /// Current estimate. Exact while fewer than five samples have been seen.
+  double value() const;
+
+ private:
+  double quantile_;
+  std::array<double, 5> heights_{};
+  std::array<double, 5> positions_{};
+  std::array<double, 5> desired_{};
+  std::array<double, 5> increments_{};
+  std::uint64_t count_ = 0;
+
+  double parabolic(int i, double d) const;
+  double linear(int i, double d) const;
+};
+
+}  // namespace df::support

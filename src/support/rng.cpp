@@ -1,0 +1,159 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "support/check.hpp"
+
+namespace df::support {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+inline std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : state_) {
+    word = sm.next();
+  }
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  // Forked streams must not depend on how far this generator has advanced in
+  // ways that would surprise callers; we mix the full current state with the
+  // stream id so distinct ids give independent streams.
+  std::uint64_t mixed = 0x9e3779b97f4a7c15ULL;
+  for (auto word : state_) {
+    mixed = mix64(mixed ^ word);
+  }
+  return Rng(mix64(mixed ^ mix64(stream_id + 0x632be59bd9b4e019ULL)));
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  DF_CHECK(bound > 0, "next_below requires a positive bound");
+  // Rejection sampling over the largest multiple of bound that fits in 64
+  // bits; unbiased for every bound.
+  const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) {
+  DF_CHECK(lo <= hi, "next_int range is inverted");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next_u64());
+  }
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() {
+  // 53 random mantissa bits.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_double(double lo, double hi) {
+  DF_CHECK(lo <= hi, "next_double range is inverted");
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::next_normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  // Marsaglia polar method.
+  for (;;) {
+    const double u = next_double(-1.0, 1.0);
+    const double v = next_double(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      const double factor = std::sqrt(-2.0 * std::log(s) / s);
+      spare_normal_ = v * factor;
+      has_spare_normal_ = true;
+      return u * factor;
+    }
+  }
+}
+
+double Rng::next_normal(double mean, double stddev) {
+  return mean + stddev * next_normal();
+}
+
+double Rng::next_exponential(double rate) {
+  DF_CHECK(rate > 0.0, "exponential rate must be positive");
+  // Avoid log(0): next_double() is in [0,1), so 1 - u is in (0,1].
+  return -std::log(1.0 - next_double()) / rate;
+}
+
+bool Rng::next_bernoulli(double p) {
+  DF_CHECK(p >= 0.0 && p <= 1.0, "bernoulli probability out of range");
+  return next_double() < p;
+}
+
+std::uint64_t Rng::next_poisson(double mean) {
+  DF_CHECK(mean >= 0.0, "poisson mean must be non-negative");
+  if (mean == 0.0) {
+    return 0;
+  }
+  if (mean <= 64.0) {
+    // Knuth: multiply uniforms until the product drops below e^-mean.
+    const double limit = std::exp(-mean);
+    std::uint64_t count = 0;
+    double product = next_double();
+    while (product > limit) {
+      ++count;
+      product *= next_double();
+    }
+    return count;
+  }
+  // Normal approximation for large means.
+  const double sample = next_normal(mean, std::sqrt(mean));
+  return sample <= 0.0 ? 0 : static_cast<std::uint64_t>(sample + 0.5);
+}
+
+std::uint64_t hash_seed(const char* text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (const char* p = text; *p != '\0'; ++p) {
+    h ^= static_cast<unsigned char>(*p);
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return mix64(h);
+}
+
+std::uint64_t hash_seed(const std::string& text) {
+  return hash_seed(text.c_str());
+}
+
+std::uint64_t combine_seeds(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ (mix64(b) + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace df::support

@@ -1,0 +1,106 @@
+// Deterministic pseudo-random number generation.
+//
+// The paper's prototype seeds source vertices from the XML specification so
+// runs are reproducible; deltaflow does the same. We implement our own
+// generators (SplitMix64 for seeding, Xoshiro256++ for streams) instead of
+// relying on std::mt19937 so that sequences are identical across standard
+// library implementations — the serializability checker compares parallel and
+// sequential sink streams bit-for-bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace df::support {
+
+/// SplitMix64: tiny generator used to expand a single 64-bit seed into the
+/// state of larger generators. Passes BigCrush when used as designed.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256++ — the library's workhorse generator. Small state, fast,
+/// and deterministic across platforms.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xdf5eedULL);
+
+  /// Derives an independent stream for a sub-component (e.g. one per vertex).
+  Rng fork(std::uint64_t stream_id) const;
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0. Uses Lemire's method without
+  /// 128-bit multiply bias correction shortcuts; exact rejection sampling.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi);
+
+  /// Standard normal via Marsaglia polar method (cached spare).
+  double next_normal();
+
+  /// Normal with the given mean and standard deviation.
+  double next_normal(double mean, double stddev);
+
+  /// Exponential with the given rate (lambda > 0).
+  double next_exponential(double rate);
+
+  /// Bernoulli trial with success probability p.
+  bool next_bernoulli(double p);
+
+  /// Poisson-distributed count. Knuth's method for small means, normal
+  /// approximation with rounding for large means (mean > 64).
+  std::uint64_t next_poisson(double mean);
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// UniformRandomBitGenerator interface (for interop with <algorithm>).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+/// Stable 64-bit hash of a string, for deriving seeds from names
+/// (FNV-1a, then finalized through SplitMix64's mixer).
+std::uint64_t hash_seed(const char* text);
+std::uint64_t hash_seed(const std::string& text);
+
+/// Combines two seeds into one (order-sensitive).
+std::uint64_t combine_seeds(std::uint64_t a, std::uint64_t b);
+
+}  // namespace df::support

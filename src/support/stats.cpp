@@ -1,0 +1,219 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace df::support {
+
+void RunningStats::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ = (mean_ * static_cast<double>(count_) +
+           other.mean_ * static_cast<double>(other.count_)) /
+          total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  return count_ == 0 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::sample_variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::sample_stddev() const {
+  return std::sqrt(sample_variance());
+}
+
+WindowedStats::WindowedStats(std::size_t capacity) : capacity_(capacity) {
+  DF_CHECK(capacity > 0, "window capacity must be positive");
+}
+
+void WindowedStats::add(double x) {
+  if (window_.size() == capacity_) {
+    const double old = window_.front();
+    window_.pop_front();
+    sum_ -= old;
+    sum_sq_ -= old * old;
+  }
+  window_.push_back(x);
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+void WindowedStats::reset() {
+  window_.clear();
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+}
+
+double WindowedStats::mean() const {
+  return window_.empty() ? 0.0 : sum_ / static_cast<double>(window_.size());
+}
+
+double WindowedStats::variance() const {
+  if (window_.empty()) {
+    return 0.0;
+  }
+  const double n = static_cast<double>(window_.size());
+  const double m = sum_ / n;
+  // Guard against tiny negative results from floating-point cancellation.
+  return std::max(0.0, sum_sq_ / n - m * m);
+}
+
+double WindowedStats::stddev() const { return std::sqrt(variance()); }
+
+double WindowedStats::min() const {
+  DF_CHECK(!window_.empty(), "min of empty window");
+  return *std::min_element(window_.begin(), window_.end());
+}
+
+double WindowedStats::max() const {
+  DF_CHECK(!window_.empty(), "max of empty window");
+  return *std::max_element(window_.begin(), window_.end());
+}
+
+double WindowedStats::front() const {
+  DF_CHECK(!window_.empty(), "front of empty window");
+  return window_.front();
+}
+
+double WindowedStats::back() const {
+  DF_CHECK(!window_.empty(), "back of empty window");
+  return window_.back();
+}
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  DF_CHECK(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must be in (0, 1]");
+}
+
+void Ewma::add(double x) {
+  if (!initialized_) {
+    value_ = x;
+    initialized_ = true;
+  } else {
+    value_ = alpha_ * x + (1.0 - alpha_) * value_;
+  }
+}
+
+void Ewma::reset() {
+  value_ = 0.0;
+  initialized_ = false;
+}
+
+void OnlineLinearRegression::add(double x, double y) {
+  ++count_;
+  sum_x_ += x;
+  sum_y_ += y;
+  sum_xx_ += x * x;
+  sum_yy_ += y * y;
+  sum_xy_ += x * y;
+}
+
+void OnlineLinearRegression::remove(double x, double y) {
+  DF_CHECK(count_ > 0, "removing from an empty regression");
+  --count_;
+  sum_x_ -= x;
+  sum_y_ -= y;
+  sum_xx_ -= x * x;
+  sum_yy_ -= y * y;
+  sum_xy_ -= x * y;
+}
+
+void OnlineLinearRegression::reset() { *this = OnlineLinearRegression{}; }
+
+bool OnlineLinearRegression::has_fit() const {
+  if (count_ < 2) {
+    return false;
+  }
+  const double n = static_cast<double>(count_);
+  const double denom = n * sum_xx_ - sum_x_ * sum_x_;
+  return std::abs(denom) > 1e-12;
+}
+
+double OnlineLinearRegression::slope() const {
+  if (!has_fit()) {
+    return 0.0;
+  }
+  const double n = static_cast<double>(count_);
+  return (n * sum_xy_ - sum_x_ * sum_y_) / (n * sum_xx_ - sum_x_ * sum_x_);
+}
+
+double OnlineLinearRegression::intercept() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const double n = static_cast<double>(count_);
+  return (sum_y_ - slope() * sum_x_) / n;
+}
+
+double OnlineLinearRegression::predict(double x) const {
+  return slope() * x + intercept();
+}
+
+double OnlineLinearRegression::correlation() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  const double n = static_cast<double>(count_);
+  const double cov = n * sum_xy_ - sum_x_ * sum_y_;
+  const double var_x = n * sum_xx_ - sum_x_ * sum_x_;
+  const double var_y = n * sum_yy_ - sum_y_ * sum_y_;
+  const double denom = std::sqrt(var_x) * std::sqrt(var_y);
+  return denom < 1e-12 ? 0.0 : cov / denom;
+}
+
+RollingCorrelation::RollingCorrelation(std::size_t capacity)
+    : capacity_(capacity) {
+  DF_CHECK(capacity >= 2, "correlation window must hold at least two points");
+}
+
+void RollingCorrelation::add(double x, double y) {
+  if (xs_.size() == capacity_) {
+    acc_.remove(xs_.front(), ys_.front());
+    xs_.pop_front();
+    ys_.pop_front();
+  }
+  xs_.push_back(x);
+  ys_.push_back(y);
+  acc_.add(x, y);
+}
+
+void RollingCorrelation::reset() {
+  xs_.clear();
+  ys_.clear();
+  acc_.reset();
+}
+
+double RollingCorrelation::correlation() const { return acc_.correlation(); }
+
+}  // namespace df::support

@@ -1,0 +1,142 @@
+// Streaming statistics used both by the model library (moving averages,
+// z-scores, regression residuals) and by the benchmark harness (latency and
+// throughput summaries).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <vector>
+
+namespace df::support {
+
+/// Welford's online mean/variance accumulator. Numerically stable; O(1)
+/// memory regardless of stream length.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Population variance (divide by n).
+  double variance() const;
+  /// Sample variance (divide by n-1); 0 for fewer than two samples.
+  double sample_variance() const;
+  double stddev() const;
+  double sample_stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Mean/variance over a sliding window of the most recent `capacity` samples.
+/// Used by the paper's motivating predicates ("one-week moving point average
+/// ... two standard deviations away").
+class WindowedStats {
+ public:
+  explicit WindowedStats(std::size_t capacity);
+
+  void add(double x);
+  void reset();
+
+  std::size_t size() const { return window_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool full() const { return window_.size() == capacity_; }
+  double mean() const;
+  /// Population variance over the current window contents.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double front() const;
+  double back() const;
+  const std::deque<double>& samples() const { return window_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> window_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+/// Exponentially weighted moving average with configurable smoothing factor
+/// alpha in (0, 1].
+class Ewma {
+ public:
+  explicit Ewma(double alpha);
+
+  void add(double x);
+  void reset();
+
+  bool initialized() const { return initialized_; }
+  double value() const { return value_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Simple online linear regression of y against x (least squares over all
+/// samples seen). Supports sliding-window operation via remove().
+class OnlineLinearRegression {
+ public:
+  void add(double x, double y);
+  /// Removes a previously added sample. The caller is responsible for only
+  /// removing points that were added (sliding-window usage).
+  void remove(double x, double y);
+  void reset();
+
+  std::uint64_t count() const { return count_; }
+  bool has_fit() const;
+  double slope() const;
+  double intercept() const;
+  /// Predicted y at x from the current fit.
+  double predict(double x) const;
+  /// Residual of an observation under the current fit.
+  double residual(double x, double y) const { return y - predict(x); }
+  /// Pearson correlation coefficient of the accumulated samples.
+  double correlation() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_x_ = 0.0;
+  double sum_y_ = 0.0;
+  double sum_xx_ = 0.0;
+  double sum_yy_ = 0.0;
+  double sum_xy_ = 0.0;
+};
+
+/// Pairwise rolling correlation between two synchronized streams over a
+/// sliding window.
+class RollingCorrelation {
+ public:
+  explicit RollingCorrelation(std::size_t capacity);
+
+  void add(double x, double y);
+  void reset();
+
+  std::size_t size() const { return xs_.size(); }
+  bool full() const { return xs_.size() == capacity_; }
+  double correlation() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> xs_;
+  std::deque<double> ys_;
+  OnlineLinearRegression acc_;
+};
+
+}  // namespace df::support

@@ -1,0 +1,53 @@
+// Monotonic wall-clock timing for benchmarks and engine statistics.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace df::support {
+
+/// Thin wrapper over steady_clock with second/millisecond/nanosecond views.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             start_)
+            .count());
+  }
+  double elapsed_ms() const {
+    return static_cast<double>(elapsed_ns()) / 1e6;
+  }
+  double elapsed_s() const { return static_cast<double>(elapsed_ns()) / 1e9; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Spins for approximately `ns` nanoseconds of CPU time. Used by the
+/// synthetic busy-work module to emulate "computations performed by the
+/// vertices [that] take significantly more time than the computations
+/// performed to maintain the data structures" (paper section 4).
+inline std::uint64_t spin_for_ns(std::uint64_t ns) {
+  // The accumulator is returned so the loop cannot be optimized away.
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t acc = 0xdeadbeefULL;
+  for (;;) {
+    for (int i = 0; i < 64; ++i) {
+      acc = acc * 6364136223846793005ULL + 1442695040888963407ULL;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(now - start)
+                .count()) >= ns) {
+      return acc;
+    }
+  }
+}
+
+}  // namespace df::support

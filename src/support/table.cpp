@@ -1,0 +1,97 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace df::support {
+
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  std::strtod(cell.c_str(), &end);
+  // Allow trailing units like "x" or "%" after a numeric prefix.
+  return end != cell.c_str();
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  DF_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  DF_CHECK(cells.size() == headers_.size(),
+           "row width does not match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  std::vector<bool> numeric(headers_.size(), true);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+      if (!looks_numeric(row[c])) {
+        numeric[c] = false;
+      }
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row, bool header) {
+    out << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const bool right = !header && numeric[c];
+      out << ' ' << (right ? std::right : std::left)
+          << std::setw(static_cast<int>(widths[c])) << row[c] << " |";
+    }
+    out << "\n";
+  };
+
+  emit_row(headers_, /*header=*/true);
+  out << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) {
+    emit_row(row, /*header=*/false);
+  }
+  return out.str();
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  std::string text = out.str();
+  if (text.find('.') != std::string::npos) {
+    while (!text.empty() && text.back() == '0') {
+      text.pop_back();
+    }
+    if (!text.empty() && text.back() == '.') {
+      text.pop_back();
+    }
+  }
+  return text;
+}
+
+std::string Table::num(std::uint64_t value) { return std::to_string(value); }
+
+std::string Table::num(std::int64_t value) { return std::to_string(value); }
+
+std::string banner(const std::string& title) {
+  return "\n== " + title + " ==\n";
+}
+
+}  // namespace df::support

@@ -1,0 +1,36 @@
+// ASCII table rendering for the benchmark harness. Every bench binary prints
+// the rows/series of the paper artifact it reproduces through this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace df::support {
+
+/// Column-aligned plain-text table. Numeric cells are right-aligned, text
+/// cells left-aligned; alignment is decided per column from its contents.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; the row must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::string render() const;
+
+  /// Formats a double with fixed precision, trimming trailing zeros.
+  static std::string num(double value, int precision = 3);
+  static std::string num(std::uint64_t value);
+  static std::string num(std::int64_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a "== title ==" section banner used between bench sections.
+std::string banner(const std::string& title);
+
+}  // namespace df::support

@@ -1,0 +1,86 @@
+#include "trace/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/table.hpp"
+
+namespace df::trace {
+
+namespace {
+
+std::string csv_quote(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out.push_back(c);
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+struct ValueCsv {
+  const char* type;
+  std::string text;
+};
+
+ValueCsv render_value(const event::Value& value) {
+  if (value.is_empty()) {
+    return {"empty", ""};
+  }
+  if (value.is_bool()) {
+    return {"bool", value.as_bool() ? "true" : "false"};
+  }
+  if (value.is_int()) {
+    return {"int", std::to_string(value.as_int())};
+  }
+  if (value.is_double()) {
+    return {"double", support::Table::num(value.as_double(), 9)};
+  }
+  if (value.is_string()) {
+    return {"string", csv_quote(value.as_string())};
+  }
+  std::string joined;
+  for (const double x : value.as_vector()) {
+    if (!joined.empty()) {
+      joined += ';';
+    }
+    joined += support::Table::num(x, 9);
+  }
+  return {"vector", csv_quote(joined)};
+}
+
+}  // namespace
+
+void write_sinks_csv(std::ostream& out, const core::SinkStore& sinks,
+                     const core::Program& program) {
+  out << "phase,vertex,name,port,type,value\n";
+  for (const core::SinkRecord& record : sinks.canonical()) {
+    const ValueCsv value = render_value(record.value);
+    out << record.phase << ',' << record.vertex << ','
+        << csv_quote(program.dag.name(record.vertex)) << ',' << record.port
+        << ',' << value.type << ',' << value.text << '\n';
+  }
+}
+
+std::string sinks_to_csv(const core::SinkStore& sinks,
+                         const core::Program& program) {
+  std::ostringstream out;
+  write_sinks_csv(out, sinks, program);
+  return out.str();
+}
+
+void write_sinks_csv_file(const std::string& path,
+                          const core::SinkStore& sinks,
+                          const core::Program& program) {
+  std::ofstream out(path);
+  DF_CHECK(out.good(), "cannot open '", path, "' for writing");
+  write_sinks_csv(out, sinks, program);
+}
+
+}  // namespace df::trace

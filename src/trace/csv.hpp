@@ -1,0 +1,30 @@
+// CSV export of sink streams — the "input/output units outside the data
+// fusion system" read side, in a form spreadsheets and plotting scripts can
+// consume directly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/program.hpp"
+#include "core/sink_store.hpp"
+
+namespace df::trace {
+
+/// Writes `phase,vertex,name,port,type,value` rows in canonical order.
+/// Values render as: bool -> true/false, numbers -> decimal, strings ->
+/// double-quoted with embedded quotes doubled, vectors -> quoted
+/// semicolon-separated list, empty -> blank.
+void write_sinks_csv(std::ostream& out, const core::SinkStore& sinks,
+                     const core::Program& program);
+
+/// Convenience: renders to a string (used by tests and small tools).
+std::string sinks_to_csv(const core::SinkStore& sinks,
+                         const core::Program& program);
+
+/// Writes to a file path; DF_CHECKs that the file opened.
+void write_sinks_csv_file(const std::string& path,
+                          const core::SinkStore& sinks,
+                          const core::Program& program);
+
+}  // namespace df::trace

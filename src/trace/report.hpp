@@ -1,0 +1,19 @@
+// Human-readable reporting of executor statistics, shared by bench binaries
+// and examples.
+#pragma once
+
+#include <string>
+
+#include "core/executor.hpp"
+
+namespace df::trace {
+
+/// One-paragraph stats rendering (pairs, messages, phases, time split).
+std::string render_stats(const std::string& label,
+                         const core::ExecStats& stats);
+
+/// Machine environment line printed at the top of every bench: hardware
+/// concurrency and build mode, so EXPERIMENTS.md can qualify speedups.
+std::string machine_summary();
+
+}  // namespace df::trace

@@ -1,0 +1,64 @@
+#include "trace/serializability.hpp"
+
+#include <sstream>
+
+#include "baseline/sequential.hpp"
+
+namespace df::trace {
+
+std::string SerializabilityReport::summary() const {
+  std::ostringstream out;
+  out << (equivalent ? "EQUIVALENT" : "DIVERGENT") << " (reference "
+      << reference_records << " records, candidate " << candidate_records
+      << " records)";
+  for (const std::string& diff : differences) {
+    out << "\n  " << diff;
+  }
+  return out.str();
+}
+
+SerializabilityReport compare_sinks(const core::SinkStore& reference,
+                                    const core::SinkStore& candidate,
+                                    std::size_t max_differences) {
+  SerializabilityReport report;
+  const auto ref = reference.canonical();
+  const auto cand = candidate.canonical();
+  report.reference_records = ref.size();
+  report.candidate_records = cand.size();
+  report.equivalent = true;
+
+  const std::size_t common = std::min(ref.size(), cand.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (!(ref[i] == cand[i])) {
+      report.equivalent = false;
+      if (report.differences.size() < max_differences) {
+        report.differences.push_back("at #" + std::to_string(i) +
+                                     ": reference " + to_string(ref[i]) +
+                                     " vs candidate " + to_string(cand[i]));
+      }
+    }
+  }
+  if (ref.size() != cand.size()) {
+    report.equivalent = false;
+    report.differences.push_back(
+        "record count mismatch: " + std::to_string(ref.size()) + " vs " +
+        std::to_string(cand.size()));
+  }
+  return report;
+}
+
+SerializabilityReport check_against_sequential(
+    const core::Program& program, core::Executor& candidate,
+    event::PhaseId num_phases,
+    const std::vector<std::vector<event::ExternalEvent>>& batches) {
+  baseline::SequentialExecutor reference(program);
+  core::VectorFeed reference_feed(batches);
+  reference.run(num_phases, &reference_feed);
+
+  core::VectorFeed candidate_feed(batches);
+  candidate.run(num_phases, &candidate_feed);
+
+  return compare_sinks(reference.sinks(), candidate.sinks());
+}
+
+}  // namespace df::trace

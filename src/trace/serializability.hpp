@@ -1,0 +1,42 @@
+// Serializability checking (paper section 2: "though modules are executed
+// concurrently, the logical effect must be the same as executing only one
+// phase at a time in serial order all the way from the sources to the
+// sinks").
+//
+// Operationally: run any executor and the sequential reference over the same
+// Program and feed; the execution is serializable iff the canonical sink
+// streams are identical.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/program.hpp"
+
+namespace df::trace {
+
+struct SerializabilityReport {
+  bool equivalent = false;
+  std::size_t reference_records = 0;
+  std::size_t candidate_records = 0;
+  /// First few mismatching records rendered for diagnostics.
+  std::vector<std::string> differences;
+
+  std::string summary() const;
+};
+
+/// Compares two sink stores record-for-record in canonical order.
+SerializabilityReport compare_sinks(const core::SinkStore& reference,
+                                    const core::SinkStore& candidate,
+                                    std::size_t max_differences = 8);
+
+/// Runs `candidate` and a fresh SequentialExecutor over the same program and
+/// per-phase feed batches, and compares sink streams. The feed is replayed
+/// from `batches` so both executors see identical external events.
+SerializabilityReport check_against_sequential(
+    const core::Program& program, core::Executor& candidate,
+    event::PhaseId num_phases,
+    const std::vector<std::vector<event::ExternalEvent>>& batches = {});
+
+}  // namespace df::trace

@@ -1,0 +1,67 @@
+#include "trace/tracer.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace df::trace {
+
+Tracer::Tracer(std::size_t max_steps) : max_steps_(max_steps) {}
+
+void Tracer::on_transition(Transition transition, std::uint32_t vertex,
+                           event::PhaseId phase,
+                           const core::Scheduler::Snapshot& snapshot) {
+  std::lock_guard lock(mutex_);
+  if (steps_.size() >= max_steps_) {
+    steps_.erase(steps_.begin());
+    ++dropped_;
+  }
+  steps_.push_back(Step{transition, vertex, phase, snapshot});
+}
+
+std::vector<Tracer::Step> Tracer::steps() const {
+  std::lock_guard lock(mutex_);
+  return steps_;
+}
+
+std::size_t Tracer::step_count() const {
+  std::lock_guard lock(mutex_);
+  return steps_.size();
+}
+
+std::string Tracer::render_step(const Step& step, std::uint32_t n) {
+  using Pair = core::Scheduler::Snapshot::Pair;
+  std::ostringstream out;
+  if (step.transition == core::SchedulerObserver::Transition::kPhaseStarted) {
+    out << "phase " << step.phase << " initiated\n";
+  } else {
+    out << "(" << step.vertex << ", " << step.phase << ") executed\n";
+  }
+
+  const auto contains = [](const std::vector<Pair>& pairs, std::uint32_t v,
+                           event::PhaseId p) {
+    return std::any_of(pairs.begin(), pairs.end(), [&](const Pair& pair) {
+      return pair.vertex == v && pair.phase == p;
+    });
+  };
+
+  for (const auto& [phase, x] : step.snapshot.x) {
+    out << "  phase " << phase << " (x=" << x << "):";
+    for (std::uint32_t v = 1; v <= n; ++v) {
+      // Figure 3 legend: # none, <> partial, (8) full, [] full+ready.
+      if (contains(step.snapshot.ready, v, phase)) {
+        out << " [" << v << "]";
+      } else if (contains(step.snapshot.full, v, phase)) {
+        out << " (" << v << ")";
+      } else if (contains(step.snapshot.partial, v, phase)) {
+        out << " <" << v << ">";
+      } else {
+        out << "  " << v << " ";
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace df::trace

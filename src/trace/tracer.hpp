@@ -1,0 +1,49 @@
+// Set-membership tracing (the executable form of the paper's Figure 3).
+//
+// A Tracer observes every scheduler transition and stores bounded history of
+// snapshots. render_step() prints one step in the style of Figure 3: for
+// each active phase, the vertices that are in no set, partial only, full
+// only, or full-and-ready — the paper's circles, diamonds, octagons and
+// squares.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/observer.hpp"
+
+namespace df::trace {
+
+class Tracer final : public core::SchedulerObserver {
+ public:
+  struct Step {
+    core::SchedulerObserver::Transition transition;
+    std::uint32_t vertex;  // 0 for phase starts
+    event::PhaseId phase;
+    core::Scheduler::Snapshot snapshot;
+  };
+
+  /// Keeps at most `max_steps` steps (older steps are dropped).
+  explicit Tracer(std::size_t max_steps = 4096);
+
+  void on_transition(Transition transition, std::uint32_t vertex,
+                     event::PhaseId phase,
+                     const core::Scheduler::Snapshot& snapshot) override;
+
+  std::vector<Step> steps() const;
+  std::size_t step_count() const;
+
+  /// Renders one step as text, naming vertices 1..n (internal indices).
+  /// `n` is the vertex count of the traced program.
+  static std::string render_step(const Step& step, std::uint32_t n);
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t max_steps_;
+  std::vector<Step> steps_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace df::trace

@@ -1,0 +1,68 @@
+// Shared helper for model tests: runs a module under test against scripted
+// input streams (one ReplaySource per input port) on the sequential
+// executor, returning the module's emissions as (phase, value) pairs.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "baseline/sequential.hpp"
+#include "core/program.hpp"
+#include "event/value.hpp"
+#include "model/module.hpp"
+#include "model/sources.hpp"
+#include "spec/builder.hpp"
+
+namespace df::testutil {
+
+using Script = std::vector<std::optional<event::Value>>;
+using Emission = std::pair<event::PhaseId, event::Value>;
+
+/// Runs `factory`'s module with `scripts[i]` feeding input port i.
+/// The run lasts max(script lengths) phases unless `phases` is larger.
+inline std::vector<Emission> run_module(model::ModuleFactory factory,
+                                        std::vector<Script> scripts,
+                                        event::PhaseId phases = 0,
+                                        std::uint64_t seed = 1) {
+  spec::GraphBuilder builder;
+  std::vector<graph::VertexId> sources;
+  event::PhaseId length = phases;
+  for (std::size_t i = 0; i < scripts.size(); ++i) {
+    length = std::max<event::PhaseId>(length, scripts[i].size());
+    sources.push_back(builder.add(
+        "in" + std::to_string(i),
+        [script = scripts[i]] {
+          return std::make_unique<model::ReplaySource>(script);
+        }));
+  }
+  const graph::VertexId module =
+      builder.add("module", std::move(factory));
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    builder.connect(sources[i], 0, module, static_cast<graph::Port>(i));
+  }
+  const core::Program program = std::move(builder).build(seed);
+
+  baseline::SequentialExecutor executor(program);
+  executor.run(length, nullptr);
+
+  std::vector<Emission> out;
+  for (const core::SinkRecord& record : executor.sinks().canonical()) {
+    if (record.vertex == module) {
+      out.emplace_back(record.phase, record.value);
+    }
+  }
+  return out;
+}
+
+/// Script helper: a value at every phase 1..n from a generator.
+template <typename Fn>
+Script script_of(event::PhaseId n, Fn fn) {
+  Script script;
+  for (event::PhaseId p = 1; p <= n; ++p) {
+    script.push_back(event::Value(fn(p)));
+  }
+  return script;
+}
+
+}  // namespace df::testutil

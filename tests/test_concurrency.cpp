@@ -1,0 +1,215 @@
+// Unit and stress tests for the concurrency substrate: blocking MPMC queue
+// (the paper's run queue), thread pool, SPSC ring, sharded counters.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <numeric>
+#include <optional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "concurrency/blocking_queue.hpp"
+#include "concurrency/sharded_counter.hpp"
+#include "concurrency/spsc_ring.hpp"
+#include "concurrency/thread_pool.hpp"
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace df::conc {
+namespace {
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> queue;
+  queue.push(1);
+  queue.push(2);
+  queue.push(3);
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_EQ(queue.pop(), 3);
+}
+
+TEST(BlockingQueue, TryPopOnEmpty) {
+  BlockingQueue<int> queue;
+  EXPECT_FALSE(queue.try_pop().has_value());
+}
+
+TEST(BlockingQueue, BoundedTryPush) {
+  BlockingQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));  // full
+  EXPECT_EQ(queue.size(), 2U);
+}
+
+TEST(BlockingQueue, CloseWakesBlockedPopper) {
+  BlockingQueue<int> queue;
+  std::optional<int> result = 42;
+  std::thread popper([&] { result = queue.pop(); });
+  queue.close();
+  popper.join();
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(BlockingQueue, CloseDrainsRemainingItems) {
+  BlockingQueue<int> queue;
+  queue.push(7);
+  queue.push(8);
+  queue.close();
+  EXPECT_FALSE(queue.push(9));  // rejected after close
+  EXPECT_EQ(queue.pop(), 7);
+  EXPECT_EQ(queue.pop(), 8);
+  EXPECT_FALSE(queue.pop().has_value());
+  EXPECT_TRUE(queue.closed());
+}
+
+TEST(BlockingQueue, PopBlocksUntilPush) {
+  BlockingQueue<int> queue;
+  std::optional<int> got;
+  std::thread popper([&] { got = queue.pop(); });
+  queue.push(99);
+  popper.join();
+  EXPECT_EQ(got, 99);
+}
+
+// The paper's requirement: "each item on the queue is dequeued at most
+// once". MPMC stress: many producers, many consumers, every item exactly
+// once.
+TEST(BlockingQueue, MpmcExactlyOnceStress) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+  BlockingQueue<int> queue;
+  std::array<std::atomic<int>, kProducers * kPerProducer> seen{};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = queue.pop()) {
+        seen[static_cast<std::size_t>(*item)].fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        queue.push(p * kPerProducer + i);
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  queue.close();
+  for (auto& t : consumers) {
+    t.join();
+  }
+  for (const auto& count : seen) {
+    ASSERT_EQ(count.load(), 1);
+  }
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, RunOnAllPassesDistinctIndices) {
+  ThreadPool pool(4);
+  std::array<std::atomic<int>, 4> hits{};
+  pool.run_on_all([&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, RejectsZeroWorkers) {
+  EXPECT_THROW(ThreadPool(0), support::check_error);
+}
+
+TEST(ThreadPool, WaitIdleWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();
+  SUCCEED();
+}
+
+TEST(ParallelForThreads, RunsEachIndexOnce) {
+  std::array<std::atomic<int>, 8> hits{};
+  parallel_for_threads(8, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(SpscRing, CapacityMustBePowerOfTwo) {
+  EXPECT_THROW(SpscRing<int>(3), support::check_error);
+  EXPECT_THROW(SpscRing<int>(1), support::check_error);
+  SpscRing<int> ok(8);
+  EXPECT_EQ(ok.capacity(), 8U);
+}
+
+TEST(SpscRing, FifoAndFullness) {
+  SpscRing<int> ring(4);
+  EXPECT_TRUE(ring.empty());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring.push(i));
+  }
+  EXPECT_FALSE(ring.push(99));  // full
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(ring.pop(), i);
+  }
+  EXPECT_FALSE(ring.pop().has_value());
+}
+
+TEST(SpscRing, ConcurrentProducerConsumer) {
+  constexpr int kItems = 100000;
+  SpscRing<int> ring(1024);
+  std::vector<int> received;
+  received.reserve(kItems);
+  std::thread consumer([&] {
+    while (received.size() < kItems) {
+      if (auto item = ring.pop()) {
+        received.push_back(*item);
+      }
+    }
+  });
+  for (int i = 0; i < kItems; ++i) {
+    while (!ring.push(i)) {
+    }
+  }
+  consumer.join();
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_EQ(received[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(ShardedCounter, SumsAcrossThreads) {
+  ShardedCounter counter;
+  parallel_for_threads(8, [&](std::size_t) {
+    for (int i = 0; i < 10000; ++i) {
+      counter.add();
+    }
+  });
+  EXPECT_EQ(counter.value(), 80000U);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0U);
+}
+
+TEST(ScopedNanoTimer, AccumulatesElapsedTime) {
+  ShardedCounter sink;
+  {
+    ScopedNanoTimer timer(sink);
+    support::spin_for_ns(1'000'000);
+  }
+  EXPECT_GE(sink.value(), 1'000'000U);
+}
+
+}  // namespace
+}  // namespace df::conc

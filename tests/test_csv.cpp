@@ -1,0 +1,87 @@
+// Tests for CSV export of sink streams.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "baseline/sequential.hpp"
+#include "model/sources.hpp"
+#include "spec/builder.hpp"
+#include "support/check.hpp"
+#include "trace/csv.hpp"
+
+namespace df::trace {
+namespace {
+
+core::Program mixed_output_program() {
+  spec::GraphBuilder b;
+  b.add_lambda("emitter", [](model::PhaseContext& ctx) {
+    switch (ctx.phase()) {
+      case 1:
+        ctx.emit(0, event::Value(true));
+        break;
+      case 2:
+        ctx.emit(0, event::Value(std::int64_t{42}));
+        break;
+      case 3:
+        ctx.emit(0, event::Value(2.5));
+        break;
+      case 4:
+        ctx.emit(0, event::Value("say \"hi\""));
+        break;
+      default:
+        ctx.emit(0, event::Value(std::vector<double>{1.0, 2.0}));
+    }
+  });
+  return std::move(b).build(1);
+}
+
+TEST(Csv, RendersAllValueTypes) {
+  const core::Program program = mixed_output_program();
+  baseline::SequentialExecutor exec(program);
+  exec.run(5, nullptr);
+  const std::string csv = sinks_to_csv(exec.sinks(), program);
+
+  std::istringstream lines(csv);
+  std::string line;
+  std::getline(lines, line);
+  EXPECT_EQ(line, "phase,vertex,name,port,type,value");
+  std::getline(lines, line);
+  EXPECT_EQ(line, "1,0,\"emitter\",0,bool,true");
+  std::getline(lines, line);
+  EXPECT_EQ(line, "2,0,\"emitter\",0,int,42");
+  std::getline(lines, line);
+  EXPECT_EQ(line, "3,0,\"emitter\",0,double,2.5");
+  std::getline(lines, line);
+  EXPECT_EQ(line, "4,0,\"emitter\",0,string,\"say \"\"hi\"\"\"");
+  std::getline(lines, line);
+  EXPECT_EQ(line, "5,0,\"emitter\",0,vector,\"1;2\"");
+}
+
+TEST(Csv, WritesFile) {
+  const core::Program program = mixed_output_program();
+  baseline::SequentialExecutor exec(program);
+  exec.run(2, nullptr);
+  const std::string path = ::testing::TempDir() + "df_csv_test.csv";
+  write_sinks_csv_file(path, exec.sinks(), program);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "phase,vertex,name,port,type,value");
+  in.close();
+  std::remove(path.c_str());
+}
+
+TEST(Csv, BadPathFails) {
+  const core::Program program = mixed_output_program();
+  baseline::SequentialExecutor exec(program);
+  exec.run(1, nullptr);
+  EXPECT_THROW(
+      write_sinks_csv_file("/nonexistent_dir/x.csv", exec.sinks(), program),
+      support::check_error);
+}
+
+}  // namespace
+}  // namespace df::trace

@@ -1,0 +1,96 @@
+// Long-run stress and cross-configuration equivalence for the engine:
+// beyond matching the sequential reference, every engine configuration
+// (thread count x in-flight window) must produce *identical* sink streams,
+// since the computation is deterministic and serializable.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "model/detectors.hpp"
+#include "model/sources.hpp"
+#include "model/stats_models.hpp"
+#include "spec/builder.hpp"
+#include "support/rng.hpp"
+#include "trace/serializability.hpp"
+
+namespace df::core {
+namespace {
+
+Program stress_program(std::uint64_t seed) {
+  support::Rng rng(seed);
+  const graph::Dag shape = graph::layered(5, 4, 2, rng);
+  spec::GraphBuilder b;
+  std::vector<graph::VertexId> ids;
+  for (graph::VertexId v = 0; v < shape.vertex_count(); ++v) {
+    const std::size_t fan_in = shape.in_degree(v);
+    if (fan_in == 0) {
+      ids.push_back(b.add(shape.name(v),
+                          model::factory_of<model::RandomWalkSource>(
+                              0.0, 1.0, 0.8)));
+    } else if (shape.is_sink(v)) {
+      // Bool-emitting detectors only at sinks, so numeric folds upstream
+      // never receive a boolean.
+      ids.push_back(b.add(shape.name(v),
+                          model::factory_of<model::ThresholdDetector>(0.0)));
+    } else if (v % 2 == 0) {
+      ids.push_back(b.add(shape.name(v),
+                          model::factory_of<model::SumModule>(fan_in)));
+    } else {
+      ids.push_back(b.add(shape.name(v),
+                          model::factory_of<model::EwmaModule>(0.3)));
+    }
+  }
+  for (const graph::Edge& e : shape.edges()) {
+    b.connect(ids[e.from], e.from_port, ids[e.to], e.to_port);
+  }
+  return std::move(b).build(seed);
+}
+
+TEST(EngineStress, LongRunManyThreadsMatchesReference) {
+  const Program program = stress_program(1);
+  EngineOptions options;
+  options.threads = 8;
+  options.max_inflight_phases = 16;
+  Engine engine(program, options);
+  const auto report = trace::check_against_sequential(program, engine, 5000);
+  EXPECT_TRUE(report.equivalent) << report.summary();
+  EXPECT_EQ(engine.stats().phases_completed, 5000U);
+}
+
+TEST(EngineStress, AllConfigurationsProduceIdenticalSinks) {
+  const Program program = stress_program(2);
+  std::vector<std::vector<SinkRecord>> outputs;
+  for (const std::size_t threads : {1UL, 2UL, 5UL}) {
+    for (const std::size_t window : {1UL, 3UL, 0UL /*unbounded*/}) {
+      EngineOptions options;
+      options.threads = threads;
+      options.max_inflight_phases = window;
+      Engine engine(program, options);
+      engine.run(800, nullptr);
+      outputs.push_back(engine.sinks().canonical());
+    }
+  }
+  for (std::size_t i = 1; i < outputs.size(); ++i) {
+    ASSERT_EQ(outputs[i].size(), outputs[0].size())
+        << "configuration " << i << " record count differs";
+    EXPECT_EQ(outputs[i], outputs[0]) << "configuration " << i;
+  }
+  EXPECT_GT(outputs[0].size(), 100U) << "stress workload was trivial";
+}
+
+TEST(EngineStress, RepeatedRunsOfSameConfigAreBitIdentical) {
+  const Program program = stress_program(3);
+  std::vector<SinkRecord> first;
+  for (int run = 0; run < 3; ++run) {
+    Engine engine(program, {.threads = 4});
+    engine.run(600, nullptr);
+    if (run == 0) {
+      first = engine.sinks().canonical();
+    } else {
+      EXPECT_EQ(engine.sinks().canonical(), first) << "run " << run;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace df::core

@@ -1,0 +1,115 @@
+// Unit tests for the event substrate: Value, messages, and the
+// timestamp-to-phase assembler of paper section 2.
+#include <gtest/gtest.h>
+
+#include "event/phase.hpp"
+#include "event/value.hpp"
+#include "support/check.hpp"
+
+namespace df::event {
+namespace {
+
+TEST(Value, DefaultIsEmpty) {
+  const Value v;
+  EXPECT_TRUE(v.is_empty());
+  EXPECT_FALSE(v.is_number());
+}
+
+TEST(Value, TypePredicatesAndAccessors) {
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(true).as_bool());
+  EXPECT_TRUE(Value(std::int64_t{7}).is_int());
+  EXPECT_EQ(Value(std::int64_t{7}).as_int(), 7);
+  EXPECT_TRUE(Value(3.5).is_double());
+  EXPECT_DOUBLE_EQ(Value(3.5).as_double(), 3.5);
+  EXPECT_TRUE(Value("hello").is_string());
+  EXPECT_EQ(Value("hello").as_string(), "hello");
+  const Value vec(std::vector<double>{1.0, 2.0});
+  EXPECT_TRUE(vec.is_vector());
+  EXPECT_EQ(vec.as_vector().size(), 2U);
+}
+
+TEST(Value, IntLiteralConvenience) {
+  const Value v(42);  // int -> int64
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), 42);
+}
+
+TEST(Value, AsNumberCoercesIntAndDouble) {
+  EXPECT_DOUBLE_EQ(Value(std::int64_t{4}).as_number(), 4.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_number(), 2.5);
+  EXPECT_TRUE(Value(std::int64_t{1}).is_number());
+  EXPECT_FALSE(Value("x").is_number());
+  EXPECT_THROW(Value("x").as_number(), support::check_error);
+}
+
+TEST(Value, CheckedAccessorsRejectWrongType) {
+  EXPECT_THROW(Value(1.0).as_bool(), support::check_error);
+  EXPECT_THROW(Value(true).as_int(), support::check_error);
+  EXPECT_THROW(Value(std::int64_t{1}).as_double(), support::check_error);
+  EXPECT_THROW(Value(1.0).as_string(), support::check_error);
+  EXPECT_THROW(Value(1.0).as_vector(), support::check_error);
+}
+
+TEST(Value, EqualityIsTypeAndValueSensitive) {
+  EXPECT_EQ(Value(1.0), Value(1.0));
+  EXPECT_NE(Value(1.0), Value(std::int64_t{1}));  // double 1.0 != int 1
+  EXPECT_NE(Value(true), Value(false));
+  EXPECT_EQ(Value("a"), Value(std::string("a")));
+  EXPECT_EQ(Value(), Value());
+}
+
+TEST(Value, ToStringIsReadable) {
+  EXPECT_EQ(Value().to_string(), "<empty>");
+  EXPECT_EQ(Value(true).to_string(), "true");
+  EXPECT_EQ(Value(std::int64_t{5}).to_string(), "5");
+  EXPECT_EQ(Value("hi").to_string(), "\"hi\"");
+  EXPECT_EQ(Value(std::vector<double>{1.0, 2.5}).to_string(), "[1, 2.5]");
+}
+
+TEST(PhaseAssembler, GroupsEqualTimestamps) {
+  PhaseAssembler assembler;
+  // Three events at t=10, then one at t=20 closing the first phase.
+  EXPECT_FALSE(assembler.feed({10, {0, 0, Value(1.0)}}).has_value());
+  EXPECT_FALSE(assembler.feed({10, {1, 0, Value(2.0)}}).has_value());
+  EXPECT_FALSE(assembler.feed({10, {0, 1, Value(3.0)}}).has_value());
+  const auto batch = assembler.feed({20, {0, 0, Value(4.0)}});
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->phase, 1U);
+  EXPECT_EQ(batch->timestamp, 10);
+  EXPECT_EQ(batch->events.size(), 3U);
+  EXPECT_EQ(assembler.completed_phases(), 1U);
+  EXPECT_TRUE(assembler.has_pending());
+}
+
+TEST(PhaseAssembler, PhasesAreIndexedSequentially) {
+  PhaseAssembler assembler;
+  assembler.feed({1, {0, 0, Value(1.0)}});
+  const auto p1 = assembler.feed({5, {0, 0, Value(2.0)}});
+  const auto p2 = assembler.feed({9, {0, 0, Value(3.0)}});
+  ASSERT_TRUE(p1.has_value());
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(p1->phase, 1U);
+  EXPECT_EQ(p2->phase, 2U);
+}
+
+TEST(PhaseAssembler, FlushClosesPendingPhase) {
+  PhaseAssembler assembler;
+  EXPECT_FALSE(assembler.flush().has_value());  // nothing pending
+  assembler.feed({7, {0, 0, Value(1.0)}});
+  const auto batch = assembler.flush();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->phase, 1U);
+  EXPECT_FALSE(assembler.has_pending());
+  EXPECT_EQ(assembler.completed_phases(), 1U);
+}
+
+TEST(PhaseAssembler, RejectsDecreasingTimestamps) {
+  PhaseAssembler assembler;
+  assembler.feed({10, {0, 0, Value(1.0)}});
+  EXPECT_THROW(assembler.feed({9, {0, 0, Value(2.0)}}),
+               support::check_error);
+}
+
+}  // namespace
+}  // namespace df::event

@@ -1,0 +1,152 @@
+// Unit tests for clustering, regression/forecasting and synthetic modules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/clustering.hpp"
+#include "model/regression.hpp"
+#include "model/synthetic.hpp"
+#include "module_test_util.hpp"
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace df::model {
+namespace {
+
+using testutil::Script;
+using testutil::run_module;
+using testutil::script_of;
+
+TEST(OnlineKMeans, SeparatesTwoBlobs) {
+  // Alternate points near 0 and near 100: after seeding, every alternation
+  // flips the assignment, so the module keeps emitting changes.
+  Script script;
+  for (int i = 0; i < 40; ++i) {
+    script.push_back(event::Value(i % 2 == 0 ? 0.0 + 0.1 * i : 100.0 - 0.1 * i));
+  }
+  const auto out = run_module(
+      factory_of<OnlineKMeansModule>(std::size_t{2}, 0.0), {script});
+  ASSERT_GE(out.size(), 10U);
+  // Assignments alternate between the two cluster ids.
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_NE(out[i].second.as_int(), out[i - 1].second.as_int());
+  }
+}
+
+TEST(OnlineKMeans, StableStreamGoesQuiet) {
+  // All points in one tight blob with k=1: after the first assignment there
+  // is never a change to report.
+  Script script = script_of(30, [](auto p) { return 5.0 + 0.01 * (p % 3); });
+  const auto out = run_module(
+      factory_of<OnlineKMeansModule>(std::size_t{1}, 0.0), {script});
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(out[0].second.as_int(), 0);
+}
+
+TEST(OnlineKMeans, OutlierDistanceEmitsOnPort1) {
+  // Seed with 0, then a far point; port-1 emissions are dangling in the
+  // helper graph and therefore recorded as sink output.
+  Script script{event::Value(0.0), event::Value(0.1), event::Value(50.0)};
+  const auto out = run_module(
+      factory_of<OnlineKMeansModule>(std::size_t{1}, 5.0), {script});
+  bool saw_outlier = false;
+  for (const auto& [phase, value] : out) {
+    if (value.is_double() && value.as_double() > 5.0) {
+      saw_outlier = true;
+    }
+  }
+  EXPECT_TRUE(saw_outlier);
+}
+
+TEST(OnlineKMeans, VectorPointsSupported) {
+  Script script{event::Value(std::vector<double>{0.0, 0.0}),
+                event::Value(std::vector<double>{10.0, 10.0}),
+                event::Value(std::vector<double>{0.2, 0.1}),
+                event::Value(std::vector<double>{9.8, 10.2})};
+  const auto out = run_module(
+      factory_of<OnlineKMeansModule>(std::size_t{2}, 0.0), {script});
+  ASSERT_GE(out.size(), 2U);
+}
+
+TEST(Trend, RecoversSlope) {
+  const auto out = run_module(
+      factory_of<TrendModule>(std::size_t{16}, std::size_t{4}),
+      {script_of(20, [](auto p) { return 4.0 * static_cast<double>(p); })});
+  ASSERT_FALSE(out.empty());
+  EXPECT_NEAR(out.back().second.as_double(), 4.0, 1e-9);
+}
+
+TEST(Forecast, PredictsAhead) {
+  const auto out = run_module(
+      factory_of<ForecastModule>(std::size_t{16}, event::PhaseId{5},
+                                 std::size_t{4}),
+      {script_of(20, [](auto p) { return 2.0 * static_cast<double>(p); })});
+  ASSERT_FALSE(out.empty());
+  // At phase 20 the 5-ahead forecast of y=2x is 2*25 = 50.
+  EXPECT_NEAR(out.back().second.as_double(), 50.0, 1e-6);
+}
+
+TEST(Holt, TracksLinearGrowth) {
+  const auto out = run_module(
+      factory_of<HoltForecastModule>(0.6, 0.4),
+      {script_of(60, [](auto p) { return static_cast<double>(p); })});
+  ASSERT_FALSE(out.empty());
+  // One-step-ahead forecast of y=p at p=60 is ~61.
+  EXPECT_NEAR(out.back().second.as_double(), 61.0, 1.0);
+}
+
+TEST(Holt, RejectsBadSmoothing) {
+  EXPECT_THROW(HoltForecastModule(0.0, 0.5), support::check_error);
+  EXPECT_THROW(HoltForecastModule(0.5, 2.0), support::check_error);
+}
+
+TEST(BusyWork, SpinsForRequestedTime) {
+  const auto factory =
+      factory_of<BusyWorkModule>(std::uint64_t{2'000'000}, std::size_t{1},
+                                 1.0);
+  support::Stopwatch sw;
+  const auto out = run_module(factory, {Script{event::Value(1.0)}});
+  EXPECT_GE(sw.elapsed_ns(), 2'000'000U);
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_DOUBLE_EQ(out[0].second.as_double(), 1.0);
+}
+
+TEST(BusyWork, SumsChangedInputs) {
+  const auto out = run_module(
+      factory_of<BusyWorkModule>(std::uint64_t{0}, std::size_t{2}, 1.0),
+      {Script{event::Value(2.0), std::nullopt},
+       Script{event::Value(3.0), event::Value(10.0)}});
+  ASSERT_EQ(out.size(), 2U);
+  EXPECT_DOUBLE_EQ(out[0].second.as_double(), 5.0);   // both changed
+  EXPECT_DOUBLE_EQ(out[1].second.as_double(), 10.0);  // only port 1 changed
+}
+
+TEST(Forward, PassesThrough) {
+  const auto out = run_module(
+      factory_of<ForwardModule>(),
+      {Script{event::Value(7.0), std::nullopt, event::Value(9.0)}});
+  ASSERT_EQ(out.size(), 2U);
+  EXPECT_DOUBLE_EQ(out[0].second.as_double(), 7.0);
+  EXPECT_DOUBLE_EQ(out[1].second.as_double(), 9.0);
+}
+
+TEST(NoOp, NeverEmits) {
+  const auto out = run_module(
+      factory_of<NoOpModule>(),
+      {script_of(10, [](auto) { return 1.0; })});
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BusyWorkSource, EmitProbabilityThrottles) {
+  // Direct check through the registry-style factory and helper harness is
+  // covered elsewhere; here run as lone source via a 0-input module graph.
+  spec::GraphBuilder b;
+  b.add("src", factory_of<BusyWorkSource>(std::uint64_t{0}, 0.3));
+  baseline::SequentialExecutor exec(std::move(b).build(4));
+  exec.run(1000, nullptr);
+  EXPECT_GT(exec.sinks().size(), 150U);
+  EXPECT_LT(exec.sinks().size(), 450U);
+}
+
+}  // namespace
+}  // namespace df::model

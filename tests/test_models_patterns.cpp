@@ -1,0 +1,144 @@
+// Unit tests for the temporal pattern detectors.
+#include <gtest/gtest.h>
+
+#include "model/patterns.hpp"
+#include "module_test_util.hpp"
+#include "support/check.hpp"
+
+namespace df::model {
+namespace {
+
+using testutil::Script;
+using testutil::run_module;
+using testutil::script_of;
+
+Script events_at(std::initializer_list<event::PhaseId> phases,
+                 event::PhaseId length) {
+  Script script(length);
+  for (const event::PhaseId p : phases) {
+    script[p - 1] = event::Value(1.0);
+  }
+  return script;
+}
+
+TEST(Sequence, MatchesAThenBWithinWindow) {
+  // A at 2, B at 5, window 4 -> distance 3.
+  const auto out = run_module(
+      factory_of<SequenceDetector>(event::PhaseId{4}),
+      {events_at({2}, 8), events_at({5}, 8)});
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(out[0].first, 5U);
+  EXPECT_EQ(out[0].second.as_int(), 3);
+}
+
+TEST(Sequence, ExpiredAIsForgotten) {
+  // A at 1, B at 8, window 4 -> too late, no match.
+  const auto out = run_module(
+      factory_of<SequenceDetector>(event::PhaseId{4}),
+      {events_at({1}, 10), events_at({8}, 10)});
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Sequence, EachAMatchesAtMostOneB) {
+  // A at 2; Bs at 3 and 4: only the first B matches.
+  const auto out = run_module(
+      factory_of<SequenceDetector>(event::PhaseId{8}),
+      {events_at({2}, 6), events_at({3, 4}, 6)});
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(out[0].first, 3U);
+}
+
+TEST(Sequence, SimultaneousAAndBMatchesNextB) {
+  // A and B in the same phase: B belongs to an *earlier* A only; the
+  // same-phase A then matches a later B.
+  const auto out = run_module(
+      factory_of<SequenceDetector>(event::PhaseId{8}),
+      {events_at({3}, 8), events_at({3, 5}, 8)});
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(out[0].first, 5U);
+  EXPECT_EQ(out[0].second.as_int(), 2);
+}
+
+TEST(CountWindow, FiresOnBurst) {
+  // Events at 1,2,3 with count 3 window 4 -> fires at phase 3.
+  const auto out = run_module(
+      factory_of<CountWindowDetector>(std::size_t{3}, event::PhaseId{4}),
+      {events_at({1, 2, 3, 9}, 10)});
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(out[0].first, 3U);
+  EXPECT_EQ(out[0].second.as_int(), 3);
+}
+
+TEST(CountWindow, SparseEventsNeverFire) {
+  const auto out = run_module(
+      factory_of<CountWindowDetector>(std::size_t{3}, event::PhaseId{4}),
+      {events_at({1, 6, 11, 16}, 20)});
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CountWindow, RearmsAfterFiring) {
+  const auto out = run_module(
+      factory_of<CountWindowDetector>(std::size_t{2}, event::PhaseId{3}),
+      {events_at({1, 2, 5, 6}, 8)});
+  ASSERT_EQ(out.size(), 2U);
+  EXPECT_EQ(out[0].first, 2U);
+  EXPECT_EQ(out[1].first, 6U);
+}
+
+TEST(Absence, DetectsHeartbeatLossAndRecovery) {
+  // Clock on port 0 every phase; heartbeats on port 1 at 1..3, then silence
+  // until 12. Timeout 4 -> alarm at 8 (3+4+1), recovery at 12.
+  const auto out = run_module(
+      factory_of<AbsenceDetector>(event::PhaseId{4}),
+      {script_of(14, [](auto) { return 1.0; }),
+       events_at({1, 2, 3, 12}, 14)});
+  ASSERT_EQ(out.size(), 2U);
+  EXPECT_EQ(out[0].first, 8U);
+  EXPECT_TRUE(out[0].second.as_bool());
+  EXPECT_EQ(out[1].first, 12U);
+  EXPECT_FALSE(out[1].second.as_bool());
+}
+
+TEST(Absence, SilentBeforeFirstHeartbeat) {
+  const auto out = run_module(
+      factory_of<AbsenceDetector>(event::PhaseId{2}),
+      {script_of(10, [](auto) { return 1.0; }), Script(10)});
+  EXPECT_TRUE(out.empty());  // stream never established
+}
+
+TEST(Hysteresis, SwitchesAtDifferentLevels) {
+  const auto out = run_module(
+      factory_of<HysteresisDetector>(2.0, 5.0),
+      {Script{event::Value(1.0), event::Value(4.0), event::Value(6.0),
+              event::Value(4.0), event::Value(1.0)}});
+  // 1.0 -> false (initial), 4.0 no change, 6.0 -> true, 4.0 holds (inside
+  // band), 1.0 -> false.
+  ASSERT_EQ(out.size(), 3U);
+  EXPECT_FALSE(out[0].second.as_bool());
+  EXPECT_EQ(out[1].first, 3U);
+  EXPECT_TRUE(out[1].second.as_bool());
+  EXPECT_EQ(out[2].first, 5U);
+  EXPECT_FALSE(out[2].second.as_bool());
+}
+
+TEST(Hysteresis, RejectsInvertedBand) {
+  EXPECT_THROW(HysteresisDetector(5.0, 2.0), support::check_error);
+}
+
+TEST(Range, ReportsExcursionsAndTransitions) {
+  const auto out = run_module(
+      factory_of<RangeDetector>(0.0, 10.0),
+      {Script{event::Value(5.0), event::Value(12.0), event::Value(7.0)}});
+  // Phase 1: inside -> transition true (port 1).
+  // Phase 2: 12 outside -> excursion value (port 0) + transition false.
+  // Phase 3: back inside -> transition true.
+  ASSERT_EQ(out.size(), 4U);
+  // Canonical order sorts by port within a phase.
+  EXPECT_TRUE(out[0].second.as_bool());
+  EXPECT_DOUBLE_EQ(out[1].second.as_double(), 12.0);
+  EXPECT_FALSE(out[2].second.as_bool());
+  EXPECT_TRUE(out[3].second.as_bool());
+}
+
+}  // namespace
+}  // namespace df::model

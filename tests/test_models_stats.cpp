@@ -1,0 +1,161 @@
+// Unit tests for the streaming-statistics modules.
+#include <gtest/gtest.h>
+
+#include "model/stats_models.hpp"
+#include "module_test_util.hpp"
+
+namespace df::model {
+namespace {
+
+using testutil::Emission;
+using testutil::Script;
+using testutil::run_module;
+using testutil::script_of;
+
+TEST(MovingAverage, ComputesWindowedMean) {
+  const auto out = run_module(
+      factory_of<MovingAverageModule>(std::size_t{3}),
+      {Script{event::Value(1.0), event::Value(2.0), event::Value(3.0),
+              event::Value(10.0)}});
+  ASSERT_EQ(out.size(), 4U);
+  EXPECT_DOUBLE_EQ(out[0].second.as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(out[1].second.as_double(), 1.5);
+  EXPECT_DOUBLE_EQ(out[2].second.as_double(), 2.0);
+  EXPECT_DOUBLE_EQ(out[3].second.as_double(), 5.0);  // mean of {2,3,10}
+}
+
+TEST(MovingAverage, SilentWithoutInput) {
+  const auto out = run_module(
+      factory_of<MovingAverageModule>(std::size_t{3}),
+      {Script{std::nullopt, event::Value(4.0), std::nullopt}});
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(out[0].first, 2U);  // only the phase with input
+}
+
+TEST(MovingStdDev, ZeroForConstantStream) {
+  const auto out = run_module(factory_of<MovingStdDevModule>(std::size_t{4}),
+                              {script_of(8, [](auto) { return 7.0; })});
+  ASSERT_EQ(out.size(), 8U);
+  for (const auto& [phase, value] : out) {
+    EXPECT_NEAR(value.as_double(), 0.0, 1e-9);
+  }
+}
+
+TEST(Ewma, SmoothsInput) {
+  const auto out =
+      run_module(factory_of<EwmaModule>(0.5),
+                 {Script{event::Value(0.0), event::Value(10.0)}});
+  ASSERT_EQ(out.size(), 2U);
+  EXPECT_DOUBLE_EQ(out[0].second.as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(out[1].second.as_double(), 5.0);
+}
+
+TEST(Sum, EmitsOnlyWhenSumChanges) {
+  // Two inputs; second stream repeats its value, so only real changes emit.
+  const auto out = run_module(
+      factory_of<SumModule>(std::size_t{2}),
+      {Script{event::Value(1.0), event::Value(2.0), event::Value(2.0)},
+       Script{event::Value(10.0), event::Value(10.0), event::Value(10.0)}});
+  ASSERT_EQ(out.size(), 2U);
+  EXPECT_DOUBLE_EQ(out[0].second.as_double(), 11.0);
+  EXPECT_DOUBLE_EQ(out[1].second.as_double(), 12.0);
+  // Phase 3: inputs re-sent but sum unchanged -> silence.
+}
+
+TEST(Sum, WaitsForAllPorts) {
+  const auto out = run_module(
+      factory_of<SumModule>(std::size_t{2}),
+      {Script{event::Value(1.0), std::nullopt},
+       Script{std::nullopt, event::Value(2.0)}});
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(out[0].first, 2U);  // emits once both ports have spoken
+  EXPECT_DOUBLE_EQ(out[0].second.as_double(), 3.0);
+}
+
+TEST(MaxMin, TrackLatestExtremes) {
+  const Script a{event::Value(1.0), event::Value(5.0), event::Value(2.0)};
+  const Script b{event::Value(3.0), event::Value(3.0), event::Value(3.0)};
+  const auto maxima =
+      run_module(factory_of<MaxModule>(std::size_t{2}), {a, b});
+  ASSERT_EQ(maxima.size(), 3U);
+  EXPECT_DOUBLE_EQ(maxima[0].second.as_double(), 3.0);
+  EXPECT_DOUBLE_EQ(maxima[1].second.as_double(), 5.0);
+  EXPECT_DOUBLE_EQ(maxima[2].second.as_double(), 3.0);
+
+  const auto minima =
+      run_module(factory_of<MinModule>(std::size_t{2}), {a, b});
+  ASSERT_EQ(minima.size(), 3U);
+  EXPECT_DOUBLE_EQ(minima[0].second.as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(minima[1].second.as_double(), 3.0);
+  EXPECT_DOUBLE_EQ(minima[2].second.as_double(), 2.0);
+}
+
+TEST(SnapshotJoin, EmitsVectorOfLatest) {
+  const auto out = run_module(
+      factory_of<SnapshotJoinModule>(std::size_t{2}),
+      {Script{event::Value(1.0), event::Value(2.0)},
+       Script{std::nullopt, event::Value(9.0)}});
+  ASSERT_EQ(out.size(), 1U);  // incomplete until phase 2
+  const auto& vec = out[0].second.as_vector();
+  ASSERT_EQ(vec.size(), 2U);
+  EXPECT_DOUBLE_EQ(vec[0], 2.0);
+  EXPECT_DOUBLE_EQ(vec[1], 9.0);
+}
+
+TEST(Quantile, TracksMedian) {
+  Script script;
+  for (int i = 1; i <= 101; ++i) {
+    script.push_back(event::Value(static_cast<double>(i)));
+  }
+  const auto out =
+      run_module(factory_of<QuantileModule>(0.5), {script});
+  ASSERT_EQ(out.size(), 101U);
+  EXPECT_NEAR(out.back().second.as_double(), 51.0, 3.0);
+}
+
+TEST(ChangeFilter, SuppressesSmallChanges) {
+  const auto out = run_module(
+      factory_of<ChangeFilterModule>(1.0),
+      {Script{event::Value(0.0), event::Value(0.5), event::Value(2.0),
+              event::Value(2.9), event::Value(4.5)}});
+  ASSERT_EQ(out.size(), 3U);
+  EXPECT_DOUBLE_EQ(out[0].second.as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(out[1].second.as_double(), 2.0);
+  EXPECT_DOUBLE_EQ(out[2].second.as_double(), 4.5);
+}
+
+TEST(Debounce, EnforcesMinimumGap) {
+  const auto out = run_module(
+      factory_of<DebounceModule>(event::PhaseId{3}),
+      {script_of(7, [](auto p) { return static_cast<double>(p); })});
+  ASSERT_EQ(out.size(), 3U);
+  EXPECT_EQ(out[0].first, 1U);
+  EXPECT_EQ(out[1].first, 4U);
+  EXPECT_EQ(out[2].first, 7U);
+}
+
+TEST(RateEstimator, ReportsEventsPerPhase) {
+  // Events on every phase: rate should converge to 1.0 once warm.
+  const auto out = run_module(
+      factory_of<RateEstimatorModule>(event::PhaseId{4}),
+      {script_of(8, [](auto) { return 1.0; })});
+  ASSERT_EQ(out.size(), 8U);
+  EXPECT_DOUBLE_EQ(out.back().second.as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(out[0].second.as_double(), 0.25);  // 1 event / window 4
+}
+
+TEST(Correlator, DetectsSignOfRelationship) {
+  Script xs;
+  Script ys;
+  for (int i = 0; i < 40; ++i) {
+    xs.push_back(event::Value(static_cast<double>(i)));
+    ys.push_back(event::Value(static_cast<double>(-2 * i)));
+  }
+  const auto out = run_module(
+      factory_of<CorrelatorModule>(std::size_t{16}), {xs, ys});
+  ASSERT_FALSE(out.empty());
+  EXPECT_NEAR(out.back().second.as_double(), -1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace df::model

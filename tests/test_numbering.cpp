@@ -1,0 +1,187 @@
+// Tests for the vertex-numbering machinery of paper section 3.1.1: paper-
+// fidelity checks on the Figure 2 example plus parameterized property sweeps
+// over generated graph families.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/numbering.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace df::graph {
+namespace {
+
+// --- Paper fidelity: Figure 2 -------------------------------------------
+
+TEST(PaperFigure2, SatisfactoryNumberingMatchesPaperM) {
+  const Dag dag = paper_figure2();
+  const Numbering numbering = compute_satisfactory_numbering(dag);
+  // Paper: "the sequence of values of m(v) from v = 0 to v = 7 is
+  // [ 3, 3, 4, 5, 5, 6, 7, 7 ]".
+  const std::vector<std::uint32_t> expected{3, 3, 4, 5, 5, 6, 7, 7};
+  EXPECT_EQ(numbering.m, expected);
+  EXPECT_TRUE(is_topological(dag, numbering));
+  EXPECT_TRUE(is_satisfactory(dag, numbering));
+}
+
+TEST(PaperFigure2, UnsatisfactoryNumberingReproducesPaperSValues) {
+  const Dag dag = paper_figure2();
+  const Numbering bad = make_numbering(dag, paper_figure2a_indices());
+  EXPECT_TRUE(is_topological(dag, bad));
+  EXPECT_FALSE(is_satisfactory(dag, bad));
+  // Paper: "S(2) is {1,2,3,5} and is not indexed sequentially because 4 is
+  // missing."
+  const std::set<std::uint32_t> expected_s2{1, 2, 3, 5};
+  EXPECT_EQ(compute_S(dag, bad, 2), expected_s2);
+  // S(0) and S(1) are {1,2,3} in both numberings.
+  const std::set<std::uint32_t> expected_s0{1, 2, 3};
+  EXPECT_EQ(compute_S(dag, bad, 0), expected_s0);
+  EXPECT_EQ(compute_S(dag, bad, 1), expected_s0);
+}
+
+TEST(PaperFigure2, SOfSatisfactoryNumberingIsAlwaysAPrefix) {
+  const Dag dag = paper_figure2();
+  const Numbering good = compute_satisfactory_numbering(dag);
+  for (std::uint32_t v = 0; v <= dag.vertex_count(); ++v) {
+    const auto s = compute_S(dag, good, v);
+    EXPECT_EQ(s.size(), good.m[v]) << "at v=" << v;
+    if (!s.empty()) {
+      EXPECT_EQ(*s.rbegin(), s.size()) << "S(" << v << ") is not a prefix";
+    }
+  }
+}
+
+TEST(PaperFigure2, SourceVerticesAreFirstIndices) {
+  const Dag dag = paper_figure2();
+  const Numbering numbering = compute_satisfactory_numbering(dag);
+  // S(0) = sources = {1..m(0)} means sources get indices 1..3.
+  for (const VertexId s : dag.sources()) {
+    EXPECT_LE(numbering.index_of[s], numbering.m[0]);
+  }
+}
+
+// --- m-function properties (eqns 2-4) ------------------------------------
+
+void check_m_properties(const Dag& dag, const Numbering& numbering) {
+  const auto n = static_cast<std::uint32_t>(dag.vertex_count());
+  for (std::uint32_t v = 1; v <= n; ++v) {
+    EXPECT_LE(numbering.m[v - 1], numbering.m[v]);  // eqn (2)
+  }
+  for (std::uint32_t v = 1; v < n; ++v) {
+    EXPECT_LT(v, numbering.m[v]);  // eqn (3)
+  }
+  EXPECT_EQ(numbering.m[n], n);  // eqn (4)
+}
+
+TEST(Numbering, FigureGraphsSatisfyMProperties) {
+  for (const Dag& dag : {paper_figure2(), paper_figure3()}) {
+    check_m_properties(dag, compute_satisfactory_numbering(dag));
+  }
+}
+
+TEST(Numbering, SingleVertexAndAllSourcesEdgeCases) {
+  const Dag single = chain(1);
+  const Numbering n1 = compute_satisfactory_numbering(single);
+  EXPECT_EQ(n1.m, (std::vector<std::uint32_t>{1, 1}));
+
+  Dag all_sources;
+  all_sources.add_vertex("a");
+  all_sources.add_vertex("b");
+  all_sources.add_vertex("c");
+  const Numbering n3 = compute_satisfactory_numbering(all_sources);
+  EXPECT_EQ(n3.m[0], 3U);
+  EXPECT_TRUE(is_satisfactory(all_sources, n3));
+}
+
+TEST(Numbering, ChainHasIdentityLikeM) {
+  const Dag dag = chain(6);
+  const Numbering numbering = compute_satisfactory_numbering(dag);
+  // For a chain, m(v) = v+1 for v < N (one new vertex released per finish).
+  for (std::uint32_t v = 0; v < 6; ++v) {
+    EXPECT_EQ(numbering.m[v], v + 1);
+  }
+}
+
+TEST(Numbering, MakeNumberingValidatesPermutation) {
+  const Dag dag = chain(3);
+  EXPECT_THROW(make_numbering(dag, {1, 1, 2}), support::check_error);
+  EXPECT_THROW(make_numbering(dag, {0, 1, 2}), support::check_error);
+  EXPECT_THROW(make_numbering(dag, {1, 2}), support::check_error);
+}
+
+TEST(Numbering, DetectsNonTopologicalNumbering) {
+  const Dag dag = chain(3);  // edges 1->2->3 in original order
+  const Numbering reversed = make_numbering(dag, {3, 2, 1});
+  EXPECT_FALSE(is_topological(dag, reversed));
+  EXPECT_FALSE(is_satisfactory(dag, reversed));
+}
+
+TEST(Numbering, ReleaseIndicesMatchDefinition) {
+  const Dag dag = paper_figure2();
+  const Numbering numbering = compute_satisfactory_numbering(dag);
+  const auto releases = release_indices(dag, numbering);
+  for (VertexId v = 0; v < dag.vertex_count(); ++v) {
+    std::uint32_t expected = 0;
+    for (const Edge& e : dag.in_edges(v)) {
+      expected = std::max(expected, numbering.index_of[e.from]);
+    }
+    EXPECT_EQ(releases[v], expected);
+  }
+}
+
+// --- Property sweep over graph families -----------------------------------
+
+struct GraphCase {
+  std::string name;
+  Dag dag;
+};
+
+class NumberingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NumberingProperty, GreedyAlwaysProducesSatisfactoryNumbering) {
+  const std::uint64_t seed = GetParam();
+  support::Rng rng(seed);
+  std::vector<GraphCase> cases;
+  cases.push_back({"chain", chain(1 + static_cast<std::uint32_t>(seed % 40))});
+  cases.push_back(
+      {"diamond", diamond(1 + static_cast<std::uint32_t>(seed % 12))});
+  cases.push_back({"layered", layered(2 + seed % 5, 3 + seed % 4, 2, rng)});
+  cases.push_back({"in_tree", binary_in_tree(2 + seed % 4)});
+  cases.push_back({"out_tree", binary_out_tree(2 + seed % 4)});
+  cases.push_back(
+      {"random_sparse", random_dag(20 + seed % 30, 0.08, rng)});
+  cases.push_back({"random_dense", random_dag(15 + seed % 15, 0.5, rng)});
+
+  for (const GraphCase& c : cases) {
+    const Numbering numbering = compute_satisfactory_numbering(c.dag);
+    EXPECT_TRUE(is_topological(c.dag, numbering)) << c.name;
+    EXPECT_TRUE(is_satisfactory(c.dag, numbering)) << c.name;
+    check_m_properties(c.dag, numbering);
+    // S(v) evaluated from the definition must be the prefix {1..m(v)}.
+    for (std::uint32_t v = 0; v <= c.dag.vertex_count(); ++v) {
+      const auto s = compute_S(c.dag, numbering, v);
+      ASSERT_EQ(s.size(), numbering.m[v]) << c.name << " at v=" << v;
+      std::uint32_t expected = 1;
+      for (const std::uint32_t member : s) {
+        ASSERT_EQ(member, expected++) << c.name << " at v=" << v;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NumberingProperty,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+TEST(Numbering, DeterministicAcrossCalls) {
+  support::Rng rng(5);
+  const Dag dag = random_dag(40, 0.2, rng);
+  const Numbering a = compute_satisfactory_numbering(dag);
+  const Numbering b = compute_satisfactory_numbering(dag);
+  EXPECT_EQ(a.index_of, b.index_of);
+  EXPECT_EQ(a.m, b.m);
+}
+
+}  // namespace
+}  // namespace df::graph

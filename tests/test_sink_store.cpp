@@ -1,0 +1,123 @@
+// Unit tests for the sink store and the serializability comparator.
+#include <gtest/gtest.h>
+
+#include "concurrency/thread_pool.hpp"
+#include "core/sink_store.hpp"
+#include "trace/serializability.hpp"
+
+namespace df::core {
+namespace {
+
+SinkRecord rec(event::PhaseId phase, graph::VertexId vertex, double value) {
+  return SinkRecord{phase, vertex, 0, event::Value(value)};
+}
+
+TEST(SinkStore, CanonicalOrdersByPhaseVertexPort) {
+  SinkStore store;
+  store.record_batch({rec(2, 1, 21.0)});
+  store.record_batch({rec(1, 2, 12.0)});
+  store.record_batch({rec(1, 1, 11.0)});
+  const auto sorted = store.canonical();
+  ASSERT_EQ(sorted.size(), 3U);
+  EXPECT_DOUBLE_EQ(sorted[0].value.as_double(), 11.0);
+  EXPECT_DOUBLE_EQ(sorted[1].value.as_double(), 12.0);
+  EXPECT_DOUBLE_EQ(sorted[2].value.as_double(), 21.0);
+}
+
+TEST(SinkStore, BatchEmissionOrderIsPreserved) {
+  SinkStore store;
+  // Two emissions on the same (phase, vertex, port) keep batch order.
+  store.record_batch({rec(1, 1, 1.0), rec(1, 1, 2.0)});
+  const auto sorted = store.canonical();
+  ASSERT_EQ(sorted.size(), 2U);
+  EXPECT_DOUBLE_EQ(sorted[0].value.as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(sorted[1].value.as_double(), 2.0);
+}
+
+TEST(SinkStore, ForVertexFilters) {
+  SinkStore store;
+  store.record_batch({rec(1, 1, 1.0), rec(1, 2, 2.0), rec(2, 1, 3.0)});
+  const auto only = store.for_vertex(1);
+  ASSERT_EQ(only.size(), 2U);
+  EXPECT_EQ(only[0].phase, 1U);
+  EXPECT_EQ(only[1].phase, 2U);
+}
+
+TEST(SinkStore, EmptyBatchIsNoOp) {
+  SinkStore store;
+  store.record_batch({});
+  EXPECT_EQ(store.size(), 0U);
+}
+
+TEST(SinkStore, ClearResets) {
+  SinkStore store;
+  store.record_batch({rec(1, 1, 1.0)});
+  store.clear();
+  EXPECT_EQ(store.size(), 0U);
+}
+
+TEST(SinkStore, ConcurrentBatchesAllLand) {
+  SinkStore store;
+  conc::parallel_for_threads(8, [&](std::size_t t) {
+    for (int i = 0; i < 500; ++i) {
+      store.record_batch(
+          {rec(static_cast<event::PhaseId>(i + 1),
+               static_cast<graph::VertexId>(t), static_cast<double>(i))});
+    }
+  });
+  EXPECT_EQ(store.size(), 4000U);
+}
+
+TEST(SinkRecordToString, MentionsFields) {
+  const std::string text = to_string(rec(3, 7, 1.5));
+  EXPECT_NE(text.find("phase 3"), std::string::npos);
+  EXPECT_NE(text.find("vertex 7"), std::string::npos);
+  EXPECT_NE(text.find("1.5"), std::string::npos);
+}
+
+TEST(CompareSinks, DetectsValueMismatch) {
+  SinkStore a;
+  SinkStore b;
+  a.record_batch({rec(1, 1, 1.0)});
+  b.record_batch({rec(1, 1, 2.0)});
+  const auto report = trace::compare_sinks(a, b);
+  EXPECT_FALSE(report.equivalent);
+  ASSERT_FALSE(report.differences.empty());
+  EXPECT_NE(report.summary().find("DIVERGENT"), std::string::npos);
+}
+
+TEST(CompareSinks, DetectsCountMismatch) {
+  SinkStore a;
+  SinkStore b;
+  a.record_batch({rec(1, 1, 1.0), rec(2, 1, 2.0)});
+  b.record_batch({rec(1, 1, 1.0)});
+  const auto report = trace::compare_sinks(a, b);
+  EXPECT_FALSE(report.equivalent);
+  EXPECT_EQ(report.reference_records, 2U);
+  EXPECT_EQ(report.candidate_records, 1U);
+}
+
+TEST(CompareSinks, EquivalentStores) {
+  SinkStore a;
+  SinkStore b;
+  a.record_batch({rec(1, 1, 1.0)});
+  b.record_batch({rec(1, 1, 1.0)});
+  const auto report = trace::compare_sinks(a, b);
+  EXPECT_TRUE(report.equivalent);
+  EXPECT_NE(report.summary().find("EQUIVALENT"), std::string::npos);
+}
+
+TEST(CompareSinks, DifferenceListIsBounded) {
+  SinkStore a;
+  SinkStore b;
+  for (int i = 1; i <= 50; ++i) {
+    a.record_batch({rec(static_cast<event::PhaseId>(i), 1, 1.0)});
+    b.record_batch({rec(static_cast<event::PhaseId>(i), 1, 2.0)});
+  }
+  const auto report = trace::compare_sinks(a, b, 5);
+  EXPECT_FALSE(report.equivalent);
+  EXPECT_LE(report.differences.size(), 5U);
+}
+
+}  // namespace
+}  // namespace df::core

@@ -1,0 +1,212 @@
+// Unit tests for the streaming-statistics substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace df::support {
+namespace {
+
+double direct_mean(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (const double x : xs) {
+    sum += x;
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+double direct_variance(const std::vector<double>& xs) {
+  const double m = direct_mean(xs);
+  double sum = 0.0;
+  for (const double x : xs) {
+    sum += (x - m) * (x - m);
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  Rng rng(1);
+  std::vector<double> xs;
+  RunningStats stats;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double(-50.0, 50.0);
+    xs.push_back(x);
+    stats.add(x);
+  }
+  EXPECT_NEAR(stats.mean(), direct_mean(xs), 1e-9);
+  EXPECT_NEAR(stats.variance(), direct_variance(xs), 1e-8);
+  EXPECT_EQ(stats.count(), 1000U);
+}
+
+TEST(RunningStats, TracksMinMaxSum) {
+  RunningStats stats;
+  stats.add(3.0);
+  stats.add(-1.0);
+  stats.add(7.0);
+  EXPECT_DOUBLE_EQ(stats.min(), -1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 7.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+  Rng rng(2);
+  RunningStats left;
+  RunningStats right;
+  RunningStats all;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.next_normal(10.0, 3.0);
+    (i % 2 == 0 ? left : right).add(x);
+    all.add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-8);
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats b;
+  b.add(5.0);
+  a.merge(b);  // empty += non-empty
+  EXPECT_EQ(a.count(), 1U);
+  RunningStats c;
+  a.merge(c);  // non-empty += empty
+  EXPECT_EQ(a.count(), 1U);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+}
+
+TEST(RunningStats, SampleVarianceUsesBesselCorrection) {
+  RunningStats stats;
+  stats.add(1.0);
+  EXPECT_DOUBLE_EQ(stats.sample_variance(), 0.0);
+  stats.add(3.0);
+  EXPECT_DOUBLE_EQ(stats.sample_variance(), 2.0);  // ((1-2)^2+(3-2)^2)/1
+  EXPECT_DOUBLE_EQ(stats.variance(), 1.0);
+}
+
+TEST(WindowedStats, SlidesCorrectly) {
+  WindowedStats window(3);
+  window.add(1.0);
+  window.add(2.0);
+  window.add(3.0);
+  EXPECT_TRUE(window.full());
+  EXPECT_DOUBLE_EQ(window.mean(), 2.0);
+  window.add(10.0);  // evicts 1.0 -> {2,3,10}
+  EXPECT_DOUBLE_EQ(window.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(window.min(), 2.0);
+  EXPECT_DOUBLE_EQ(window.max(), 10.0);
+  EXPECT_DOUBLE_EQ(window.front(), 2.0);
+  EXPECT_DOUBLE_EQ(window.back(), 10.0);
+}
+
+TEST(WindowedStats, VarianceMatchesDirect) {
+  Rng rng(3);
+  WindowedStats window(32);
+  std::vector<double> recent;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.next_double(0.0, 100.0);
+    window.add(x);
+    recent.push_back(x);
+    if (recent.size() > 32) {
+      recent.erase(recent.begin());
+    }
+    ASSERT_NEAR(window.variance(), direct_variance(recent), 1e-6);
+  }
+}
+
+TEST(WindowedStats, RejectsZeroCapacityAndEmptyQueries) {
+  EXPECT_THROW(WindowedStats(0), check_error);
+  WindowedStats window(4);
+  EXPECT_THROW(window.min(), check_error);
+  EXPECT_DOUBLE_EQ(window.mean(), 0.0);  // empty mean defined as 0
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+  Ewma ewma(0.25);
+  EXPECT_FALSE(ewma.initialized());
+  for (int i = 0; i < 100; ++i) {
+    ewma.add(8.0);
+  }
+  EXPECT_TRUE(ewma.initialized());
+  EXPECT_NEAR(ewma.value(), 8.0, 1e-9);
+}
+
+TEST(Ewma, FirstSampleInitializes) {
+  Ewma ewma(0.5);
+  ewma.add(4.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 4.0);
+  ewma.add(8.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 6.0);
+}
+
+TEST(Ewma, RejectsInvalidAlpha) {
+  EXPECT_THROW(Ewma(0.0), check_error);
+  EXPECT_THROW(Ewma(1.5), check_error);
+}
+
+TEST(OnlineLinearRegression, RecoversExactLine) {
+  OnlineLinearRegression reg;
+  for (int i = 0; i < 50; ++i) {
+    reg.add(i, 3.0 * i + 2.0);
+  }
+  ASSERT_TRUE(reg.has_fit());
+  EXPECT_NEAR(reg.slope(), 3.0, 1e-9);
+  EXPECT_NEAR(reg.intercept(), 2.0, 1e-8);
+  EXPECT_NEAR(reg.predict(100.0), 302.0, 1e-7);
+  EXPECT_NEAR(reg.correlation(), 1.0, 1e-9);
+}
+
+TEST(OnlineLinearRegression, NegativeCorrelation) {
+  OnlineLinearRegression reg;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    reg.add(i, -2.0 * i + rng.next_normal(0.0, 0.1));
+  }
+  EXPECT_LT(reg.correlation(), -0.999);
+}
+
+TEST(OnlineLinearRegression, RemoveRestoresPreviousFit) {
+  OnlineLinearRegression reg;
+  for (int i = 0; i < 20; ++i) {
+    reg.add(i, 2.0 * i);
+  }
+  const double slope_before = reg.slope();
+  reg.add(100.0, -500.0);  // wild outlier
+  EXPECT_NE(reg.slope(), slope_before);
+  reg.remove(100.0, -500.0);
+  EXPECT_NEAR(reg.slope(), slope_before, 1e-9);
+}
+
+TEST(OnlineLinearRegression, NoFitForDegenerateX) {
+  OnlineLinearRegression reg;
+  reg.add(5.0, 1.0);
+  reg.add(5.0, 2.0);  // vertical line: no defined slope
+  EXPECT_FALSE(reg.has_fit());
+  EXPECT_DOUBLE_EQ(reg.slope(), 0.0);
+}
+
+TEST(RollingCorrelation, TracksWindowedRelationship) {
+  RollingCorrelation corr(16);
+  // First 16 samples positively correlated, then strongly negative.
+  for (int i = 0; i < 16; ++i) {
+    corr.add(i, i);
+  }
+  EXPECT_NEAR(corr.correlation(), 1.0, 1e-9);
+  for (int i = 16; i < 48; ++i) {
+    corr.add(i, -i);
+  }
+  EXPECT_NEAR(corr.correlation(), -1.0, 1e-9);
+  EXPECT_TRUE(corr.full());
+}
+
+TEST(RollingCorrelation, RequiresTwoSampleWindow) {
+  EXPECT_THROW(RollingCorrelation(1), check_error);
+}
+
+}  // namespace
+}  // namespace df::support

@@ -1,0 +1,109 @@
+// Tests for the out-of-order event handling extension (paper section 6).
+#include <gtest/gtest.h>
+
+#include "event/watermark.hpp"
+#include "support/check.hpp"
+
+namespace df::event {
+namespace {
+
+DelayedEvent at(Timestamp generated, Timestamp arrived) {
+  return DelayedEvent{generated, arrived, ExternalEvent{0, 0, Value(1.0)}};
+}
+
+TEST(WatermarkAssembler, ClosesPhaseWhenWatermarkPasses) {
+  WatermarkAssembler assembler(/*wait=*/5);
+  EXPECT_TRUE(assembler.feed(at(10, 11)).empty());
+  // Arrival at 14: watermark 14 - wait 5 = 9 < 10, still open.
+  EXPECT_TRUE(assembler.feed(at(11, 14)).empty());
+  // Arrival at 16: watermark 11 >= 10 closes generation time 10.
+  const auto closed = assembler.feed(at(12, 16));
+  ASSERT_EQ(closed.size(), 2U);  // generation times 10 and 11
+  EXPECT_EQ(closed[0].timestamp, 10);
+  EXPECT_EQ(closed[0].phase, 1U);
+  EXPECT_EQ(closed[1].timestamp, 11);
+  EXPECT_EQ(closed[1].phase, 2U);
+}
+
+TEST(WatermarkAssembler, GroupsEventsOfSameGenerationTime) {
+  WatermarkAssembler assembler(/*wait=*/4);
+  assembler.feed(at(5, 6));
+  assembler.feed(at(5, 7));  // second arrival for the same generation time
+  const auto closed = assembler.feed(at(6, 10));  // watermark 10-4 >= 5
+  ASSERT_GE(closed.size(), 1U);
+  EXPECT_EQ(closed[0].timestamp, 5);
+  EXPECT_EQ(closed[0].events.size(), 2U);
+}
+
+TEST(WatermarkAssembler, ReordersWithinWait) {
+  WatermarkAssembler assembler(/*wait=*/10);
+  // Generation times arrive out of order: 7 after 9.
+  assembler.feed(at(9, 12));
+  assembler.feed(at(7, 13));
+  const auto closed = assembler.flush();
+  ASSERT_EQ(closed.size(), 2U);
+  EXPECT_EQ(closed[0].timestamp, 7);  // generation order restored
+  EXPECT_EQ(closed[1].timestamp, 9);
+  EXPECT_EQ(assembler.late_events(), 0U);
+}
+
+TEST(WatermarkAssembler, CountsLateEventsAsDropped) {
+  WatermarkAssembler assembler(/*wait=*/1);
+  assembler.feed(at(10, 11));
+  // This arrival pushes the watermark to 19, closing everything <= 18.
+  const auto closed = assembler.feed(at(15, 20));
+  ASSERT_FALSE(closed.empty());
+  // A straggler for generation time 12 arrives after its phase closed.
+  EXPECT_TRUE(assembler.feed(at(12, 21)).empty());
+  EXPECT_EQ(assembler.late_events(), 1U);
+  EXPECT_EQ(assembler.accepted_events(), 2U);
+}
+
+TEST(WatermarkAssembler, LargerWaitLosesFewerEvents) {
+  support::Rng rng(1);
+  const auto run = [&](Timestamp wait) {
+    DelayModel model(/*base_delay=*/1, /*mean_extra_delay=*/8.0, /*seed=*/7);
+    std::vector<DelayedEvent> delayed;
+    for (Timestamp t = 1; t <= 2000; ++t) {
+      delayed.push_back(model.delay(
+          TimestampedEvent{t, ExternalEvent{0, 0, Value(1.0)}}));
+    }
+    delayed = DelayModel::arrival_order(std::move(delayed));
+    WatermarkAssembler assembler(wait);
+    for (const DelayedEvent& e : delayed) {
+      assembler.feed(e);
+    }
+    assembler.flush();
+    return assembler.late_events();
+  };
+  const auto late_short = run(1);
+  const auto late_long = run(100);
+  EXPECT_GT(late_short, late_long);
+  EXPECT_LE(late_long, 1U);  // ~12 mean-delay units of slack: ~no losses
+  (void)rng;
+}
+
+TEST(DelayModel, ZeroDelayPreservesTimestamps) {
+  DelayModel model(0, 0.0, 1);
+  const auto delayed =
+      model.delay(TimestampedEvent{42, ExternalEvent{0, 0, Value(1.0)}});
+  EXPECT_EQ(delayed.generated, 42);
+  EXPECT_EQ(delayed.arrived, 42);
+}
+
+TEST(DelayModel, ArrivalOrderSorts) {
+  std::vector<DelayedEvent> events{at(1, 30), at(2, 10), at(3, 20)};
+  const auto sorted = DelayModel::arrival_order(std::move(events));
+  EXPECT_EQ(sorted[0].generated, 2);
+  EXPECT_EQ(sorted[1].generated, 3);
+  EXPECT_EQ(sorted[2].generated, 1);
+}
+
+TEST(DelayModel, RejectsNegativeParameters) {
+  EXPECT_THROW(DelayModel(-1, 0.0, 1), support::check_error);
+  EXPECT_THROW(DelayModel(0, -1.0, 1), support::check_error);
+  EXPECT_THROW(WatermarkAssembler(-3), support::check_error);
+}
+
+}  // namespace
+}  // namespace df::event

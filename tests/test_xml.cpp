@@ -1,0 +1,109 @@
+// Unit tests for the XML-subset parser.
+#include <gtest/gtest.h>
+
+#include "spec/xml.hpp"
+#include "support/check.hpp"
+
+namespace df::spec {
+namespace {
+
+TEST(Xml, ParsesElementWithAttributes) {
+  const XmlNode root = parse_xml(R"(<a x="1" y='two'/>)");
+  EXPECT_EQ(root.name, "a");
+  EXPECT_EQ(root.attribute("x"), "1");
+  EXPECT_EQ(root.attribute("y"), "two");
+  EXPECT_TRUE(root.has_attribute("x"));
+  EXPECT_FALSE(root.has_attribute("z"));
+  EXPECT_EQ(root.attribute_or("z", "dflt"), "dflt");
+}
+
+TEST(Xml, ParsesNestedChildren) {
+  const XmlNode root = parse_xml(
+      "<graph><vertex id=\"a\"/><vertex id=\"b\"/><edge from=\"a\" "
+      "to=\"b\"/></graph>");
+  EXPECT_EQ(root.children.size(), 3U);
+  EXPECT_EQ(root.children_named("vertex").size(), 2U);
+  ASSERT_NE(root.child("edge"), nullptr);
+  EXPECT_EQ(root.child("edge")->attribute("from"), "a");
+  EXPECT_EQ(root.child("missing"), nullptr);
+}
+
+TEST(Xml, ParsesTextContent) {
+  const XmlNode root = parse_xml("<note>  hello world  </note>");
+  EXPECT_EQ(root.text, "hello world");
+}
+
+TEST(Xml, SkipsCommentsAndDeclaration) {
+  const XmlNode root = parse_xml(
+      "<?xml version=\"1.0\"?>\n"
+      "<!-- top comment -->\n"
+      "<a><!-- inner --><b/><!-- tail --></a>");
+  EXPECT_EQ(root.name, "a");
+  EXPECT_EQ(root.children.size(), 1U);
+}
+
+TEST(Xml, DecodesEntities) {
+  const XmlNode root = parse_xml(
+      R"(<a msg="1 &lt; 2 &amp;&amp; 3 &gt; 2">&quot;q&quot;&apos;</a>)");
+  EXPECT_EQ(root.attribute("msg"), "1 < 2 && 3 > 2");
+  EXPECT_EQ(root.text, "\"q\"'");
+}
+
+TEST(Xml, MismatchedClosingTagFails) {
+  EXPECT_THROW(parse_xml("<a><b></a></b>"), xml_error);
+}
+
+TEST(Xml, UnterminatedElementFails) {
+  EXPECT_THROW(parse_xml("<a><b/>"), xml_error);
+}
+
+TEST(Xml, DuplicateAttributeFails) {
+  EXPECT_THROW(parse_xml("<a x=\"1\" x=\"2\"/>"), xml_error);
+}
+
+TEST(Xml, UnknownEntityFails) {
+  EXPECT_THROW(parse_xml("<a>&bogus;</a>"), xml_error);
+}
+
+TEST(Xml, TrailingContentFails) {
+  EXPECT_THROW(parse_xml("<a/><b/>"), xml_error);
+}
+
+TEST(Xml, EmptyDocumentFails) {
+  EXPECT_THROW(parse_xml("   "), xml_error);
+}
+
+TEST(Xml, ErrorsCarryPosition) {
+  try {
+    parse_xml("<a>\n  <b x=></b>\n</a>");
+    FAIL() << "expected xml_error";
+  } catch (const xml_error& e) {
+    EXPECT_EQ(e.line(), 2U);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Xml, RoundTripThroughToXml) {
+  const std::string text =
+      "<computation><simulation timesteps=\"10\"/><graph><vertex id=\"a\" "
+      "type=\"counter\"/></graph></computation>";
+  const XmlNode parsed = parse_xml(text);
+  const std::string serialized = to_xml(parsed);
+  const XmlNode reparsed = parse_xml(serialized);
+  EXPECT_EQ(reparsed.name, parsed.name);
+  ASSERT_EQ(reparsed.children.size(), parsed.children.size());
+  EXPECT_EQ(reparsed.child("simulation")->attribute("timesteps"), "10");
+  EXPECT_EQ(reparsed.child("graph")->children[0].attribute("type"),
+            "counter");
+}
+
+TEST(Xml, EscapesOnSerialize) {
+  XmlNode node;
+  node.name = "n";
+  node.attributes["msg"] = "a<b&c\"d";
+  const XmlNode back = parse_xml(to_xml(node));
+  EXPECT_EQ(back.attribute("msg"), "a<b&c\"d");
+}
+
+}  // namespace
+}  // namespace df::spec

@@ -1,0 +1,85 @@
+// Robustness sweep for the XML parser: random mutations of a valid
+// specification must either parse or throw xml_error / check_error —
+// never crash, hang, or corrupt memory.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "spec/spec.hpp"
+#include "spec/xml.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace df::spec {
+namespace {
+
+const char* kBase = R"(<computation>
+  <simulation timesteps="10" seed="1" threads="2"/>
+  <graph>
+    <vertex id="a" type="counter"/>
+    <vertex id="b" type="forward"/>
+    <edge from="a" to="b"/>
+  </graph>
+</computation>)";
+
+class XmlFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XmlFuzz, MutatedDocumentsNeverCrash) {
+  support::Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text = kBase;
+    const int mutations = 1 + static_cast<int>(rng.next_below(6));
+    for (int m = 0; m < mutations; ++m) {
+      const std::size_t pos =
+          static_cast<std::size_t>(rng.next_below(text.size()));
+      switch (rng.next_below(4)) {
+        case 0:  // flip a character
+          text[pos] = static_cast<char>(32 + rng.next_below(95));
+          break;
+        case 1:  // delete a character
+          text.erase(pos, 1);
+          break;
+        case 2:  // duplicate a character
+          text.insert(pos, 1, text[pos]);
+          break;
+        default:  // insert structural noise
+          text.insert(pos, "<");
+          break;
+      }
+    }
+    try {
+      const ComputationSpec spec = parse_spec(text);
+      // If it parsed, building the program must also either work or throw.
+      try {
+        (void)spec.to_program();
+      } catch (const support::check_error&) {
+      }
+    } catch (const xml_error&) {
+    } catch (const support::check_error&) {
+    }
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlFuzz,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+TEST(XmlFuzz, RandomGarbageNeverCrashes) {
+  support::Rng rng(42);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    const std::size_t length = rng.next_below(120);
+    for (std::size_t i = 0; i < length; ++i) {
+      text.push_back(static_cast<char>(rng.next_below(256)));
+    }
+    try {
+      (void)parse_xml(text);
+    } catch (const xml_error&) {
+    } catch (const support::check_error&) {
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace df::spec
