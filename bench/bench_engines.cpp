@@ -13,6 +13,7 @@
 #include "baseline/lockstep.hpp"
 #include "baseline/sequential.hpp"
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/engine.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
@@ -57,6 +58,14 @@ int main(int argc, char** argv) {
     table.add_row({name, support::Table::num(stats.wall_seconds * 1e3, 1),
                    support::Table::num(stats.pairs_per_second(), 0),
                    support::Table::num(base / stats.wall_seconds, 2) + "x"});
+    bench::JsonLine("engines", name)
+        .config("phases", phases)
+        .config("grain_ns", grain_ns)
+        .config("threads", static_cast<std::uint64_t>(threads))
+        .metric("wall_ms", stats.wall_seconds * 1e3)
+        .metric("pairs_per_sec", stats.pairs_per_second())
+        .metric("speedup_vs_sequential", base / stats.wall_seconds)
+        .emit();
   };
   row("sequential", sequential.stats());
   row("lockstep", lockstep.stats());

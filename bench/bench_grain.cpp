@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/engine.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
@@ -66,6 +67,19 @@ int main(int argc, char** argv) {
                    : 100.0 * static_cast<double>(stats.bookkeeping_ns) /
                          total_ns,
                1)});
+      bench::JsonLine("grain", "grain_thread_sweep")
+          .config("grain_ns", grain)
+          .config("threads", static_cast<std::uint64_t>(threads))
+          .config("phases", phases)
+          .metric("wall_ms", wall_ms)
+          .metric("pairs_per_sec", stats.pairs_per_second())
+          .metric("speedup", base_ms / wall_ms)
+          .metric("bookkeeping_pct",
+                  total_ns <= 0.0
+                      ? 0.0
+                      : 100.0 * static_cast<double>(stats.bookkeeping_ns) /
+                            total_ns)
+          .emit();
     }
   }
   std::printf("%s", table.render().c_str());

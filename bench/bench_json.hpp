@@ -1,0 +1,75 @@
+// Machine-readable benchmark output.
+//
+// Every bench binary prints, alongside its human-oriented table, one JSON
+// object per measured row so sweeps can be diffed across commits without
+// scraping tables. A line looks like
+//
+//   {"bench":"micro","name":"scheduler_pair_bookkeeping/512",
+//    "config":{"n":512},"ns_per_op":281.7,"pairs_per_sec":3551234.0}
+//
+// Lines are self-delimiting (one object per line, line starts with
+// {"bench":) so a consumer can grep them out of mixed stdout. The merged
+// before/after trajectory lives in BENCH_seed_vs_flat.json at the repo
+// root; ROADMAP.md describes the workflow.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace df::bench {
+
+/// Builder for one JSON benchmark line. Config fields describe the measured
+/// configuration (graph size, threads, window, ...); metrics are the
+/// measured numbers. Keys must be plain identifiers; string values are
+/// emitted verbatim (no escaping), which every caller in bench/ satisfies.
+class JsonLine {
+ public:
+  JsonLine(const std::string& bench, const std::string& name) {
+    out_ = "{\"bench\":\"" + bench + "\",\"name\":\"" + name + "\"";
+  }
+
+  JsonLine& config(const std::string& key, const std::string& value) {
+    config_ += (config_.empty() ? "" : ",");
+    config_ += "\"" + key + "\":\"" + value + "\"";
+    return *this;
+  }
+  JsonLine& config(const std::string& key, std::uint64_t value) {
+    config_ += (config_.empty() ? "" : ",");
+    config_ += "\"" + key + "\":" + std::to_string(value);
+    return *this;
+  }
+  JsonLine& config(const std::string& key, double value) {
+    config_ += (config_.empty() ? "" : ",");
+    config_ += "\"" + key + "\":" + format(value);
+    return *this;
+  }
+
+  JsonLine& metric(const std::string& key, double value) {
+    metrics_ += ",\"" + key + "\":" + format(value);
+    return *this;
+  }
+  JsonLine& metric(const std::string& key, std::uint64_t value) {
+    metrics_ += ",\"" + key + "\":" + std::to_string(value);
+    return *this;
+  }
+
+  /// Prints the assembled line to stdout.
+  void emit() const {
+    std::printf("%s,\"config\":{%s}%s}\n", out_.c_str(), config_.c_str(),
+                metrics_.c_str());
+  }
+
+ private:
+  static std::string format(double value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    return buffer;
+  }
+
+  std::string out_;
+  std::string config_;
+  std::string metrics_;
+};
+
+}  // namespace df::bench

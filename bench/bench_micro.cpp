@@ -7,6 +7,8 @@
 
 #include <mutex>
 
+#include "bench_gbench_json.hpp"
+
 #include "concurrency/blocking_queue.hpp"
 #include "concurrency/sharded_counter.hpp"
 #include "concurrency/spsc_ring.hpp"
@@ -91,6 +93,46 @@ void BM_scheduler_pair_bookkeeping(benchmark::State& state) {
 }
 BENCHMARK(BM_scheduler_pair_bookkeeping)->Arg(8)->Arg(64)->Arg(512);
 
+/// Same workload through the flat buffer-reuse API the engine uses: spans
+/// for deliveries, a caller-owned ready buffer, and the executed bundle
+/// recycled into the scheduler's pool (zero allocations at steady state).
+void BM_scheduler_pair_bookkeeping_reuse(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const graph::Dag dag = graph::chain(n);
+  const graph::Numbering numbering =
+      graph::compute_satisfactory_numbering(dag);
+  std::uint64_t pairs = 0;
+  core::Scheduler scheduler(numbering.m);
+  std::vector<event::InputBundle> bundles(1);
+  std::vector<core::Scheduler::ReadyPair> queue;
+  std::vector<core::Scheduler::ReadyPair> ready;
+  std::vector<core::Scheduler::Delivery> deliveries;
+  event::PhaseId phase = 0;
+  for (auto _ : state) {
+    bundles.assign(1, event::InputBundle{});
+    scheduler.start_phase(++phase, std::span(bundles), queue);
+    while (!queue.empty()) {
+      core::Scheduler::ReadyPair pair = std::move(queue.back());
+      queue.pop_back();
+      deliveries.clear();
+      if (pair.vertex < n) {
+        deliveries.push_back(core::Scheduler::Delivery{
+            pair.vertex + 1, 0, event::Value(1.0)});
+      }
+      ready.clear();
+      scheduler.finish_execution(pair.vertex, pair.phase,
+                                 std::span(deliveries),
+                                 std::move(pair.bundle), ready);
+      for (auto& r : ready) {
+        queue.push_back(std::move(r));
+      }
+      ++pairs;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(pairs));
+}
+BENCHMARK(BM_scheduler_pair_bookkeeping_reuse)->Arg(8)->Arg(64)->Arg(512);
+
 void BM_rng_next_normal(benchmark::State& state) {
   support::Rng rng(1);
   for (auto _ : state) {
@@ -110,4 +152,6 @@ BENCHMARK(BM_value_copy_double);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return df::bench::run_benchmarks_with_json(argc, argv, "micro");
+}

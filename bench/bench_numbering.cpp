@@ -9,6 +9,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "bench_gbench_json.hpp"
+
 #include "graph/generators.hpp"
 #include "graph/numbering.hpp"
 #include "support/rng.hpp"
@@ -97,7 +99,5 @@ BENCHMARK(BM_renumber_random)->Arg(64)->Arg(512)->Arg(4096);
 
 int main(int argc, char** argv) {
   print_figure2();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return df::bench::run_benchmarks_with_json(argc, argv, "numbering");
 }

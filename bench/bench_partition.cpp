@@ -11,6 +11,7 @@
 
 #include "baseline/sequential.hpp"
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "distrib/cluster.hpp"
 #include "graph/partition.hpp"
 #include "support/cli.hpp"
@@ -91,6 +92,18 @@ int main(int argc, char** argv) {
                                  2) +
                  "x",
              support::Table::num(worst_util, 2)});
+        bench::JsonLine("partition", strategy.name)
+            .config("machines", static_cast<std::uint64_t>(machines))
+            .config("latency_us", static_cast<std::uint64_t>(latency_us))
+            .config("phases", phases)
+            .config("vertex_cost_ns", cost_ns)
+            .metric("edge_cut", static_cast<std::uint64_t>(metrics.edge_cut))
+            .metric("makespan_ms",
+                    static_cast<double>(cs.makespan_ns) / 1e6)
+            .metric("speedup",
+                    base_makespan / static_cast<double>(cs.makespan_ns))
+            .metric("util_worst", worst_util)
+            .emit();
 
         const auto report =
             trace::compare_sinks(reference.sinks(), cluster.sinks());

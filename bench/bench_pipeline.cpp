@@ -10,6 +10,7 @@
 
 #include "baseline/lockstep.hpp"
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/engine.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
@@ -48,6 +49,21 @@ int main(int argc, char** argv) {
          support::Table::num(stats.mean_inflight_phases, 2),
          support::Table::num(engine.inflight_histogram().quantile(0.95)),
          support::Table::num(stats.phases_per_second(), 0)});
+    bench::JsonLine("pipeline", "window_sweep")
+        .config("window", static_cast<std::uint64_t>(window))
+        .config("phases", phases)
+        .config("grain_ns", grain_ns)
+        .config("threads", static_cast<std::uint64_t>(threads))
+        .metric("wall_ms", stats.wall_seconds * 1e3)
+        .metric("ns_per_op", stats.executed_pairs == 0
+                                 ? 0.0
+                                 : stats.wall_seconds * 1e9 /
+                                       static_cast<double>(
+                                           stats.executed_pairs))
+        .metric("pairs_per_sec", stats.pairs_per_second())
+        .metric("phases_per_sec", stats.phases_per_second())
+        .metric("mean_inflight", stats.mean_inflight_phases)
+        .emit();
   }
   std::printf("%s", table.render().c_str());
 
@@ -57,6 +73,14 @@ int main(int argc, char** argv) {
   const auto ls = lockstep.stats();
   std::printf("lockstep baseline: %s ms, pipeline depth pinned at 1\n",
               support::Table::num(ls.wall_seconds * 1e3, 1).c_str());
+  bench::JsonLine("pipeline", "lockstep_baseline")
+      .config("phases", phases)
+      .config("grain_ns", grain_ns)
+      .config("threads", static_cast<std::uint64_t>(threads))
+      .metric("wall_ms", ls.wall_seconds * 1e3)
+      .metric("pairs_per_sec", ls.pairs_per_second())
+      .metric("phases_per_sec", ls.phases_per_second())
+      .emit();
   std::printf(
       "paper Figure 1: with a deep window, ~5 phases in flight on the "
       "10-node graph; window=1 reduces to the lockstep depth.\n");

@@ -9,6 +9,7 @@
 
 #include "baseline/lockstep.hpp"
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/engine.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
@@ -70,6 +71,17 @@ int main(int argc, char** argv) {
                                  engine.stats().wall_seconds,
                              2) +
              "x"});
+    bench::JsonLine("shapes", shape.name)
+        .config("vertices", n)
+        .config("depth", static_cast<std::uint64_t>(depth))
+        .config("phases", phases)
+        .config("threads", static_cast<std::uint64_t>(threads))
+        .metric("engine_ms", engine.stats().wall_seconds * 1e3)
+        .metric("lockstep_ms", lockstep.stats().wall_seconds * 1e3)
+        .metric("pairs_per_sec", engine.stats().pairs_per_second())
+        .metric("engine_gain",
+                lockstep.stats().wall_seconds / engine.stats().wall_seconds)
+        .emit();
   }
   std::printf("%s", table.render().c_str());
   std::printf(

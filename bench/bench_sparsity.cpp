@@ -12,6 +12,7 @@
 
 #include "baseline/eager.hpp"
 #include "baseline/sequential.hpp"
+#include "bench_json.hpp"
 #include "model/sources.hpp"
 #include "model/synthetic.hpp"
 #include "spec/builder.hpp"
@@ -73,6 +74,14 @@ int main(int argc, char** argv) {
                                  static_cast<double>(d.executed_pairs),
                              1) +
              "x"});
+    df::bench::JsonLine("sparsity", "anomaly_rate_sweep")
+        .config("anomaly_rate", rate)
+        .config("phases", phases)
+        .metric("delta_msgs", d.messages_delivered)
+        .metric("eager_msgs", e.messages_delivered)
+        .metric("delta_execs", d.executed_pairs)
+        .metric("eager_execs", e.executed_pairs)
+        .emit();
   }
   std::printf("%s", table.render().c_str());
   std::printf(

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/engine.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
@@ -80,6 +81,22 @@ int main(int argc, char** argv) {
                                        best_stats.bookkeeping_ns) /
                                    total_ns,
              1)});
+    bench::JsonLine("speedup", "thread_sweep")
+        .config("threads", static_cast<std::uint64_t>(threads))
+        .config("phases", phases)
+        .config("grain_ns", grain_ns)
+        .config("layers", layers)
+        .config("width", width)
+        .metric("wall_ms", best_ms)
+        .metric("pairs_per_sec", best_stats.pairs_per_second())
+        .metric("speedup", speedup)
+        .metric("bookkeeping_pct",
+                total_ns <= 0.0
+                    ? 0.0
+                    : 100.0 *
+                          static_cast<double>(best_stats.bookkeeping_ns) /
+                          total_ns)
+        .emit();
   }
   std::printf("%s", table.render().c_str());
   std::printf(

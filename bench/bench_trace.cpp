@@ -7,6 +7,7 @@
 // [v]  full and ready).
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "core/engine.hpp"
 #include "graph/dot.hpp"
 #include "graph/generators.hpp"
@@ -67,5 +68,11 @@ int main() {
                   engine.stats().messages_delivered),
               static_cast<unsigned long long>(
                   engine.stats().phases_completed));
+  bench::JsonLine("trace", "figure3")
+      .config("phases", std::uint64_t{2})
+      .metric("steps", static_cast<std::uint64_t>(tracer.steps().size()))
+      .metric("executed_pairs", engine.stats().executed_pairs)
+      .metric("messages", engine.stats().messages_delivered)
+      .emit();
   return 0;
 }

@@ -14,6 +14,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "core/engine.hpp"
 #include "event/watermark.hpp"
 #include "model/sources.hpp"
@@ -111,6 +112,17 @@ int main(int argc, char** argv) {
                                                static_cast<double>(closed),
                              1),
          support::Table::num(alerts)});
+    bench::JsonLine("watermark", "wait_sweep")
+        .config("wait", static_cast<std::uint64_t>(wait))
+        .config("events", events)
+        .config("mean_delay", mean_delay)
+        .metric("late_events", assembler.late_events())
+        .metric("loss_pct",
+                100.0 * static_cast<double>(assembler.late_events()) /
+                    static_cast<double>(events))
+        .metric("phases", closed)
+        .metric("alerts", alerts)
+        .emit();
   }
   std::printf("%s", table.render().c_str());
   std::printf(

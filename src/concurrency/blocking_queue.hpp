@@ -8,15 +8,22 @@
 // java.util.concurrent.BlockingQueue; this is the C++ equivalent, extended
 // with close() semantics so computation threads can shut down cleanly (the
 // paper's processes are infinite loops; real systems must terminate).
+//
+// Storage is a power-of-two circular buffer instead of a std::deque: a
+// deque allocates and frees a block roughly every page of traffic, while the
+// ring reaches its steady-state size once and then moves items in place.
+// push_all() enqueues a whole batch of ready pairs under one lock
+// acquisition with one wakeup, which is how the engine drains a scheduler
+// transition (see DESIGN.md, "Batched run-queue traffic").
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <limits>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "support/check.hpp"
 
@@ -36,15 +43,48 @@ class BlockingQueue {
   /// Enqueues an item; blocks while the queue is at capacity.
   /// Returns false (dropping the item) if the queue has been closed.
   bool push(T item) {
-    std::unique_lock lock(mutex_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
-    if (closed_) {
-      return false;
+    {
+      std::unique_lock lock(mutex_);
+      not_full_.wait(lock, [this] { return closed_ || count_ < capacity_; });
+      if (closed_) {
+        return false;
+      }
+      place(std::move(item));
     }
-    items_.push_back(std::move(item));
-    lock.unlock();
     not_empty_.notify_one();
+    return true;
+  }
+
+  /// Enqueues every item of `items` under a single lock acquisition with a
+  /// single wakeup; the batch is moved from (elements left valid but
+  /// unspecified — callers typically clear() and reuse the vector). Blocks
+  /// while the batch does not fit under the capacity bound, so the batch
+  /// must be no larger than the capacity. Returns false (dropping the whole
+  /// batch) if the queue has been closed; never partially enqueues.
+  bool push_all(std::vector<T>& items) {
+    if (items.empty()) {
+      return true;
+    }
+    DF_CHECK(items.size() <= capacity_,
+             "batch larger than the queue capacity would never fit");
+    const bool single = items.size() == 1;
+    {
+      std::unique_lock lock(mutex_);
+      not_full_.wait(lock, [this, &items] {
+        return closed_ || count_ + items.size() <= capacity_;
+      });
+      if (closed_) {
+        return false;
+      }
+      for (T& item : items) {
+        place(std::move(item));
+      }
+    }
+    if (single) {
+      not_empty_.notify_one();
+    } else {
+      not_empty_.notify_all();
+    }
     return true;
   }
 
@@ -52,10 +92,10 @@ class BlockingQueue {
   bool try_push(T item) {
     {
       std::lock_guard lock(mutex_);
-      if (closed_ || items_.size() >= capacity_) {
+      if (closed_ || count_ >= capacity_) {
         return false;
       }
-      items_.push_back(std::move(item));
+      place(std::move(item));
     }
     not_empty_.notify_one();
     return true;
@@ -65,12 +105,11 @@ class BlockingQueue {
   /// nullopt signals "closed and empty" — the worker-thread exit condition.
   std::optional<T> pop() {
     std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) {
+    not_empty_.wait(lock, [this] { return closed_ || count_ != 0; });
+    if (count_ == 0) {
       return std::nullopt;  // closed and drained
     }
-    T item = std::move(items_.front());
-    items_.pop_front();
+    T item = take();
     lock.unlock();
     not_full_.notify_one();
     return item;
@@ -79,11 +118,10 @@ class BlockingQueue {
   /// Non-blocking dequeue.
   std::optional<T> try_pop() {
     std::unique_lock lock(mutex_);
-    if (items_.empty()) {
+    if (count_ == 0) {
       return std::nullopt;
     }
-    T item = std::move(items_.front());
-    items_.pop_front();
+    T item = take();
     lock.unlock();
     not_full_.notify_one();
     return item;
@@ -107,16 +145,45 @@ class BlockingQueue {
 
   std::size_t size() const {
     std::lock_guard lock(mutex_);
-    return items_.size();
+    return count_;
   }
 
   bool empty() const { return size() == 0; }
 
  private:
+  /// Appends one item, growing the ring if needed. Caller holds the lock
+  /// and has already checked capacity/closed.
+  void place(T item) {
+    if (count_ == ring_.size()) {
+      grow();
+    }
+    ring_[(head_ + count_) & (ring_.size() - 1)] = std::move(item);
+    ++count_;
+  }
+
+  T take() {
+    T item = std::move(ring_[head_]);
+    head_ = (head_ + 1) & (ring_.size() - 1);
+    --count_;
+    return item;
+  }
+
+  void grow() {
+    std::size_t size = ring_.empty() ? 16 : ring_.size() * 2;
+    std::vector<T> grown(size);
+    for (std::size_t i = 0; i < count_; ++i) {
+      grown[i] = std::move(ring_[(head_ + i) & (ring_.size() - 1)]);
+    }
+    ring_ = std::move(grown);
+    head_ = 0;
+  }
+
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<T> items_;
+  std::vector<T> ring_;  // circular; size is a power of two (or empty)
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   std::size_t capacity_;
   bool closed_ = false;
 };

@@ -32,26 +32,71 @@ void Engine::start() {
     return;
   }
   started_ = true;
+  // Warm the scheduler's flat structures to the run's expected footprint so
+  // the locked bookkeeping path is allocation-free from the first phase
+  // (unbounded windows get a representative depth; the structures still
+  // grow organically past it).
+  const std::size_t window = options_.max_inflight_phases == 0
+                                 ? 64
+                                 : options_.max_inflight_phases;
+  scheduler_.reserve_steady_state(
+      std::min<std::size_t>(window, 64),
+      std::min<std::size_t>(2 * scheduler_.n(), 65536));
   workers_.reserve(options_.threads);
   for (std::size_t i = 0; i < options_.threads; ++i) {
     workers_.emplace_back([this] { worker_main(); });
   }
 }
 
-void Engine::start_phase(const std::vector<event::ExternalEvent>& events) {
-  DF_CHECK(started_ && !finished_, "start_phase outside start()/finish()");
+void Engine::reserve_source_bundles(
+    const std::vector<event::ExternalEvent>& events) {
   // Group the batch into per-source input bundles (Listing 2's "phase
   // signal" is implicit: every source gets a pair, with or without events).
-  std::vector<event::InputBundle> bundles(scheduler_.source_count());
+  // Resolve indices once, then reserve exact per-source counts so each
+  // bundle is built with at most one allocation.
+  env_bundles_.clear();
+  env_bundles_.resize(scheduler_.source_count());
+  env_indices_.clear();
   for (const event::ExternalEvent& ev : events) {
     const std::uint32_t index = instance_.internal_index(ev.vertex);
     DF_CHECK(instance_.is_source(index),
              "external events may only target source vertices, got '",
              instance_.name(index), "'");
-    bundles[index - 1].push_back(event::Message{ev.port, ev.value});
+    env_indices_.push_back(index);
   }
+  env_counts_.assign(scheduler_.source_count(), 0);
+  for (const std::uint32_t index : env_indices_) {
+    ++env_counts_[index - 1];
+  }
+  for (std::size_t s = 0; s < env_counts_.size(); ++s) {
+    if (env_counts_[s] != 0) {
+      env_bundles_[s].reserve(env_counts_[s]);
+    }
+  }
+}
 
-  std::vector<Scheduler::ReadyPair> ready;
+void Engine::start_phase(const std::vector<event::ExternalEvent>& events) {
+  DF_CHECK(started_ && !finished_, "start_phase outside start()/finish()");
+  reserve_source_bundles(events);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    env_bundles_[env_indices_[i] - 1].push_back(
+        event::Message{events[i].port, events[i].value});
+  }
+  start_phase_bundles(env_bundles_);
+}
+
+void Engine::start_phase(std::vector<event::ExternalEvent>&& events) {
+  DF_CHECK(started_ && !finished_, "start_phase outside start()/finish()");
+  reserve_source_bundles(events);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    env_bundles_[env_indices_[i] - 1].push_back(
+        event::Message{events[i].port, std::move(events[i].value)});
+  }
+  start_phase_bundles(env_bundles_);
+}
+
+void Engine::start_phase_bundles(std::vector<event::InputBundle>& bundles) {
+  env_ready_.clear();
   {
     std::unique_lock lock(mutex_);
     progress_cv_.wait(lock, [this] {
@@ -59,7 +104,8 @@ void Engine::start_phase(const std::vector<event::ExternalEvent>& events) {
              scheduler_.active_phase_count() < options_.max_inflight_phases;
     });
     const event::PhaseId p = scheduler_.pmax() + 1;
-    ready = scheduler_.start_phase(p, std::move(bundles));
+    scheduler_.start_phase(p, std::span<event::InputBundle>(bundles),
+                           env_ready_);
     max_inflight_ = std::max<std::uint64_t>(max_inflight_,
                                             scheduler_.active_phase_count());
     if (options_.observer != nullptr) {
@@ -68,7 +114,7 @@ void Engine::start_phase(const std::vector<event::ExternalEvent>& events) {
           scheduler_.snapshot());
     }
   }
-  enqueue_ready(std::move(ready));
+  enqueue_ready(env_ready_);
 }
 
 void Engine::finish() {
@@ -114,16 +160,25 @@ event::PhaseId Engine::completed_phases() const {
   return scheduler_.completed_through();
 }
 
-void Engine::enqueue_ready(std::vector<Scheduler::ReadyPair> ready) {
-  for (Scheduler::ReadyPair& pair : ready) {
-    const bool accepted = run_queue_.push(std::move(pair));
-    DF_CHECK(accepted || abandoning_.load(std::memory_order_acquire),
-             "run queue closed while work was outstanding");
+void Engine::enqueue_ready(std::vector<Scheduler::ReadyPair>& ready) {
+  if (ready.empty()) {
+    return;
   }
+  // One lock acquisition and one wakeup for the whole batch, instead of a
+  // push per pair.
+  const bool accepted = run_queue_.push_all(ready);
+  DF_CHECK(accepted || abandoning_.load(std::memory_order_acquire),
+           "run queue closed while work was outstanding");
+  ready.clear();
 }
 
 void Engine::worker_main() {
   // Listing 1: dequeue, execute outside the lock, update sets under it.
+  // The delivery and ready buffers are reused across iterations; the
+  // executed pair's bundle is recycled into the scheduler's pool, so the
+  // locked bookkeeping section allocates nothing at steady state.
+  std::vector<Scheduler::Delivery> deliveries;
+  std::vector<Scheduler::ReadyPair> ready;
   while (auto item = run_queue_.pop()) {
     support::Stopwatch compute_timer;
     ExecutionResult result;
@@ -146,7 +201,7 @@ void Engine::worker_main() {
       sinks_.record_batch(std::move(result.sink_records));
     }
 
-    std::vector<Scheduler::Delivery> deliveries;
+    deliveries.clear();
     deliveries.reserve(result.deliveries.size());
     for (ExecutionResult::Delivery& d : result.deliveries) {
       deliveries.push_back(
@@ -155,12 +210,13 @@ void Engine::worker_main() {
     messages_delivered_.add(deliveries.size());
 
     support::Stopwatch bookkeeping_timer;
-    std::vector<Scheduler::ReadyPair> ready;
+    ready.clear();
     {
       std::lock_guard lock(mutex_);
       const event::PhaseId completed_before = scheduler_.completed_through();
-      ready = scheduler_.finish_execution(item->vertex, item->phase,
-                                          std::move(deliveries));
+      scheduler_.finish_execution(item->vertex, item->phase,
+                                  std::span<Scheduler::Delivery>(deliveries),
+                                  std::move(item->bundle), ready);
       if (options_.sample_inflight) {
         const std::uint64_t active = scheduler_.active_phase_count();
         inflight_.add(active);
@@ -177,7 +233,7 @@ void Engine::worker_main() {
         progress_cv_.notify_all();
       }
     }
-    enqueue_ready(std::move(ready));
+    enqueue_ready(ready);
     bookkeeping_ns_.add(bookkeeping_timer.elapsed_ns());
     executed_pairs_.add(1);
   }

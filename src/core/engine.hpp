@@ -70,8 +70,11 @@ class Engine final : public Executor {
   /// Spawns the computation threads. Idempotent.
   void start();
   /// Starts the next phase carrying `events` (may be empty: pure phase
-  /// signal). Blocks while max_inflight_phases are active.
+  /// signal). Blocks while max_inflight_phases are active. The rvalue
+  /// overload moves the event payloads into the source bundles instead of
+  /// copying them.
   void start_phase(const std::vector<event::ExternalEvent>& events);
+  void start_phase(std::vector<event::ExternalEvent>&& events);
   /// Blocks until every started phase has completed, then stops workers.
   /// If any module threw during execution, the first exception is rethrown
   /// here (the failed pair is treated as having produced no output, so the
@@ -93,12 +96,26 @@ class Engine final : public Executor {
 
  private:
   void worker_main();
-  void enqueue_ready(std::vector<Scheduler::ReadyPair> ready);
+  /// Moves every pair into the run queue under one lock acquisition and
+  /// clears `ready` so the caller can reuse the buffer.
+  void enqueue_ready(std::vector<Scheduler::ReadyPair>& ready);
+  /// Shared tail of the two start_phase overloads: `bundles` holds one
+  /// pre-reserved bundle per source vertex.
+  void start_phase_bundles(std::vector<event::InputBundle>& bundles);
+  /// Sizes env_bundles_ and reserves per-source counts for `events`.
+  void reserve_source_bundles(const std::vector<event::ExternalEvent>& events);
 
   ProgramInstance instance_;
   EngineOptions options_;
   Scheduler scheduler_;
   SinkStore sinks_;
+
+  // Environment-thread scratch (start_phase is called by one thread only):
+  // reused across phases so steady-state phase starts stay allocation-light.
+  std::vector<event::InputBundle> env_bundles_;
+  std::vector<std::uint32_t> env_indices_;
+  std::vector<std::size_t> env_counts_;
+  std::vector<Scheduler::ReadyPair> env_ready_;
 
   mutable std::mutex mutex_;  // the paper's single global lock
   std::condition_variable progress_cv_;

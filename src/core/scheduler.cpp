@@ -1,6 +1,7 @@
 #include "core/scheduler.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "support/check.hpp"
 
@@ -10,176 +11,323 @@ Scheduler::Scheduler(std::vector<std::uint32_t> m)
     : m_(std::move(m)), n_(static_cast<std::uint32_t>(m_.size() - 1)) {
   DF_CHECK(!m_.empty(), "m vector must have at least m(0)");
   DF_CHECK(m_[n_] == n_, "m(N) != N — numbering is not satisfactory");
+  words_ = (n_ + 1 + 63) / 64;
   vertices_.resize(n_ + 1);
 }
 
-Scheduler::PhaseState& Scheduler::phase_state(event::PhaseId p) {
-  DF_CHECK(!phases_.empty(), "no active phases");
-  const event::PhaseId first = phases_.front().id;
-  DF_CHECK(p >= first && p < first + phases_.size(), "phase ", p,
+Scheduler::PhaseSlot& Scheduler::phase_slot(event::PhaseId p) {
+  DF_CHECK(ring_count_ > 0, "no active phases");
+  DF_CHECK(p >= first_active_ && p < first_active_ + ring_count_, "phase ", p,
            " is not active");
-  return phases_[p - first];
+  return slot_at(p - first_active_);
 }
 
-const Scheduler::PhaseState* Scheduler::find_phase(event::PhaseId p) const {
-  if (phases_.empty()) {
+const Scheduler::PhaseSlot* Scheduler::find_phase(event::PhaseId p) const {
+  if (ring_count_ == 0 || p < first_active_ ||
+      p >= first_active_ + ring_count_) {
     return nullptr;
   }
-  const event::PhaseId first = phases_.front().id;
-  if (p < first || p >= first + phases_.size()) {
-    return nullptr;
+  return &slot_at(p - first_active_);
+}
+
+Scheduler::PhaseSlot& Scheduler::push_phase(event::PhaseId p) {
+  if (ring_count_ == ring_.size()) {
+    // Grow the ring, re-linearizing the active slots from the head. Slots
+    // keep their preallocated arrays; this happens only until the window
+    // reaches its steady-state depth.
+    std::vector<PhaseSlot> grown(std::max<std::size_t>(4, ring_.size() * 2));
+    for (std::size_t i = 0; i < ring_count_; ++i) {
+      grown[i] = std::move(slot_at(i));
+    }
+    ring_ = std::move(grown);
+    ring_head_ = 0;
   }
-  return &phases_[p - first];
+  if (ring_count_ == 0) {
+    first_active_ = p;
+  }
+  PhaseSlot& slot = ring_[(ring_head_ + ring_count_) % ring_.size()];
+  ++ring_count_;
+  if (slot.pending_bits.size() != words_) {
+    // First use of this slot: allocate its arrays. Reused slots were left
+    // all-clear by retire_completed (their counts were checked to be zero).
+    slot.pending_bits.assign(words_, 0);
+    slot.partial_bits.assign(words_, 0);
+    slot.bundle.assign(n_ + 1, kNoBundle);
+  }
+  slot.id = p;
+  slot.x = 0;
+  slot.pending_count = 0;
+  slot.partial_count = 0;
+  slot.min_pending_word = 0;
+  slot.promoted_bound = 0;
+  return slot;
+}
+
+void Scheduler::reserve_steady_state(std::size_t max_inflight_phases,
+                                     std::size_t live_bundles,
+                                     std::size_t bundle_capacity) {
+  DF_CHECK(ring_count_ == 0 && pmax_ == 0,
+           "reserve_steady_state must precede the first start_phase");
+  if (max_inflight_phases > ring_.size()) {
+    ring_.resize(max_inflight_phases);
+    ring_head_ = 0;
+    for (PhaseSlot& slot : ring_) {
+      if (slot.pending_bits.size() != words_) {
+        slot.pending_bits.assign(words_, 0);
+        slot.partial_bits.assign(words_, 0);
+        slot.bundle.assign(n_ + 1, kNoBundle);
+      }
+    }
+  }
+  for (std::uint32_t v = 1; v <= n_; ++v) {
+    vertices_[v].full_phases.reserve(max_inflight_phases + 1);
+  }
+  // One transition can touch a vertex once per active phase (promotion
+  // across the window), so (n+1)*window is the scratch buffer's hard
+  // bound; cap the upfront reservation so huge graph*window products do
+  // not pre-pay hundreds of megabytes for a bound rarely approached.
+  affected_.reserve(std::min<std::size_t>(
+      (n_ + 1) * std::max<std::size_t>(1, max_inflight_phases),
+      (n_ + 1) + 65536));
+  pool_.prewarm(live_bundles, bundle_capacity);
 }
 
 std::uint32_t Scheduler::x(event::PhaseId p) const {
   if (p == 0 || p <= completed_through_) {
     return n_;  // x_0 = N by definition; retired phases are complete
   }
-  const PhaseState* state = find_phase(p);
-  return state == nullptr ? 0 : state->x;
+  const PhaseSlot* slot = find_phase(p);
+  return slot == nullptr ? 0 : slot->x;
 }
 
-std::vector<Scheduler::ReadyPair> Scheduler::start_phase(
-    event::PhaseId p, std::vector<event::InputBundle> bundles) {
+void Scheduler::start_phase(event::PhaseId p,
+                            std::span<event::InputBundle> bundles,
+                            std::vector<ReadyPair>& out_ready) {
   // Listing 2, statements 11-19.
-  DF_CHECK(p == pmax_ + 1, "phases must start in order: expected ",
-           pmax_ + 1, ", got ", p);
+  DF_CHECK(p == pmax_ + 1, "phases must start in order: expected ", pmax_ + 1,
+           ", got ", p);
   DF_CHECK(bundles.size() == m_[0], "need one bundle per source vertex");
   pmax_ = p;
-
-  PhaseState state;
-  state.id = p;
-  state.x = 0;
-  phases_.push_back(std::move(state));
-  PhaseState& ps = phases_.back();
+  PhaseSlot& slot = push_phase(p);
 
   // Source vertices are exactly internal indices 1..m(0); each receives its
   // external bundle plus the implicit phase signal, entering the full set
   // directly (x_p = 0 and 0 < v <= m(0) = m(x_p)).
-  std::set<std::uint32_t> affected;
   for (std::uint32_t s = 1; s <= m_[0]; ++s) {
     VertexState& vs = vertices_[s];
-    DF_CHECK(vs.full.find(p) == vs.full.end(), "duplicate phase start");
-    vs.full.emplace(p, std::move(bundles[s - 1]));
-    ps.pending.insert(s);
-    affected.insert(s);
+    DF_DCHECK(vs.full_empty() || vs.full_phases.back() < p,
+              "duplicate phase start");
+    slot.bundle[s] = pool_.adopt(std::move(bundles[s - 1]));
+    set_bit(slot.pending_bits, s);
+    ++slot.pending_count;
+    vs.push_full(p);
+    affected_.push_back(s);
   }
-  return collect_ready(affected);
+  collect_ready(out_ready);
+}
+
+void Scheduler::finish_execution(std::uint32_t vertex, event::PhaseId p,
+                                 std::span<Delivery> deliveries,
+                                 event::InputBundle recycled,
+                                 std::vector<ReadyPair>& out_ready) {
+  // Listing 1, statements 4-31.
+  DF_CHECK(vertex >= 1 && vertex <= n_, "vertex index out of range");
+  VertexState& vs = vertices_[vertex];
+  DF_CHECK(vs.in_ready && vs.ready_phase == p,
+           "finish_execution for a pair that was not issued: vertex ", vertex,
+           " phase ", p);
+  // Statements 5-7: remove (v,p) from full/ready (the full entry was taken
+  // when the pair was issued; here we clear the ready occupancy). The
+  // executed bundle's buffer goes back to the pool.
+  vs.in_ready = false;
+  pool_.donate(std::move(recycled));
+
+  // Statements 8-11: new messages put successors into the partial set.
+  PhaseSlot& slot = phase_slot(p);
+  for (Delivery& d : deliveries) {
+    DF_CHECK(d.to_index > vertex,
+             "messages must flow to higher-indexed vertices");
+    if (!test_bit(slot.partial_bits, d.to_index)) {
+      // The recipient cannot already be full/ready/executing for p: that
+      // would require all its predecessors (including `vertex`) to have
+      // finished p. For the same reason it cannot sit at or below the
+      // promotion bound m(x_p).
+      DF_DCHECK(!test_bit(slot.pending_bits, d.to_index),
+                "delivery to a vertex already past partial in this phase");
+      DF_DCHECK(d.to_index > slot.promoted_bound,
+                "delivery below the promotion bound");
+      slot.bundle[d.to_index] = pool_.acquire();
+      set_bit(slot.partial_bits, d.to_index);
+      ++slot.partial_count;
+      set_bit(slot.pending_bits, d.to_index);
+      ++slot.pending_count;
+    }
+    pool_.at(slot.bundle[d.to_index])
+        .push_back(event::Message{d.to_port, std::move(d.value)});
+  }
+
+  // (v,p) is finished: drop it from the pending index behind x_p.
+  DF_CHECK(test_bit(slot.pending_bits, vertex),
+           "finished vertex was not pending");
+  clear_bit(slot.pending_bits, vertex);
+  --slot.pending_count;
+
+  // Statements 12-23: recompute the frontier for p and all later phases.
+  update_x_from(p);
+  // Statements 24-26: promote partial pairs within the new frontiers.
+  promote_newly_full(p);
+  // Phases whose frontier reached N are complete; retire from the front.
+  retire_completed();
+  // Statements 27-30: issue newly ready pairs.
+  affected_.push_back(vertex);  // vertex may have a later full phase queued
+  collect_ready(out_ready);
+}
+
+std::vector<Scheduler::ReadyPair> Scheduler::start_phase(
+    event::PhaseId p, std::vector<event::InputBundle> bundles) {
+  std::vector<ReadyPair> out;
+  start_phase(p, std::span<event::InputBundle>(bundles), out);
+  return out;
 }
 
 std::vector<Scheduler::ReadyPair> Scheduler::finish_execution(
     std::uint32_t vertex, event::PhaseId p,
     std::vector<Delivery> deliveries) {
-  // Listing 1, statements 4-31.
-  DF_CHECK(vertex >= 1 && vertex <= n_, "vertex index out of range");
-  VertexState& vs = vertices_[vertex];
-  DF_CHECK(vs.in_ready && vs.ready_phase == p,
-           "finish_execution for a pair that was not issued: vertex ",
-           vertex, " phase ", p);
-  // Statements 5-7: remove (v,p) from full/ready (the full entry was taken
-  // when the pair was issued; here we clear the ready occupancy).
-  vs.in_ready = false;
+  std::vector<ReadyPair> out;
+  finish_execution(vertex, p, std::span<Delivery>(deliveries), {}, out);
+  return out;
+}
 
-  // Statements 8-11: new messages put successors into the partial set.
-  PhaseState& ps = phase_state(p);
-  std::set<std::uint32_t> affected;
-  for (Delivery& d : deliveries) {
-    DF_CHECK(d.to_index > vertex,
-             "messages must flow to higher-indexed vertices");
-    // The recipient cannot already be full/ready/executing for p: that would
-    // require all its predecessors (including `vertex`) to have finished p.
-    DF_DCHECK(ps.pending.find(d.to_index) == ps.pending.end() ||
-                  ps.partial.find(d.to_index) != ps.partial.end(),
-              "delivery to a vertex already past partial in this phase");
-    ps.partial[d.to_index].push_back(
-        event::Message{d.to_port, std::move(d.value)});
-    ps.pending.insert(d.to_index);
+std::uint32_t Scheduler::min_pending(PhaseSlot& slot) {
+  std::uint32_t w = slot.min_pending_word;
+  while (slot.pending_bits[w] == 0) {
+    ++w;
   }
-
-  // (v,p) is finished: drop it from the pending index behind x_p.
-  const std::size_t erased = ps.pending.erase(vertex);
-  DF_CHECK(erased == 1, "finished vertex was not pending");
-
-  // Statements 12-23: recompute the frontier for p and all later phases.
-  update_x_from(p);
-  // Statements 24-26: promote partial pairs within the new frontiers.
-  promote_newly_full(p, affected);
-  // Phases whose frontier reached N are complete; retire from the front.
-  retire_completed();
-  // Statements 27-30: issue newly ready pairs.
-  affected.insert(vertex);  // vertex may have a later full phase queued
-  return collect_ready(affected);
+  slot.min_pending_word = w;
+  return (w << 6) +
+         static_cast<std::uint32_t>(std::countr_zero(slot.pending_bits[w]));
 }
 
 void Scheduler::update_x_from(event::PhaseId from) {
-  if (phases_.empty()) {
+  if (ring_count_ == 0) {
     return;
   }
-  const event::PhaseId first = phases_.front().id;
-  DF_CHECK(from >= first, "updating a retired phase");
-  for (std::size_t i = from - first; i < phases_.size(); ++i) {
-    PhaseState& ps = phases_[i];
+  DF_CHECK(from >= first_active_, "updating a retired phase");
+  for (std::size_t i = from - first_active_; i < ring_count_; ++i) {
+    PhaseSlot& slot = slot_at(i);
     // Statement 15/17: x_i = N if no pair with phase i remains, otherwise
     // min vertex still pending minus one.
     std::uint32_t candidate =
-        ps.pending.empty() ? n_ : *ps.pending.begin() - 1;
+        slot.pending_count == 0 ? n_ : min_pending(slot) - 1;
     // Statements 19-21: never overtake the previous phase.
     const std::uint32_t previous =
-        i == 0 ? x(ps.id - 1) : phases_[i - 1].x;
+        i == 0 ? x(slot.id - 1) : slot_at(i - 1).x;
     candidate = std::min(candidate, previous);
-    DF_CHECK(candidate >= ps.x, "x must be monotone within a phase");
-    ps.x = candidate;
+    DF_CHECK(candidate >= slot.x, "x must be monotone within a phase");
+    slot.x = candidate;
   }
 }
 
-void Scheduler::promote_newly_full(event::PhaseId from,
-                                   std::set<std::uint32_t>& affected) {
-  if (phases_.empty()) {
+void Scheduler::promote_newly_full(event::PhaseId from) {
+  if (ring_count_ == 0) {
     return;
   }
-  const event::PhaseId first = phases_.front().id;
-  for (std::size_t i = from >= first ? from - first : 0; i < phases_.size();
-       ++i) {
-    PhaseState& ps = phases_[i];
-    const std::uint32_t bound = m_[ps.x];
-    // partial is ordered by vertex: the promotable pairs form a prefix.
-    while (!ps.partial.empty() && ps.partial.begin()->first <= bound) {
-      auto node = ps.partial.extract(ps.partial.begin());
-      const std::uint32_t w = node.key();
-      VertexState& vs = vertices_[w];
-      DF_DCHECK(vs.full.find(ps.id) == vs.full.end(),
-                "pair already in full");
-      vs.full.emplace(ps.id, std::move(node.mapped()));
-      affected.insert(w);
+  const std::size_t start =
+      from >= first_active_ ? static_cast<std::size_t>(from - first_active_)
+                            : 0;
+  for (std::size_t i = start; i < ring_count_; ++i) {
+    PhaseSlot& slot = slot_at(i);
+    const std::uint32_t bound = m_[slot.x];
+    if (bound <= slot.promoted_bound) {
+      continue;  // the promotion window only moves forward
     }
+    if (slot.partial_count == 0) {
+      slot.promoted_bound = bound;
+      continue;
+    }
+    // Scan partial bits in [promoted_bound + 1, bound]. New partial entries
+    // always land above the current bound (their predecessors are not all
+    // finished), so every vertex is scanned at most once per phase.
+    const std::uint32_t lo = slot.promoted_bound + 1;
+    std::uint32_t w = lo >> 6;
+    const std::uint32_t w_hi = bound >> 6;
+    std::uint64_t word = slot.partial_bits[w] &
+                         (~std::uint64_t{0} << (lo & 63));
+    while (true) {
+      if (w == w_hi) {
+        const std::uint32_t top = bound & 63;
+        if (top != 63) {
+          word &= (std::uint64_t{1} << (top + 1)) - 1;
+        }
+      }
+      while (word != 0) {
+        const std::uint32_t v =
+            (w << 6) + static_cast<std::uint32_t>(std::countr_zero(word));
+        word &= word - 1;
+        clear_bit(slot.partial_bits, v);
+        --slot.partial_count;
+        VertexState& vs = vertices_[v];
+        // A pair can only become full for a phase later than any of the
+        // vertex's existing full phases: v <= m(x_p) means all of v's
+        // predecessors finished p, so no earlier-phase message can arrive.
+        DF_DCHECK(vs.full_empty() || vs.full_phases.back() < slot.id,
+                  "full phases must be issued in ascending order");
+        vs.push_full(slot.id);
+        affected_.push_back(v);
+      }
+      if (w == w_hi) {
+        break;
+      }
+      ++w;
+      word = slot.partial_bits[w];
+    }
+    slot.promoted_bound = bound;
   }
 }
 
-std::vector<Scheduler::ReadyPair> Scheduler::collect_ready(
-    const std::set<std::uint32_t>& affected) {
-  std::vector<ReadyPair> ready;
-  for (const std::uint32_t v : affected) {
+void Scheduler::collect_ready(std::vector<ReadyPair>& out_ready) {
+  // Deterministic issue order (ascending vertex), matching the ordered-set
+  // iteration of the reference implementation.
+  std::sort(affected_.begin(), affected_.end());
+  for (std::size_t i = 0; i < affected_.size(); ++i) {
+    const std::uint32_t v = affected_[i];
+    if (i > 0 && affected_[i - 1] == v) {
+      continue;
+    }
     VertexState& vs = vertices_[v];
-    if (vs.in_ready || vs.full.empty()) {
+    if (vs.in_ready || vs.full_empty()) {
       continue;  // at most one issued pair per vertex; phases in order
     }
-    auto node = vs.full.extract(vs.full.begin());
+    const event::PhaseId p = vs.full_front();
+    ++vs.full_head;
+    if (vs.full_empty()) {
+      vs.full_phases.clear();  // keeps capacity
+      vs.full_head = 0;
+    }
+    PhaseSlot& slot = phase_slot(p);
+    const std::uint32_t idx = slot.bundle[v];
+    DF_CHECK(idx != kNoBundle, "full pair has no bundle");
+    slot.bundle[v] = kNoBundle;
     vs.in_ready = true;
-    vs.ready_phase = node.key();
-    ready.push_back(ReadyPair{v, node.key(), std::move(node.mapped())});
+    vs.ready_phase = p;
+    out_ready.push_back(ReadyPair{v, p, pool_.take(idx)});
   }
-  return ready;
+  affected_.clear();
 }
 
 void Scheduler::retire_completed() {
-  while (!phases_.empty() && phases_.front().x == n_) {
-    DF_CHECK(phases_.front().pending.empty(),
+  while (ring_count_ > 0 && ring_[ring_head_].x == n_) {
+    PhaseSlot& slot = ring_[ring_head_];
+    DF_CHECK(slot.pending_count == 0,
              "complete phase still has pending pairs");
-    DF_CHECK(phases_.front().partial.empty(),
+    DF_CHECK(slot.partial_count == 0,
              "complete phase still has partial pairs");
-    completed_through_ = phases_.front().id;
-    phases_.pop_front();
+    // pending_count == 0 implies every bundle was taken and both bitsets
+    // are all-clear, so the slot is reusable as-is.
+    completed_through_ = slot.id;
+    ring_head_ = (ring_head_ + 1) % ring_.size();
+    --ring_count_;
+    ++first_active_;
   }
 }
 
@@ -187,18 +335,23 @@ Scheduler::Snapshot Scheduler::snapshot() const {
   Snapshot snap;
   snap.pmax = pmax_;
   snap.completed_through = completed_through_;
-  for (const PhaseState& ps : phases_) {
-    snap.x.emplace_back(ps.id, ps.x);
-    for (const auto& [vertex, bundle] : ps.partial) {
-      (void)bundle;
-      snap.partial.push_back(Snapshot::Pair{vertex, ps.id});
+  for (std::size_t i = 0; i < ring_count_; ++i) {
+    const PhaseSlot& slot = slot_at(i);
+    snap.x.emplace_back(slot.id, slot.x);
+    for (std::uint32_t w = 0; w < words_; ++w) {
+      std::uint64_t word = slot.partial_bits[w];
+      while (word != 0) {
+        const std::uint32_t v =
+            (w << 6) + static_cast<std::uint32_t>(std::countr_zero(word));
+        word &= word - 1;
+        snap.partial.push_back(Snapshot::Pair{v, slot.id});
+      }
     }
   }
   for (std::uint32_t v = 1; v <= n_; ++v) {
     const VertexState& vs = vertices_[v];
-    for (const auto& [phase, bundle] : vs.full) {
-      (void)bundle;
-      snap.full.push_back(Snapshot::Pair{v, phase});
+    for (std::size_t i = vs.full_head; i < vs.full_phases.size(); ++i) {
+      snap.full.push_back(Snapshot::Pair{v, vs.full_phases[i]});
     }
     if (vs.in_ready) {
       // Issued pairs remain in the paper's full ∩ ready until finished.

@@ -24,13 +24,20 @@
 //
 // Because x_p <= x_{p-1}, phases complete in order, the set of active phases
 // is a contiguous window, and completed state can be retired from the front.
+//
+// Representation (see DESIGN.md, "Flat scheduler state"): everything the
+// scheduler touches per transition lives in dense, index-addressed storage.
+// Each active phase occupies a slot in a ring of preallocated PhaseSlots;
+// pending and partial are bitsets over vertex indices with monotone scan
+// cursors (the minimum pending vertex and the promotion bound only move
+// forward within a phase's lifetime), and input bundles are pooled vectors
+// referenced by index from a per-slot bundle table. Steady-state transitions
+// perform zero heap allocations: callers hand executed bundles back so
+// their capacity recirculates through the pool.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <map>
-#include <optional>
-#include <set>
+#include <span>
 #include <vector>
 
 #include "event/message.hpp"
@@ -62,6 +69,8 @@ class Scheduler {
     struct Pair {
       std::uint32_t vertex;
       event::PhaseId phase;
+
+      friend bool operator==(const Pair&, const Pair&) = default;
     };
     event::PhaseId pmax = 0;
     event::PhaseId completed_through = 0;
@@ -70,6 +79,8 @@ class Scheduler {
     std::vector<Pair> partial;
     std::vector<Pair> full;   // includes pairs currently in ready
     std::vector<Pair> ready;  // issued but not yet finished
+
+    friend bool operator==(const Snapshot&, const Snapshot&) = default;
   };
 
   /// `m` is the numbering's m-vector (m[0..N]); n = m.size() - 1.
@@ -77,14 +88,26 @@ class Scheduler {
 
   /// Environment side (Listing 2 loop body): starts phase pmax+1. Source
   /// vertex i (1-based source ordinal, internal index == ordinal) receives
-  /// source_bundles[i-1] plus the implicit phase signal. Returns pairs that
-  /// became ready. `p` must equal pmax() + 1.
-  std::vector<ReadyPair> start_phase(event::PhaseId p,
-                                     std::vector<event::InputBundle> bundles);
+  /// source_bundles[i-1] plus the implicit phase signal. Appends pairs that
+  /// became ready to `out_ready` (which is NOT cleared — the caller owns and
+  /// reuses the buffer). `p` must equal pmax() + 1. The bundles are moved
+  /// from; the span's backing vector can be reused by the caller.
+  void start_phase(event::PhaseId p, std::span<event::InputBundle> bundles,
+                   std::vector<ReadyPair>& out_ready);
 
   /// Worker side (Listing 1, statements 4-31): records that (vertex, p)
-  /// finished executing and produced `deliveries`. Returns pairs that became
-  /// ready as a result.
+  /// finished executing and produced `deliveries` (moved from). Appends
+  /// pairs that became ready to `out_ready` (not cleared). `recycled` is the
+  /// executed pair's input bundle, donated back to the pool so steady-state
+  /// bookkeeping allocates nothing; pass {} if unavailable.
+  void finish_execution(std::uint32_t vertex, event::PhaseId p,
+                        std::span<Delivery> deliveries,
+                        event::InputBundle recycled,
+                        std::vector<ReadyPair>& out_ready);
+
+  /// Convenience wrappers returning a fresh vector (tests, simple drivers).
+  std::vector<ReadyPair> start_phase(event::PhaseId p,
+                                     std::vector<event::InputBundle> bundles);
   std::vector<ReadyPair> finish_execution(std::uint32_t vertex,
                                           event::PhaseId p,
                                           std::vector<Delivery> deliveries);
@@ -92,58 +115,228 @@ class Scheduler {
   event::PhaseId pmax() const { return pmax_; }
   /// All phases <= completed_through() have fully finished (x_p = N).
   event::PhaseId completed_through() const { return completed_through_; }
-  bool all_started_phases_complete() const { return phases_.empty(); }
-  std::size_t active_phase_count() const { return phases_.size(); }
+  bool all_started_phases_complete() const { return ring_count_ == 0; }
+  std::size_t active_phase_count() const { return ring_count_; }
 
   /// x_p for any phase <= pmax: N for retired phases, 0 if never started.
   std::uint32_t x(event::PhaseId p) const;
 
+  /// Bundle-pool footprint (slots ever created); flat at steady state.
+  std::size_t bundle_pool_slots() const { return pool_.slot_count(); }
+
   std::uint32_t n() const { return n_; }
   std::uint32_t source_count() const { return m_[0]; }
+
+  /// Pre-sizes every internal structure for a run with at most
+  /// `max_inflight_phases` active phases and up to `live_bundles` pairs
+  /// accumulating input simultaneously, each expecting around
+  /// `bundle_capacity` messages. Purely a warm-up: transitions behave
+  /// identically but reach the zero-allocation steady state immediately
+  /// instead of growing into it. Call before the first start_phase.
+  void reserve_steady_state(std::size_t max_inflight_phases,
+                            std::size_t live_bundles,
+                            std::size_t bundle_capacity = 4);
 
   Snapshot snapshot() const;
 
  private:
-  /// Per active phase state. partial maps vertex -> accumulated bundle;
-  /// pending is partial ∪ full ∪ ready (vertices not yet finished for this
-  /// phase), which drives the x computation (min pending - 1).
-  struct PhaseState {
-    event::PhaseId id = 0;
-    std::uint32_t x = 0;
-    std::map<std::uint32_t, event::InputBundle> partial;
-    std::set<std::uint32_t> pending;
+  static constexpr std::uint32_t kNoBundle = 0xffffffffu;
+
+  /// Pooled InputBundle storage. Bundles are addressed by index; released
+  /// slots are reused, so after warm-up no transition allocates. Capacity
+  /// recirculates: issuing a pair moves the vector's buffer out into the
+  /// ReadyPair (leaving the slot hollow), and finish_execution donates the
+  /// executed bundle's buffer back. Hollow and warm (capacity-carrying)
+  /// free slots are tracked separately: acquire() prefers warm slots so a
+  /// donated buffer is never buried under hollow ones, which is what makes
+  /// steady-state transitions allocation-free once the pool has grown to
+  /// the peak concurrent bundle demand.
+  class BundlePool {
+   public:
+    /// Takes ownership of a caller-built bundle (phase-start sources).
+    std::uint32_t adopt(event::InputBundle&& bundle) {
+      const std::uint32_t idx = hollow_slot();
+      store_[idx] = std::move(bundle);
+      return idx;
+    }
+    /// An empty bundle for accumulating messages, reusing a donated buffer
+    /// when one is available.
+    std::uint32_t acquire() {
+      if (!warm_.empty()) {
+        const std::uint32_t idx = warm_.back();
+        warm_.pop_back();
+        return idx;
+      }
+      return hollow_slot();
+    }
+    event::InputBundle& at(std::uint32_t idx) { return store_[idx]; }
+    /// Moves the bundle out and frees the (now hollow) slot in one step.
+    event::InputBundle take(std::uint32_t idx) {
+      event::InputBundle bundle = std::move(store_[idx]);
+      store_[idx].clear();
+      hollow_.push_back(idx);
+      return bundle;
+    }
+    /// Creates `slots` extra slots whose buffers already hold capacity for
+    /// `capacity` messages, so the first acquisitions do not allocate.
+    void prewarm(std::size_t slots, std::size_t capacity) {
+      store_.reserve(store_.size() + slots);
+      warm_.reserve(store_.capacity());
+      hollow_.reserve(store_.capacity());
+      for (std::size_t i = 0; i < slots; ++i) {
+        store_.emplace_back();
+        store_.back().reserve(capacity);
+        warm_.push_back(static_cast<std::uint32_t>(store_.size() - 1));
+      }
+    }
+
+    /// Returns a spent bundle's buffer to the pool: a future acquire() gets
+    /// its capacity instead of allocating. Donation is strictly an
+    /// optimization and never grows the pool: it parks the buffer in an
+    /// already-hollow slot, and only while warm slots are under half the
+    /// store — acquires reopen that headroom every cycle, while workloads
+    /// whose donations persistently outpace acquisitions (fan-in graphs
+    /// with event-carrying sources) drop the surplus instead of hoarding
+    /// slots forever. If the cap ever binds too tightly, the resulting
+    /// acquire miss grows the store once and the cap rises with it.
+    void donate(event::InputBundle&& bundle) {
+      if (bundle.capacity() == 0 || hollow_.empty() ||
+          warm_.size() >= store_.size() / 2) {
+        return;  // nothing worth keeping, or no headroom: drop it
+      }
+      bundle.clear();
+      const std::uint32_t idx = hollow_.back();
+      hollow_.pop_back();
+      store_[idx] = std::move(bundle);
+      warm_.push_back(idx);
+    }
+
+    /// Total slots ever created; bounded by peak live-bundle demand (tests
+    /// assert it stops growing at steady state).
+    std::size_t slot_count() const { return store_.size(); }
+
+   private:
+    std::uint32_t hollow_slot() {
+      if (!hollow_.empty()) {
+        const std::uint32_t idx = hollow_.back();
+        hollow_.pop_back();
+        return idx;
+      }
+      store_.emplace_back();
+      // Every slot can be on a free list at once (e.g. when the window
+      // drains); sizing the lists with the store keeps even that case
+      // allocation-free after the pool stops growing.
+      warm_.reserve(store_.capacity());
+      hollow_.reserve(store_.capacity());
+      return static_cast<std::uint32_t>(store_.size() - 1);
+    }
+
+    std::vector<event::InputBundle> store_;
+    std::vector<std::uint32_t> warm_;    // free slots carrying capacity
+    std::vector<std::uint32_t> hollow_;  // free slots with no buffer
   };
 
-  /// Per vertex: full pairs not yet issued to the run queue (phase ->
-  /// bundle), plus the at-most-one issued-but-unfinished ready pair.
+  /// Per active phase state, flat. `pending` is partial ∪ full ∪ ready
+  /// (vertices not yet finished for this phase) as a bitset; it drives the
+  /// x computation (min pending - 1) through a forward-only word cursor.
+  /// `partial` is a bitset of vertices accumulating messages; promotion
+  /// scans the window (promoted_bound, m(x)] exactly once per phase because
+  /// both bounds are monotone. `bundle` maps vertex -> pooled bundle index
+  /// for pairs currently partial or full-but-unissued.
+  struct PhaseSlot {
+    event::PhaseId id = 0;
+    std::uint32_t x = 0;
+    std::uint32_t pending_count = 0;
+    std::uint32_t partial_count = 0;
+    std::uint32_t min_pending_word = 0;  // scan hint; never moves backward
+    std::uint32_t promoted_bound = 0;    // vertices <= this already promoted
+    std::vector<std::uint64_t> pending_bits;
+    std::vector<std::uint64_t> partial_bits;
+    std::vector<std::uint32_t> bundle;  // [0..n], kNoBundle when absent
+  };
+
+  /// Per vertex: phases whose pairs are full but not yet issued, in
+  /// ascending order (a pair can only become full for phases later than any
+  /// already-full phase — see promote_newly_full), stored as a flat queue
+  /// with a head offset; plus the at-most-one issued-but-unfinished pair.
   struct VertexState {
-    std::map<event::PhaseId, event::InputBundle> full;
+    std::vector<event::PhaseId> full_phases;
+    std::uint32_t full_head = 0;
     bool in_ready = false;
     event::PhaseId ready_phase = 0;
+
+    bool full_empty() const { return full_head == full_phases.size(); }
+    event::PhaseId full_front() const { return full_phases[full_head]; }
+    /// Appends a phase, first compacting the consumed prefix so the queue's
+    /// footprint stays at the live count (bounded by the phase window)
+    /// instead of growing with the phase index.
+    void push_full(event::PhaseId p) {
+      if (full_head > 0) {
+        full_phases.erase(full_phases.begin(),
+                          full_phases.begin() +
+                              static_cast<std::ptrdiff_t>(full_head));
+        full_head = 0;
+      }
+      full_phases.push_back(p);
+    }
   };
 
   std::vector<std::uint32_t> m_;
   std::uint32_t n_;
+  std::uint32_t words_;  // bitset words per phase slot
   event::PhaseId pmax_ = 0;
   event::PhaseId completed_through_ = 0;
-  std::deque<PhaseState> phases_;  // contiguous, front = oldest active
-  std::vector<VertexState> vertices_;  // [1..n], slot 0 unused
 
-  PhaseState& phase_state(event::PhaseId p);
-  const PhaseState* find_phase(event::PhaseId p) const;
+  /// Ring of phase slots: the active phases are ring_[(ring_head_ + i) %
+  /// ring_.size()] for i in [0, ring_count_), oldest first. Slots keep
+  /// their arrays across reuse; retiring a phase resets them in place.
+  std::vector<PhaseSlot> ring_;
+  std::size_t ring_head_ = 0;
+  std::size_t ring_count_ = 0;
+  event::PhaseId first_active_ = 0;  // id of the oldest active phase
+
+  std::vector<VertexState> vertices_;  // [1..n], slot 0 unused
+  BundlePool pool_;
+  std::vector<std::uint32_t> affected_;  // reusable scratch for transitions
+
+  PhaseSlot& slot_at(std::size_t ordinal) {
+    return ring_[(ring_head_ + ordinal) % ring_.size()];
+  }
+  const PhaseSlot& slot_at(std::size_t ordinal) const {
+    return ring_[(ring_head_ + ordinal) % ring_.size()];
+  }
+  PhaseSlot& phase_slot(event::PhaseId p);
+  const PhaseSlot* find_phase(event::PhaseId p) const;
+  PhaseSlot& push_phase(event::PhaseId p);
+
+  static bool test_bit(const std::vector<std::uint64_t>& bits,
+                       std::uint32_t v) {
+    return (bits[v >> 6] >> (v & 63)) & 1u;
+  }
+  static void set_bit(std::vector<std::uint64_t>& bits, std::uint32_t v) {
+    bits[v >> 6] |= std::uint64_t{1} << (v & 63);
+  }
+  static void clear_bit(std::vector<std::uint64_t>& bits, std::uint32_t v) {
+    bits[v >> 6] &= ~(std::uint64_t{1} << (v & 63));
+  }
+
+  /// Smallest pending vertex; advances the slot's word cursor (valid because
+  /// insertions never land below the current minimum: deliveries go to
+  /// higher indices than the finishing vertex, which is itself pending).
+  std::uint32_t min_pending(PhaseSlot& slot);
 
   /// Statements 1.12-1.23: recompute x_i for all active phases i >= from,
   /// clamping to the previous phase's x.
   void update_x_from(event::PhaseId from);
 
   /// Statements 1.24-1.26: move partial pairs with vertex <= m(x_q) into
-  /// full for every active phase q >= from; collects affected vertices.
-  void promote_newly_full(event::PhaseId from,
-                          std::set<std::uint32_t>& affected);
+  /// full for every active phase q >= from; appends affected vertices.
+  void promote_newly_full(event::PhaseId from);
 
-  /// Statements 1.27-1.30 / 2.16-2.19: for each affected vertex, if it has
-  /// no issued pair and a non-empty full set, issue its minimum phase.
-  std::vector<ReadyPair> collect_ready(const std::set<std::uint32_t>& affected);
+  /// Statements 1.27-1.30 / 2.16-2.19: for each affected vertex (sorted,
+  /// deduplicated), if it has no issued pair and a non-empty full set,
+  /// issue its minimum phase.
+  void collect_ready(std::vector<ReadyPair>& out_ready);
 
   /// Retires completed phases from the front of the window.
   void retire_completed();
