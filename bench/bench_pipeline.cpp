@@ -22,6 +22,9 @@ int main(int argc, char** argv) {
   const std::uint64_t phases = flags.get("phases", std::uint64_t{2000});
   const std::uint64_t grain_ns = flags.get("grain_ns", std::uint64_t{2000});
   const std::size_t threads = flags.get("threads", std::uint64_t{2});
+  // staged=0 forces the PR 1 lock-per-pair path; 1 (default) stages
+  // finished pairs in per-worker rings and applies them in batches.
+  const bool staged = flags.get("staged", std::uint64_t{1}) != 0;
 
   std::printf("F1: cross-phase pipelining on the paper's 10-node graph\n");
   std::printf("%s\n", trace::machine_summary().c_str());
@@ -39,6 +42,7 @@ int main(int argc, char** argv) {
     options.threads = threads;
     options.max_inflight_phases = window;
     options.sample_inflight = true;
+    options.staged_deliveries = staged;
     core::Engine engine(program, options);
     engine.run(phases, nullptr);
     const auto stats = engine.stats();
@@ -54,6 +58,7 @@ int main(int argc, char** argv) {
         .config("phases", phases)
         .config("grain_ns", grain_ns)
         .config("threads", static_cast<std::uint64_t>(threads))
+        .config("staged", static_cast<std::uint64_t>(staged ? 1 : 0))
         .metric("wall_ms", stats.wall_seconds * 1e3)
         .metric("ns_per_op", stats.executed_pairs == 0
                                  ? 0.0

@@ -13,8 +13,25 @@
 // deque allocates and frees a block roughly every page of traffic, while the
 // ring reaches its steady-state size once and then moves items in place.
 // push_all() enqueues a whole batch of ready pairs under one lock
-// acquisition with one wakeup, which is how the engine drains a scheduler
-// transition (see DESIGN.md, "Batched run-queue traffic").
+// acquisition with a bounded number of wakeups, which is how the engine
+// drains a scheduler transition (see DESIGN.md, "Batched run-queue
+// traffic").
+//
+// Wakeup discipline (audited for under-wake/lost-wakeup):
+//   * not_empty_: consumers block only while the queue is empty, so k items
+//     added need at most k wakeups, and one item needs exactly one — the
+//     per-item notify_one in push()/single-item push_all() is sufficient,
+//     never a lost wakeup. Batches wake min(batch, waiting consumers)
+//     threads; with no consumer blocked at publication time no signal is
+//     needed at all, because any later consumer re-checks the count under
+//     the mutex before sleeping.
+//   * not_full_: producers block on *batch-sized* room (push_all waits for
+//     its whole batch to fit), so waiters are heterogeneous: waking one
+//     producer after one pop could select a large-batch producer that goes
+//     back to sleep while a small-batch producer that now fits sleeps
+//     forever — a genuine lost wakeup. Consumers therefore notify_all when
+//     any producer is waiting; each woken producer re-evaluates its own
+//     predicate.
 #pragma once
 
 #include <condition_variable>
@@ -43,20 +60,24 @@ class BlockingQueue {
   /// Enqueues an item; blocks while the queue is at capacity.
   /// Returns false (dropping the item) if the queue has been closed.
   bool push(T item) {
+    std::size_t wake = 0;
     {
       std::unique_lock lock(mutex_);
+      ++waiting_pushers_;
       not_full_.wait(lock, [this] { return closed_ || count_ < capacity_; });
+      --waiting_pushers_;
       if (closed_) {
         return false;
       }
       place(std::move(item));
+      wake = waiting_poppers_ == 0 ? 0 : 1;
     }
-    not_empty_.notify_one();
+    notify_consumers(wake);
     return true;
   }
 
-  /// Enqueues every item of `items` under a single lock acquisition with a
-  /// single wakeup; the batch is moved from (elements left valid but
+  /// Enqueues every item of `items` under a single lock acquisition with at
+  /// most one notify call; the batch is moved from (elements left valid but
   /// unspecified — callers typically clear() and reuse the vector). Blocks
   /// while the batch does not fit under the capacity bound, so the batch
   /// must be no larger than the capacity. Returns false (dropping the whole
@@ -67,37 +88,41 @@ class BlockingQueue {
     }
     DF_CHECK(items.size() <= capacity_,
              "batch larger than the queue capacity would never fit");
-    const bool single = items.size() == 1;
+    std::size_t wake = 0;
     {
       std::unique_lock lock(mutex_);
+      ++waiting_pushers_;
       not_full_.wait(lock, [this, &items] {
         return closed_ || count_ + items.size() <= capacity_;
       });
+      --waiting_pushers_;
       if (closed_) {
         return false;
       }
       for (T& item : items) {
         place(std::move(item));
       }
+      // k new items can usefully wake at most k consumers, and consumers
+      // only block while the queue is empty, so min(batch, waiters) covers
+      // every consumer this batch could serve (see header comment).
+      wake = std::min(items.size(), waiting_poppers_);
     }
-    if (single) {
-      not_empty_.notify_one();
-    } else {
-      not_empty_.notify_all();
-    }
+    notify_consumers(wake);
     return true;
   }
 
   /// Non-blocking enqueue; returns false if full or closed.
   bool try_push(T item) {
+    std::size_t wake = 0;
     {
       std::lock_guard lock(mutex_);
       if (closed_ || count_ >= capacity_) {
         return false;
       }
       place(std::move(item));
+      wake = waiting_poppers_ == 0 ? 0 : 1;
     }
-    not_empty_.notify_one();
+    notify_consumers(wake);
     return true;
   }
 
@@ -105,13 +130,21 @@ class BlockingQueue {
   /// nullopt signals "closed and empty" — the worker-thread exit condition.
   std::optional<T> pop() {
     std::unique_lock lock(mutex_);
+    ++waiting_poppers_;
     not_empty_.wait(lock, [this] { return closed_ || count_ != 0; });
+    --waiting_poppers_;
     if (count_ == 0) {
       return std::nullopt;  // closed and drained
     }
     T item = take();
+    const bool producers_waiting = waiting_pushers_ != 0;
     lock.unlock();
-    not_full_.notify_one();
+    if (producers_waiting) {
+      // Producers wait on batch-sized room (heterogeneous predicates), so
+      // waking just one could pick a batch that still does not fit and
+      // strand a smaller one — wake them all and let each re-check.
+      not_full_.notify_all();
+    }
     return item;
   }
 
@@ -122,8 +155,11 @@ class BlockingQueue {
       return std::nullopt;
     }
     T item = take();
+    const bool producers_waiting = waiting_pushers_ != 0;
     lock.unlock();
-    not_full_.notify_one();
+    if (producers_waiting) {
+      not_full_.notify_all();  // heterogeneous batch predicates, see pop()
+    }
     return item;
   }
 
@@ -151,6 +187,19 @@ class BlockingQueue {
   bool empty() const { return size() == 0; }
 
  private:
+  /// Wakes `wake` consumers (computed under the lock as min(items added,
+  /// consumers then waiting)). Skipping the signal when no consumer was
+  /// waiting is safe: a consumer that arrives later re-checks count_ under
+  /// the mutex before sleeping, so it either sees the items or they were
+  /// already taken — either way no signal is owed.
+  void notify_consumers(std::size_t wake) {
+    if (wake == 1) {
+      not_empty_.notify_one();
+    } else if (wake > 1) {
+      not_empty_.notify_all();
+    }
+  }
+
   /// Appends one item, growing the ring if needed. Caller holds the lock
   /// and has already checked capacity/closed.
   void place(T item) {
@@ -186,6 +235,11 @@ class BlockingQueue {
   std::size_t count_ = 0;
   std::size_t capacity_;
   bool closed_ = false;
+  // Waiter counts, guarded by mutex_. A thread is counted from just before
+  // its predicate wait to just after, so any thread actually blocked on a
+  // condvar is always visible to the peer deciding whether to signal.
+  std::size_t waiting_poppers_ = 0;
+  std::size_t waiting_pushers_ = 0;
 };
 
 }  // namespace df::conc

@@ -1,8 +1,15 @@
 // Single-producer single-consumer lock-free ring buffer.
 //
-// Used by the tracer: each worker thread records scheduler events into its
-// own ring; the report aggregator drains them without perturbing the global
-// lock the algorithm is built around.
+// Used by the tracer (each worker thread records scheduler events into its
+// own ring; the report aggregator drains them) and by the engine's staged
+// delivery rings (each worker stages finished-pair records; the current
+// drainer applies them in batches — see DESIGN.md).
+//
+// "Single consumer" means *one consumer at a time*, not one consumer
+// thread forever: the consumer role may migrate between threads provided
+// the handoff happens through an acquire/release (or stronger) edge — the
+// engine's `draining` flag exchange is exactly that. The same applies to
+// the producer role.
 #pragma once
 
 #include <atomic>
@@ -28,7 +35,13 @@ class SpscRing {
   SpscRing& operator=(const SpscRing&) = delete;
 
   /// Producer side. Returns false when full (the item is not stored).
-  bool push(T item) {
+  bool push(T item) { return try_push(item); }
+
+  /// Producer side; moves from `item` only on success, so a caller holding
+  /// an expensive-to-rebuild item (a staged finish with its delivery
+  /// vector) keeps it intact when the ring is full and can fall back to a
+  /// direct path.
+  bool try_push(T& item) {
     const std::size_t head = head_.load(std::memory_order_relaxed);
     const std::size_t tail = tail_.load(std::memory_order_acquire);
     if (head - tail == buffer_.size()) {
@@ -49,6 +62,23 @@ class SpscRing {
     T item = std::move(buffer_[tail & mask_]);
     tail_.store(tail + 1, std::memory_order_release);
     return item;
+  }
+
+  /// Consumer side, bulk: pops every item visible on entry, invoking
+  /// `fn(T&&)` for each, and publishes the new tail once instead of per
+  /// item. Items pushed concurrently with the drain are left for the next
+  /// one. Returns the number of items consumed.
+  template <typename F>
+  std::size_t drain(F&& fn) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    for (std::size_t i = tail; i != head; ++i) {
+      fn(std::move(buffer_[i & mask_]));
+    }
+    if (head != tail) {
+      tail_.store(head, std::memory_order_release);
+    }
+    return head - tail;
   }
 
   std::size_t size() const {

@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "support/check.hpp"
 #include "support/stopwatch.hpp"
@@ -19,6 +20,18 @@ Engine::~Engine() {
     // Abandoned engine: stop workers without waiting for phase completion.
     // Workers may still try to enqueue newly ready pairs; the flag lets
     // them drop those instead of flagging the closed queue as a bug.
+    //
+    // Ordering argument (the teardown race this guards against): a worker
+    // decides "the queue rejected my push" only inside push_all, under the
+    // queue's mutex, after reading closed_ == true. close() sets closed_
+    // under that same mutex, and this thread stores abandoning_ *before*
+    // calling close(), so the mutex release/acquire edge publishes the
+    // store to any worker that observes the rejection — the subsequent
+    // abandoning_ check cannot read a stale false. The only other closer is
+    // finish(), which runs after every started phase completed, when no
+    // nonempty ready batch can exist anymore (an issued-but-unfinished pair
+    // keeps its phase active, so finish() would still be waiting). Staged
+    // finishes left in the rings are simply destroyed with the engine.
     abandoning_.store(true, std::memory_order_release);
     run_queue_.close();
     for (auto& worker : workers_) {
@@ -42,9 +55,30 @@ void Engine::start() {
   scheduler_.reserve_steady_state(
       std::min<std::size_t>(window, 64),
       std::min<std::size_t>(2 * scheduler_.n(), 65536));
+  // Staging pays off by amortizing lock traffic across workers; with a
+  // single worker there is nothing to contend with, and a per-transition
+  // observer needs the per-pair path for its snapshots.
+  use_staging_ = options_.staged_deliveries && options_.threads > 1 &&
+                 options_.observer == nullptr;
+  // Default batch target: a couple of pairs per worker, capped so drain
+  // latency stays small relative to the window's refill rate.
+  drain_batch_target_ =
+      options_.drain_batch_target != 0
+          ? options_.drain_batch_target
+          : std::min<std::size_t>(16, 2 * options_.threads);
+  if (use_staging_) {
+    const std::size_t capacity = std::bit_ceil(
+        std::max<std::size_t>(2, options_.staging_ring_capacity));
+    staging_.reserve(options_.threads);
+    for (std::size_t i = 0; i < options_.threads; ++i) {
+      staging_.push_back(
+          std::make_unique<conc::SpscRing<Scheduler::StagedFinish>>(capacity));
+    }
+    drain_batch_.reserve(options_.threads * capacity);
+  }
   workers_.reserve(options_.threads);
   for (std::size_t i = 0; i < options_.threads; ++i) {
-    workers_.emplace_back([this] { worker_main(); });
+    workers_.emplace_back([this, i] { worker_main(i); });
   }
 }
 
@@ -99,6 +133,11 @@ void Engine::start_phase_bundles(std::vector<event::InputBundle>& bundles) {
   env_ready_.clear();
   {
     std::unique_lock lock(mutex_);
+    // Backpressure wait. Every transition that shrinks the window is a
+    // phase retirement inside retire_completed(), which always advances
+    // completed_through — and both apply paths (per-pair and batched
+    // drain) notify progress_cv_ exactly when that happens, so this wait
+    // cannot miss a shrink even with max_inflight_phases == 1.
     progress_cv_.wait(lock, [this] {
       return options_.max_inflight_phases == 0 ||
              scheduler_.active_phase_count() < options_.max_inflight_phases;
@@ -172,14 +211,134 @@ void Engine::enqueue_ready(std::vector<Scheduler::ReadyPair>& ready) {
   ready.clear();
 }
 
-void Engine::worker_main() {
-  // Listing 1: dequeue, execute outside the lock, update sets under it.
-  // The delivery and ready buffers are reused across iterations; the
-  // executed pair's bundle is recycled into the scheduler's pool, so the
-  // locked bookkeeping section allocates nothing at steady state.
-  std::vector<Scheduler::Delivery> deliveries;
+void Engine::apply_finish_locked(Scheduler::StagedFinish& staged,
+                                 std::vector<Scheduler::ReadyPair>& ready) {
+  std::lock_guard lock(mutex_);
+  const event::PhaseId completed_before = scheduler_.completed_through();
+  scheduler_.finish_execution(
+      staged.vertex, staged.phase,
+      std::span<Scheduler::Delivery>(staged.deliveries),
+      std::move(staged.recycled), ready);
+  if (options_.sample_inflight) {
+    const std::uint64_t active = scheduler_.active_phase_count();
+    inflight_.add(active);
+    inflight_sum_ += active;
+    ++inflight_samples_;
+  }
+  if (options_.observer != nullptr) {
+    options_.observer->on_transition(
+        SchedulerObserver::Transition::kPairFinished, staged.vertex,
+        staged.phase, scheduler_.snapshot());
+  }
+  if (scheduler_.completed_through() != completed_before) {
+    // Phase retirement is the only transition that shrinks the in-flight
+    // window (retire_completed always advances completed_through when it
+    // drops a slot), so this one notify covers both waiters on
+    // progress_cv_: finish() waiting for all phases and start_phase
+    // waiting for window room — including the max_inflight_phases == 1
+    // case, where every retirement must wake the environment.
+    progress_cv_.notify_all();
+  }
+}
+
+std::size_t Engine::drain_staged() {
+  // Ring consumption happens outside the global lock (we are the exclusive
+  // consumer while holding draining_); only the batch application below
+  // takes it, and the moved-from staged shells are destroyed after release.
+  drain_batch_.clear();
+  for (auto& ring : staging_) {
+    ring->drain([this](Scheduler::StagedFinish&& staged) {
+      drain_batch_.push_back(std::move(staged));
+    });
+  }
+  if (drain_batch_.empty()) {
+    return 0;
+  }
+  drain_ready_.clear();
+  {
+    std::lock_guard lock(mutex_);
+    const event::PhaseId completed_before = scheduler_.completed_through();
+    scheduler_.finish_execution_batch(
+        std::span<Scheduler::StagedFinish>(drain_batch_), drain_ready_);
+    if (options_.sample_inflight) {
+      // One sample per drained pair, all taken at the post-batch state:
+      // keeps the Figure 1 histogram weighted per completion.
+      const std::uint64_t active = scheduler_.active_phase_count();
+      for (std::size_t i = 0; i < drain_batch_.size(); ++i) {
+        inflight_.add(active);
+        inflight_sum_ += active;
+      }
+      inflight_samples_ += drain_batch_.size();
+    }
+    if (scheduler_.completed_through() != completed_before) {
+      progress_cv_.notify_all();  // window shrank and/or finish() satisfied
+    }
+  }
+  const std::size_t drained = drain_batch_.size();
+  staged_pending_.fetch_sub(drained);
+  enqueue_ready(drain_ready_);
+  return drained;
+}
+
+void Engine::maybe_drain(std::size_t threshold) {
+  for (;;) {
+    if (staged_pending_.load() < threshold) {
+      return;
+    }
+    if (draining_.exchange(true)) {
+      // Someone else holds the drain. A lazy (batch-target) caller can
+      // leave: the holder re-checks staged_pending_ after releasing, and
+      // our increment is seq_cst-ordered before this failed exchange, so
+      // entries at or above the shared target cannot be missed. A
+      // must-drain caller (threshold 1, about to block on the run queue)
+      // cannot rely on that — the holder's re-check uses the *batch*
+      // target and may rightly leave a sub-target residue — so it waits
+      // for the flag and drains the residue itself.
+      if (threshold > 1) {
+        return;
+      }
+      std::this_thread::yield();
+      continue;
+    }
+    // We hold the drain. An entry counted in staged_pending_ may not be
+    // ring-visible for a moment (the producer increments before pushing);
+    // the outer loop simply tries again until the counter agrees.
+    const std::size_t drained = drain_staged();
+    draining_.store(false);
+    // Re-check after release: an entry staged after our ring sweep whose
+    // owner lost the exchange above must not be stranded.
+    if (drained == 0) {
+      // Counted-but-invisible entry: give its producer a chance to finish
+      // the push instead of spinning through a whole timeslice.
+      std::this_thread::yield();
+    }
+  }
+}
+
+void Engine::worker_main(std::size_t worker_index) {
+  // Listing 1: dequeue, execute outside the lock, then either stage the
+  // finished pair for batched application (staged path) or update the sets
+  // under the lock directly. The ready buffer is reused across iterations;
+  // the executed pair's bundle is recycled into the scheduler's pool, so
+  // the locked bookkeeping path allocates nothing at steady state.
   std::vector<Scheduler::ReadyPair> ready;
-  while (auto item = run_queue_.pop()) {
+  conc::SpscRing<Scheduler::StagedFinish>* ring =
+      use_staging_ ? staging_[worker_index].get() : nullptr;
+  for (;;) {
+    std::optional<Scheduler::ReadyPair> item = run_queue_.try_pop();
+    if (!item.has_value()) {
+      // About to block: apply everything pending first (threshold 1), so
+      // no staged finish — possibly the one that completes a phase or
+      // readies the only runnable pair — waits on a batch that will never
+      // fill. This is what makes the lazy batch target below safe.
+      if (ring != nullptr) {
+        maybe_drain(1);
+      }
+      item = run_queue_.pop();
+      if (!item.has_value()) {
+        break;  // closed and drained
+      }
+    }
     support::Stopwatch compute_timer;
     ExecutionResult result;
     try {
@@ -200,40 +359,33 @@ void Engine::worker_main() {
       sink_records_.add(result.sink_records.size());
       sinks_.record_batch(std::move(result.sink_records));
     }
-
-    deliveries.clear();
-    deliveries.reserve(result.deliveries.size());
-    for (ExecutionResult::Delivery& d : result.deliveries) {
-      deliveries.push_back(
-          Scheduler::Delivery{d.to_index, d.to_port, std::move(d.value)});
-    }
-    messages_delivered_.add(deliveries.size());
+    messages_delivered_.add(result.deliveries.size());
 
     support::Stopwatch bookkeeping_timer;
-    ready.clear();
-    {
-      std::lock_guard lock(mutex_);
-      const event::PhaseId completed_before = scheduler_.completed_through();
-      scheduler_.finish_execution(item->vertex, item->phase,
-                                  std::span<Scheduler::Delivery>(deliveries),
-                                  std::move(item->bundle), ready);
-      if (options_.sample_inflight) {
-        const std::uint64_t active = scheduler_.active_phase_count();
-        inflight_.add(active);
-        inflight_sum_ += active;
-        ++inflight_samples_;
+    // Deliveries unification: the executor's output vector moves straight
+    // into the staged record — no per-message repack.
+    Scheduler::StagedFinish staged{item->vertex, item->phase,
+                                   std::move(result.deliveries),
+                                   std::move(item->bundle)};
+    if (ring != nullptr) {
+      // Count first, push second: a drainer that sees the count but not
+      // yet the entry spins, whereas the reverse order could let a drain
+      // consume an uncounted entry and underflow the counter.
+      staged_pending_.fetch_add(1);
+      if (ring->try_push(staged)) {
+        maybe_drain(drain_batch_target_);
+      } else {
+        // Ring full: roll the count back and apply this one directly.
+        staged_pending_.fetch_sub(1);
+        ready.clear();
+        apply_finish_locked(staged, ready);
+        enqueue_ready(ready);
       }
-      if (options_.observer != nullptr) {
-        options_.observer->on_transition(
-            SchedulerObserver::Transition::kPairFinished, item->vertex,
-            item->phase, scheduler_.snapshot());
-      }
-      if (scheduler_.completed_through() != completed_before) {
-        // Phase retirement frees window space and may satisfy finish().
-        progress_cv_.notify_all();
-      }
+    } else {
+      ready.clear();
+      apply_finish_locked(staged, ready);
+      enqueue_ready(ready);
     }
-    enqueue_ready(ready);
     bookkeeping_ns_.add(bookkeeping_timer.elapsed_ns());
     executed_pairs_.add(1);
   }

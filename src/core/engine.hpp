@@ -19,18 +19,27 @@
 //     closed queue;
 //   * backpressure: the paper's environment "sleeps for some amount of
 //     time"; we bound the number of in-flight phases instead so memory use
-//     is bounded at any event rate.
+//     is bounded at any event rate;
+//   * staged deliveries: with several workers, an executed pair is not
+//     applied to the sets under the lock by the worker that ran it.
+//     Instead the worker appends a StagedFinish record to its own SPSC
+//     staging ring and one drainer at a time (whoever wins the `draining_`
+//     flag) applies whole batches with a single frontier/promotion/collect
+//     pass, shrinking both the number of lock acquisitions and the work
+//     done per acquisition (DESIGN.md, "Staged delivery rings").
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "concurrency/blocking_queue.hpp"
 #include "concurrency/sharded_counter.hpp"
+#include "concurrency/spsc_ring.hpp"
 #include "core/executor.hpp"
 #include "core/observer.hpp"
 #include "core/program.hpp"
@@ -52,6 +61,22 @@ struct EngineOptions {
   /// When true, records a histogram of in-flight phase counts sampled at
   /// every pair completion (the Figure 1 pipelining measurement).
   bool sample_inflight = false;
+  /// When true (default) and more than one worker runs, finished pairs are
+  /// staged in per-worker SPSC rings and applied to the scheduler in
+  /// batches by a single drainer; false forces the lock-per-pair path. An
+  /// observer also forces the per-pair path (it needs a snapshot per
+  /// transition).
+  bool staged_deliveries = true;
+  /// Per-worker staging-ring capacity; rounded up to a power of two. A
+  /// full ring never blocks a worker — it falls back to applying that pair
+  /// directly under the lock.
+  std::size_t staging_ring_capacity = 256;
+  /// Staged finishes accumulate until this many are pending before anyone
+  /// volunteers to drain, so each drain amortizes its lock acquisition and
+  /// frontier pass over a real batch. Liveness does not depend on the
+  /// target: a worker always drains everything pending before it would
+  /// block on an empty run queue. 0 picks a default from the thread count.
+  std::size_t drain_batch_target = 0;
 };
 
 class Engine final : public Executor {
@@ -95,7 +120,26 @@ class Engine final : public Executor {
   const ProgramInstance& instance() const { return instance_; }
 
  private:
-  void worker_main();
+  void worker_main(std::size_t worker_index);
+  /// Applies one finished pair under the global lock — the paper's
+  /// Listing 1 tail and the PR 1 hot path; still used when staging is off,
+  /// when a staging ring overflows, and for per-transition observers.
+  void apply_finish_locked(Scheduler::StagedFinish& staged,
+                           std::vector<Scheduler::ReadyPair>& ready);
+  /// Staged path: drain whatever is visible in the staging rings whenever
+  /// at least `threshold` entries are pending and nobody else holds the
+  /// drain flag. The post-release re-check closes the classic stranding
+  /// window: a worker that staged an entry after the current drainer swept
+  /// its ring and then lost the flag race is covered by the drainer's next
+  /// staged_pending_ check. Threshold 1 = drain everything (the mandatory
+  /// pre-block call); the batch target trades a little latency for one
+  /// frontier pass per batch.
+  void maybe_drain(std::size_t threshold);
+  /// One drain pass: pops every visible staged finish (ring consumer side,
+  /// exclusive via draining_), applies the whole batch to the scheduler
+  /// under one short lock acquisition, then enqueues the issued pairs.
+  /// Returns the number of entries applied. Caller holds draining_.
+  std::size_t drain_staged();
   /// Moves every pair into the run queue under one lock acquisition and
   /// clears `ready` so the caller can reuse the buffer.
   void enqueue_ready(std::vector<Scheduler::ReadyPair>& ready);
@@ -125,8 +169,31 @@ class Engine final : public Executor {
   bool finished_ = false;
   /// Set by the destructor when tearing down with work outstanding; lets
   /// workers drop ready pairs instead of treating a closed queue as a bug.
+  /// Ordering: the destructor stores this *before* closing the run queue,
+  /// and a worker reads it only after observing the closed queue, so the
+  /// queue mutex's release/acquire edge makes the store visible — a late
+  /// rejected push can never see abandoning_ == false (see ~Engine).
   std::atomic<bool> abandoning_{false};
   std::exception_ptr first_error_;  // guarded by mutex_
+
+  // Staged delivery rings (tentpole of PR 3; DESIGN.md "Staged delivery
+  // rings"). Worker i is the only producer of staging_[i]; the consumer
+  // side of every ring belongs to whoever holds draining_ (the flag
+  // exchange is the acquire/release handoff SpscRing requires).
+  // staged_pending_ counts entries staged but not yet applied; it is
+  // incremented *before* the ring push so a drainer's pending check can
+  // never miss an entry it might also fail to see in the ring (it spins
+  // through the sub-nanosecond publication window instead of exiting).
+  bool use_staging_ = false;  // resolved from options in start()
+  std::size_t drain_batch_target_ = 1;  // resolved from options in start()
+  std::vector<std::unique_ptr<conc::SpscRing<Scheduler::StagedFinish>>>
+      staging_;
+  std::atomic<std::size_t> staged_pending_{0};
+  std::atomic<bool> draining_{false};
+  // Drain-pass scratch, reused across drains; owned by the draining_
+  // holder, so unsynchronized access is safe.
+  std::vector<Scheduler::StagedFinish> drain_batch_;
+  std::vector<Scheduler::ReadyPair> drain_ready_;
 
   // Statistics.
   conc::ShardedCounter executed_pairs_;

@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/delivery.hpp"
 #include "core/program.hpp"
 #include "core/sink_store.hpp"
 #include "event/message.hpp"
@@ -104,12 +105,12 @@ class Executor {
 /// (already split per route), sink records, and the raw port-level emissions
 /// (used by the eager baseline to forward last outputs every phase).
 struct ExecutionResult {
-  /// (to_internal_index, to_port, value) triples, in emission order.
-  struct Delivery {
-    std::uint32_t to_index;
-    graph::Port to_port;
-    event::Value value;
-  };
+  /// (to_internal_index, to_port, value) triples, in emission order. The
+  /// type is the scheduler's own delivery type (core::Delivery), so engine
+  /// workers move the vector wholesale into a staged finish — no per-pair
+  /// repack between "what execution produced" and "what the scheduler
+  /// applies".
+  using Delivery = core::Delivery;
   std::vector<Delivery> deliveries;
   std::vector<SinkRecord> sink_records;
   std::vector<event::Message> emissions;

@@ -126,11 +126,10 @@ void Scheduler::start_phase(event::PhaseId p,
   collect_ready(out_ready);
 }
 
-void Scheduler::finish_execution(std::uint32_t vertex, event::PhaseId p,
-                                 std::span<Delivery> deliveries,
-                                 event::InputBundle recycled,
-                                 std::vector<ReadyPair>& out_ready) {
-  // Listing 1, statements 4-31.
+void Scheduler::apply_finish(std::uint32_t vertex, event::PhaseId p,
+                             std::span<Delivery> deliveries,
+                             event::InputBundle recycled) {
+  // Listing 1, statements 4-11.
   DF_CHECK(vertex >= 1 && vertex <= n_, "vertex index out of range");
   VertexState& vs = vertices_[vertex];
   DF_CHECK(vs.in_ready && vs.ready_phase == p,
@@ -171,7 +170,15 @@ void Scheduler::finish_execution(std::uint32_t vertex, event::PhaseId p,
            "finished vertex was not pending");
   clear_bit(slot.pending_bits, vertex);
   --slot.pending_count;
+  affected_.push_back(vertex);  // vertex may have a later full phase queued
+}
 
+void Scheduler::finish_execution(std::uint32_t vertex, event::PhaseId p,
+                                 std::span<Delivery> deliveries,
+                                 event::InputBundle recycled,
+                                 std::vector<ReadyPair>& out_ready) {
+  // Listing 1, statements 4-31.
+  apply_finish(vertex, p, deliveries, std::move(recycled));
   // Statements 12-23: recompute the frontier for p and all later phases.
   update_x_from(p);
   // Statements 24-26: promote partial pairs within the new frontiers.
@@ -179,7 +186,32 @@ void Scheduler::finish_execution(std::uint32_t vertex, event::PhaseId p,
   // Phases whose frontier reached N are complete; retire from the front.
   retire_completed();
   // Statements 27-30: issue newly ready pairs.
-  affected_.push_back(vertex);  // vertex may have a later full phase queued
+  collect_ready(out_ready);
+}
+
+void Scheduler::finish_execution_batch(std::span<StagedFinish> batch,
+                                       std::vector<ReadyPair>& out_ready) {
+  if (batch.empty()) {
+    return;
+  }
+  // Apply every pair's set updates first. Within a batch each vertex
+  // appears at most once (a vertex has at most one issued pair, and no pair
+  // is re-issued before collect_ready below), so applications commute; the
+  // deferred frontier only under-approximates in between, which every
+  // invariant tolerates (see apply_finish).
+  event::PhaseId from = batch.front().phase;
+  for (StagedFinish& staged : batch) {
+    apply_finish(staged.vertex, staged.phase,
+                 std::span<Delivery>(staged.deliveries),
+                 std::move(staged.recycled));
+    from = std::min(from, staged.phase);
+  }
+  // One frontier/promotion/retire/collect pass for the whole batch. None of
+  // the staged phases can have retired before this point — each kept a
+  // pending bit set until its apply above — so `from` is still active.
+  update_x_from(from);
+  promote_newly_full(from);
+  retire_completed();
   collect_ready(out_ready);
 }
 

@@ -40,6 +40,7 @@
 #include <span>
 #include <vector>
 
+#include "core/delivery.hpp"
 #include "event/message.hpp"
 #include "event/phase.hpp"
 #include "graph/numbering.hpp"
@@ -56,11 +57,21 @@ class Scheduler {
     event::InputBundle bundle;
   };
 
-  /// A message produced by an execution, addressed by internal index.
-  struct Delivery {
-    std::uint32_t to_index = 0;
-    graph::Port to_port = 0;
-    event::Value value;
+  /// A message produced by an execution, addressed by internal index. The
+  /// same type executors emit (core::Delivery), so executor output feeds
+  /// the scheduler without a per-message copy.
+  using Delivery = core::Delivery;
+
+  /// One executed pair whose application to the sets has been deferred: the
+  /// arguments of a finish_execution call, recorded by a worker outside the
+  /// global lock. `deliveries` is moved straight from the executor's output
+  /// and `recycled` is the executed pair's input bundle (donated back to
+  /// the pool on application). See DESIGN.md, "Staged delivery rings".
+  struct StagedFinish {
+    std::uint32_t vertex = 0;
+    event::PhaseId phase = 0;
+    std::vector<Delivery> deliveries;
+    event::InputBundle recycled;
   };
 
   /// Set-membership snapshot for tracing (Figure 3 reproductions) and for
@@ -104,6 +115,18 @@ class Scheduler {
                         std::span<Delivery> deliveries,
                         event::InputBundle recycled,
                         std::vector<ReadyPair>& out_ready);
+
+  /// Applies a whole batch of staged finishes, then runs the frontier
+  /// recomputation, promotion scan, retirement, and ready collection once
+  /// for the entire batch instead of once per pair. Equivalent to calling
+  /// finish_execution for each entry in order (the issued ready set and all
+  /// bundle contents are identical — the batched frontier only lags inside
+  /// the call, never at return), but the per-pair critical-section cost
+  /// collapses to the delivery bit-flips. Entries are moved from. Every
+  /// staged pair must still be outstanding (issued, not finished); batches
+  /// may mix phases in any order.
+  void finish_execution_batch(std::span<StagedFinish> batch,
+                              std::vector<ReadyPair>& out_ready);
 
   /// Convenience wrappers returning a fresh vector (tests, simple drivers).
   std::vector<ReadyPair> start_phase(event::PhaseId p,
@@ -319,6 +342,17 @@ class Scheduler {
   static void clear_bit(std::vector<std::uint64_t>& bits, std::uint32_t v) {
     bits[v >> 6] &= ~(std::uint64_t{1} << (v & 63));
   }
+
+  /// Statements 4-11 of Listing 1 plus the pending-bit clear: everything
+  /// finish_execution does for one pair *before* the frontier/promotion/
+  /// collect pass. Safe to run repeatedly before a single deferred pass:
+  /// the delivery invariants (recipient above the promotion bound, no
+  /// insertion below the pending minimum) are statements about actual set
+  /// membership and hold regardless of how far x lags, because x and the
+  /// promotion bound only ever under-approximate between passes.
+  void apply_finish(std::uint32_t vertex, event::PhaseId p,
+                    std::span<Delivery> deliveries,
+                    event::InputBundle recycled);
 
   /// Smallest pending vertex; advances the slot's word cursor (valid because
   /// insertions never land below the current minimum: deliveries go to

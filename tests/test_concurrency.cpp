@@ -111,6 +111,89 @@ TEST(BlockingQueue, MpmcExactlyOnceStress) {
   }
 }
 
+// Wakeup-audit hammer: many idle consumers, a producer feeding single-item
+// batches through push_all (the engine's common case — a chain graph drains
+// one ready pair per transition). The producer waits for the queue to drain
+// between bursts, so an under-wake cannot hide behind close()'s
+// notify_all: if a batch's wakeups are insufficient, the queue never
+// empties and the test hangs rather than passes.
+TEST(BlockingQueue, SingleItemBatchesWakeIdleConsumersStress) {
+  constexpr int kConsumers = 6;
+  constexpr int kBursts = 400;
+  constexpr int kPerBurst = 8;
+  BlockingQueue<int> queue;
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (queue.pop()) {
+        consumed.fetch_add(1);
+      }
+    });
+  }
+  std::vector<int> batch;
+  for (int b = 0; b < kBursts; ++b) {
+    for (int i = 0; i < kPerBurst; ++i) {
+      batch.assign(1, b * kPerBurst + i);  // batches of exactly one
+      ASSERT_TRUE(queue.push_all(batch));
+    }
+    while (consumed.load() < (b + 1) * kPerBurst) {
+      std::this_thread::yield();  // hangs here on a lost wakeup
+    }
+  }
+  queue.close();
+  for (auto& t : consumers) {
+    t.join();
+  }
+  EXPECT_EQ(consumed.load(), kBursts * kPerBurst);
+}
+
+// The lost wakeup the audit actually found: producers blocked in push_all
+// wait for *batch-sized* room, so their predicates are heterogeneous. A
+// notify_one on the consumer side could wake a large-batch producer that
+// goes straight back to sleep while a small-batch producer that now fits
+// sleeps forever; with consumers draining the queue empty afterwards,
+// nobody signals again — deadlock. This hammers a small bounded queue with
+// mixed batch sizes; the old code deadlocks here within a few rounds.
+TEST(BlockingQueue, HeterogeneousBatchPushersDoNotLoseWakeups) {
+  constexpr std::size_t kCapacity = 8;
+  constexpr int kRounds = 500;
+  BlockingQueue<int> queue(kCapacity);
+  const std::size_t sizes[] = {7, 1, 5, 2};
+  std::atomic<int> produced{0};
+  std::atomic<int> consumed{0};
+
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < std::size(sizes); ++p) {
+    producers.emplace_back([&, p] {
+      std::vector<int> batch;
+      for (int r = 0; r < kRounds; ++r) {
+        batch.assign(sizes[p], static_cast<int>(p));
+        ASSERT_TRUE(queue.push_all(batch));
+        produced.fetch_add(static_cast<int>(sizes[p]));
+      }
+    });
+  }
+  const int total = kRounds * static_cast<int>(7 + 1 + 5 + 2);
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      while (queue.pop()) {
+        consumed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  queue.close();
+  for (auto& t : consumers) {
+    t.join();
+  }
+  EXPECT_EQ(produced.load(), total);
+  EXPECT_EQ(consumed.load(), total);
+}
+
 TEST(ThreadPool, RunsSubmittedTasks) {
   ThreadPool pool(3);
   std::atomic<int> counter{0};
@@ -187,6 +270,69 @@ TEST(SpscRing, ConcurrentProducerConsumer) {
   consumer.join();
   for (int i = 0; i < kItems; ++i) {
     ASSERT_EQ(received[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(SpscRing, TryPushKeepsItemOnFullRing) {
+  SpscRing<std::vector<int>> ring(2);
+  std::vector<int> payload = {1, 2, 3};
+  std::vector<int> a = payload;
+  std::vector<int> b = payload;
+  std::vector<int> c = payload;
+  EXPECT_TRUE(ring.try_push(a));
+  EXPECT_TRUE(ring.try_push(b));
+  EXPECT_FALSE(ring.try_push(c));
+  // Failure must leave the caller's item intact for a fallback path.
+  EXPECT_EQ(c, payload);
+}
+
+TEST(SpscRing, DrainConsumesEverythingVisible) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) {
+    ring.push(i);
+  }
+  std::vector<int> got;
+  EXPECT_EQ(ring.drain([&](int&& v) { got.push_back(v); }), 5U);
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.drain([&](int&&) { FAIL(); }), 0U);
+}
+
+// Consumer-role migration: the drain side hops between threads with an
+// acquire/release flag handoff, exactly how the engine's draining_ flag
+// serializes staging-ring consumers. Run under TSan to validate the
+// ordering contract documented in spsc_ring.hpp.
+TEST(SpscRing, ConsumerRoleMigratesAcrossThreadsWithHandoff) {
+  constexpr int kItems = 50000;
+  SpscRing<int> ring(256);
+  std::atomic<bool> draining{false};  // the engine's drain-flag handoff
+  std::atomic<int> drained{0};
+  std::vector<std::atomic<char>> seen(kItems);
+
+  const auto consumer = [&] {
+    while (drained.load() < kItems) {
+      if (draining.exchange(true)) {
+        std::this_thread::yield();  // other side holds the drain
+        continue;
+      }
+      const std::size_t n = ring.drain([&](int&& v) {
+        seen[static_cast<std::size_t>(v)].fetch_add(1);
+      });
+      drained.fetch_add(static_cast<int>(n));
+      draining.store(false);
+    }
+  };
+  std::thread a(consumer);
+  std::thread b(consumer);
+  for (int i = 0; i < kItems; ++i) {
+    while (!ring.push(i)) {
+      std::this_thread::yield();
+    }
+  }
+  a.join();
+  b.join();
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_EQ(seen[static_cast<std::size_t>(i)].load(), 1) << "item " << i;
   }
 }
 

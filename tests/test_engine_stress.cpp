@@ -62,12 +62,15 @@ TEST(EngineStress, AllConfigurationsProduceIdenticalSinks) {
   std::vector<std::vector<SinkRecord>> outputs;
   for (const std::size_t threads : {1UL, 2UL, 5UL}) {
     for (const std::size_t window : {1UL, 3UL, 0UL /*unbounded*/}) {
-      EngineOptions options;
-      options.threads = threads;
-      options.max_inflight_phases = window;
-      Engine engine(program, options);
-      engine.run(800, nullptr);
-      outputs.push_back(engine.sinks().canonical());
+      for (const bool staged : {true, false}) {
+        EngineOptions options;
+        options.threads = threads;
+        options.max_inflight_phases = window;
+        options.staged_deliveries = staged;
+        Engine engine(program, options);
+        engine.run(800, nullptr);
+        outputs.push_back(engine.sinks().canonical());
+      }
     }
   }
   for (std::size_t i = 1; i < outputs.size(); ++i) {
@@ -76,6 +79,63 @@ TEST(EngineStress, AllConfigurationsProduceIdenticalSinks) {
     EXPECT_EQ(outputs[i], outputs[0]) << "configuration " << i;
   }
   EXPECT_GT(outputs[0].size(), 100U) << "stress workload was trivial";
+}
+
+// A staging ring too small for the workload forces the try_push-failure
+// fallback (apply directly under the lock) to interleave with batched
+// drains; results must be unchanged.
+TEST(EngineStress, TinyStagingRingFallbackMatchesReference) {
+  const Program program = stress_program(1);
+  EngineOptions options;
+  options.threads = 6;
+  options.max_inflight_phases = 16;
+  options.staging_ring_capacity = 2;
+  Engine engine(program, options);
+  const auto report = trace::check_against_sequential(program, engine, 1200);
+  EXPECT_TRUE(report.equivalent) << report.summary();
+}
+
+// Teardown-race regression (the abandoning_/close() ordering audit): an
+// engine destroyed with phases outstanding must let in-flight workers
+// finish their current pair, observe the closed queue, read abandoning_ ==
+// true, and exit — never trip the "run queue closed while work was
+// outstanding" check, deadlock, or crash while staged finishes are still
+// sitting in the delivery rings. Loop many configurations so destruction
+// lands at many different points of the pipeline.
+TEST(EngineStress, DestroyMidRunNeverTripsTeardownChecks) {
+  const Program program = stress_program(4);
+  for (int iter = 0; iter < 60; ++iter) {
+    EngineOptions options;
+    options.threads = 1 + iter % 5;
+    options.max_inflight_phases = 1 + iter % 9;
+    // Exercise both the staged-ring and lock-per-pair teardown paths.
+    options.staged_deliveries = iter % 3 != 0;
+    Engine engine(program, options);
+    engine.start();
+    const int phases = iter % 8;
+    for (int p = 0; p < phases; ++p) {
+      engine.start_phase({});
+    }
+    // Destructor runs here with up to `phases` phases outstanding.
+  }
+}
+
+// Backpressure regression for the 1-phase window: start_phase may only
+// proceed when the window has room, and the only transition that makes
+// room is a phase retirement. If any apply path retired a phase without
+// notifying progress_cv_, this configuration would deadlock on the second
+// phase; with staged deliveries the retirement happens inside a batched
+// drain, so this pins the drain path's notify too.
+TEST(EngineStress, SingleInflightWindowSustainsThroughput) {
+  const Program program = stress_program(5);
+  EngineOptions options;
+  options.threads = 4;
+  options.max_inflight_phases = 1;
+  Engine engine(program, options);
+  engine.run(1500, nullptr);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.phases_completed, 1500U);
+  EXPECT_EQ(stats.max_inflight_phases, 1U);
 }
 
 TEST(EngineStress, RepeatedRunsOfSameConfigAreBitIdentical) {
