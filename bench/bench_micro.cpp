@@ -13,9 +13,11 @@
 #include "concurrency/sharded_counter.hpp"
 #include "concurrency/spsc_ring.hpp"
 #include "core/scheduler.hpp"
+#include "core/sharded_scheduler.hpp"
 #include "event/value.hpp"
 #include "graph/generators.hpp"
 #include "graph/numbering.hpp"
+#include "graph/partition.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -62,7 +64,9 @@ void BM_sharded_counter_add(benchmark::State& state) {
 BENCHMARK(BM_sharded_counter_add);
 
 /// Full scheduler bookkeeping cost per vertex-phase pair on a chain: one
-/// start_phase + N finish_execution calls per phase.
+/// start_phase + N finish_execution calls per phase, with fresh vectors
+/// per call (the seed implementation's allocation profile; the removed
+/// seed-compat wrappers behaved exactly like this).
 void BM_scheduler_pair_bookkeeping(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   const graph::Dag dag = graph::chain(n);
@@ -71,8 +75,9 @@ void BM_scheduler_pair_bookkeeping(benchmark::State& state) {
   std::uint64_t pairs = 0;
   for (auto _ : state) {
     core::Scheduler scheduler(numbering.m);
-    std::vector<core::Scheduler::ReadyPair> queue =
-        scheduler.start_phase(1, std::vector<event::InputBundle>(1));
+    std::vector<event::InputBundle> bundles(1);
+    std::vector<core::Scheduler::ReadyPair> queue;
+    scheduler.start_phase(1, std::span(bundles), queue);
     while (!queue.empty()) {
       core::Scheduler::ReadyPair pair = std::move(queue.back());
       queue.pop_back();
@@ -81,8 +86,9 @@ void BM_scheduler_pair_bookkeeping(benchmark::State& state) {
         deliveries.push_back(core::Scheduler::Delivery{
             pair.vertex + 1, 0, event::Value(1.0)});
       }
-      auto ready = scheduler.finish_execution(pair.vertex, pair.phase,
-                                              std::move(deliveries));
+      std::vector<core::Scheduler::ReadyPair> ready;
+      scheduler.finish_execution(pair.vertex, pair.phase,
+                                 std::span(deliveries), {}, ready);
       for (auto& r : ready) {
         queue.push_back(std::move(r));
       }
@@ -184,6 +190,66 @@ BENCHMARK(BM_scheduler_pair_bookkeeping_staged_batch)
     ->Arg(8)
     ->Arg(64)
     ->Arg(512);
+
+/// The sharded scheduler's two-stage drain on the same chain workload:
+/// apply_finish_batch flips bits under per-shard locks, collect composes
+/// the frontier and issues ready pairs. Args are {chain_n, shards}; the
+/// shard count therefore appears in every emitted JSON row name. This is
+/// single-threaded scheduler cost only — sharding buys lock parallelism
+/// at engine level (bench_pipeline --shards), so the interesting number
+/// here is the sharding overhead vs the staged_batch rows above.
+void BM_scheduler_pair_bookkeeping_sharded(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  constexpr std::size_t kWindow = 16;
+  const graph::Dag dag = graph::chain(n);
+  const graph::Numbering numbering =
+      graph::compute_satisfactory_numbering(dag);
+  std::uint64_t pairs = 0;
+  core::ShardedScheduler scheduler(
+      numbering.m,
+      graph::make_shard_map(graph::partition_balanced(numbering, shards)),
+      kWindow);
+  scheduler.reserve_steady_state(kWindow * 2);
+  std::vector<event::InputBundle> bundles(1);
+  std::vector<core::Scheduler::ReadyPair> queue;
+  std::vector<core::Scheduler::ReadyPair> ready;
+  std::vector<core::Scheduler::StagedFinish> batch;
+  event::PhaseId phase = 0;
+  for (auto _ : state) {
+    while (scheduler.active_phase_count() < kWindow) {
+      bundles.assign(1, event::InputBundle{});
+      scheduler.start_phase(++phase, std::span(bundles), queue);
+    }
+    batch.clear();
+    for (auto& pair : queue) {
+      core::Scheduler::StagedFinish staged;
+      staged.vertex = pair.vertex;
+      staged.phase = pair.phase;
+      if (pair.vertex < n) {
+        staged.deliveries.push_back(core::Scheduler::Delivery{
+            pair.vertex + 1, 0, event::Value(1.0)});
+      }
+      staged.recycled = std::move(pair.bundle);
+      batch.push_back(std::move(staged));
+    }
+    pairs += batch.size();
+    queue.clear();
+    ready.clear();
+    scheduler.apply_finish_batch(std::span(batch));
+    scheduler.collect(ready);
+    for (auto& r : ready) {
+      queue.push_back(std::move(r));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(pairs));
+}
+BENCHMARK(BM_scheduler_pair_bookkeeping_sharded)
+    ->Args({64, 1})
+    ->Args({64, 4})
+    ->Args({512, 1})
+    ->Args({512, 4})
+    ->Args({512, 8});
 
 void BM_rng_next_normal(benchmark::State& state) {
   support::Rng rng(1);

@@ -25,6 +25,9 @@ int main(int argc, char** argv) {
   // staged=0 forces the PR 1 lock-per-pair path; 1 (default) stages
   // finished pairs in per-worker rings and applies them in batches.
   const bool staged = flags.get("staged", std::uint64_t{1}) != 0;
+  // shards=1 (default) runs the flat scheduler; >1 opts in to the
+  // partition-aligned sharded scheduler with the apply/collect drain.
+  const std::size_t shards = flags.get("shards", std::uint64_t{1});
 
   std::printf("F1: cross-phase pipelining on the paper's 10-node graph\n");
   std::printf("%s\n", trace::machine_summary().c_str());
@@ -43,6 +46,7 @@ int main(int argc, char** argv) {
     options.max_inflight_phases = window;
     options.sample_inflight = true;
     options.staged_deliveries = staged;
+    options.scheduler_shards = shards;
     core::Engine engine(program, options);
     engine.run(phases, nullptr);
     const auto stats = engine.stats();
@@ -59,6 +63,7 @@ int main(int argc, char** argv) {
         .config("grain_ns", grain_ns)
         .config("threads", static_cast<std::uint64_t>(threads))
         .config("staged", static_cast<std::uint64_t>(staged ? 1 : 0))
+        .config("shards", static_cast<std::uint64_t>(shards))
         .metric("wall_ms", stats.wall_seconds * 1e3)
         .metric("ns_per_op", stats.executed_pairs == 0
                                  ? 0.0
@@ -82,6 +87,7 @@ int main(int argc, char** argv) {
       .config("phases", phases)
       .config("grain_ns", grain_ns)
       .config("threads", static_cast<std::uint64_t>(threads))
+      .config("shards", static_cast<std::uint64_t>(shards))
       .metric("wall_ms", ls.wall_seconds * 1e3)
       .metric("pairs_per_sec", ls.pairs_per_second())
       .metric("phases_per_sec", ls.phases_per_second())
@@ -95,6 +101,8 @@ int main(int argc, char** argv) {
   core::EngineOptions depth5;
   depth5.threads = threads;
   depth5.max_inflight_phases = 5;
+  depth5.staged_deliveries = staged;
+  depth5.scheduler_shards = shards;
   depth5.sample_inflight = true;
   core::Engine engine5(program, depth5);
   engine5.run(phases, nullptr);

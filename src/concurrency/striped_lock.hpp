@@ -1,0 +1,79 @@
+// Striped locking and monotone frontier publication, the two concurrency
+// primitives behind the sharded scheduler (DESIGN.md, "Sharded scheduler").
+//
+// StripedMutexSet is a fixed array of cache-line-padded mutexes addressed
+// by index. Keeping the mutexes out of the data they guard lets the guarded
+// records stay movable/regular (the scheduler's Shard structs are plain
+// aggregates; shard k is guarded by stripe k).
+//
+// AtomicFrontier publishes a monotonically non-decreasing uint32 (the
+// per-phase frontier x) from one writer to many lock-free readers. Writers
+// use advance_to, which never moves the value backward even if two writers
+// race with stale candidates — the composition rule "x only grows within a
+// phase's lifetime" is enforced here rather than trusted.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "support/check.hpp"
+
+namespace df::conc {
+
+class StripedMutexSet {
+ public:
+  explicit StripedMutexSet(std::size_t stripes)
+      : stripes_(std::make_unique<Stripe[]>(stripes)), count_(stripes) {
+    DF_CHECK(stripes >= 1, "striped mutex set needs at least one stripe");
+  }
+
+  StripedMutexSet(const StripedMutexSet&) = delete;
+  StripedMutexSet& operator=(const StripedMutexSet&) = delete;
+
+  std::mutex& at(std::size_t i) {
+    DF_DCHECK(i < count_, "stripe index out of range");
+    return stripes_[i].mutex;
+  }
+  std::size_t size() const { return count_; }
+
+ private:
+  // One mutex per cache line so stripes guarding adjacent shards do not
+  // false-share their lock words under cross-shard traffic.
+  struct alignas(64) Stripe {
+    std::mutex mutex;
+  };
+
+  std::unique_ptr<Stripe[]> stripes_;
+  std::size_t count_;
+};
+
+class AtomicFrontier {
+ public:
+  /// Monotone publish: the stored value only ever grows. Safe under racing
+  /// writers with stale candidates (the larger value wins).
+  void advance_to(std::uint32_t candidate) {
+    std::uint32_t current = value_.load(std::memory_order_relaxed);
+    while (current < candidate &&
+           !value_.compare_exchange_weak(current, candidate,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint32_t get() const { return value_.load(std::memory_order_acquire); }
+
+  /// Non-monotone reset for slot reuse; callers must guarantee no
+  /// concurrent advance_to (the scheduler resets only while the phase slot
+  /// is free, under the window lock).
+  void reset(std::uint32_t value) {
+    value_.store(value, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint32_t> value_{0};
+};
+
+}  // namespace df::conc

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "graph/partition.hpp"
 #include "support/check.hpp"
 #include "support/stopwatch.hpp"
 
@@ -13,6 +14,23 @@ Engine::Engine(const Program& program, EngineOptions options)
       options_(options),
       scheduler_(program.numbering.m) {
   DF_CHECK(options_.threads >= 1, "engine needs at least one worker thread");
+  DF_CHECK(options_.scheduler_shards >= 1,
+           "engine needs at least one scheduler shard");
+  // Sharded scheduler opt-in (see EngineOptions::scheduler_shards). An
+  // observer needs one snapshot per transition, which only the flat
+  // per-pair path provides.
+  const std::size_t shards =
+      std::min<std::size_t>(options_.scheduler_shards, scheduler_.n());
+  if (shards > 1 && options_.observer == nullptr) {
+    sharded_window_ = options_.max_inflight_phases == 0
+                          ? 64
+                          : options_.max_inflight_phases;
+    sharded_ = std::make_unique<ShardedScheduler>(
+        program.numbering.m,
+        graph::make_shard_map(
+            graph::partition_balanced(program.numbering, shards)),
+        sharded_window_);
+  }
 }
 
 Engine::~Engine() {
@@ -45,6 +63,21 @@ void Engine::start() {
     return;
   }
   started_ = true;
+  if (sharded_ != nullptr) {
+    // Sharded mode: per-shard locks replace the global-lock staging
+    // protocol, so the flat scheduler and the staging rings stay unused.
+    sharded_->reserve_steady_state(
+        std::min<std::size_t>(2 * sharded_->n(), 65536));
+    drain_batch_target_ =
+        options_.drain_batch_target != 0
+            ? options_.drain_batch_target
+            : std::min<std::size_t>(16, 2 * options_.threads);
+    workers_.reserve(options_.threads);
+    for (std::size_t i = 0; i < options_.threads; ++i) {
+      workers_.emplace_back([this, i] { worker_main_sharded(i); });
+    }
+    return;
+  }
   // Warm the scheduler's flat structures to the run's expected footprint so
   // the locked bookkeeping path is allocation-free from the first phase
   // (unbounded windows get a representative depth; the structures still
@@ -131,6 +164,24 @@ void Engine::start_phase(std::vector<event::ExternalEvent>&& events) {
 
 void Engine::start_phase_bundles(std::vector<event::InputBundle>& bundles) {
   env_ready_.clear();
+  if (sharded_ != nullptr) {
+    {
+      std::unique_lock lock(mutex_);
+      // Backpressure: collectors notify progress_cv_ under mutex_ whenever
+      // a retirement shrinks the window (active_phase_count is an atomic
+      // updated before that notify, so the predicate cannot miss it).
+      progress_cv_.wait(lock, [this] {
+        return sharded_->active_phase_count() < sharded_window_;
+      });
+      const event::PhaseId p = sharded_->pmax() + 1;
+      sharded_->start_phase(p, std::span<event::InputBundle>(bundles),
+                            env_ready_);
+      max_inflight_ = std::max<std::uint64_t>(
+          max_inflight_, sharded_->active_phase_count());
+    }
+    enqueue_ready(env_ready_);
+    return;
+  }
   {
     std::unique_lock lock(mutex_);
     // Backpressure wait. Every transition that shrinks the window is a
@@ -163,8 +214,10 @@ void Engine::finish() {
   }
   {
     std::unique_lock lock(mutex_);
-    progress_cv_.wait(
-        lock, [this] { return scheduler_.all_started_phases_complete(); });
+    progress_cv_.wait(lock, [this] {
+      return sharded_ != nullptr ? sharded_->all_started_phases_complete()
+                                 : scheduler_.all_started_phases_complete();
+    });
   }
   run_queue_.close();
   for (auto& worker : workers_) {
@@ -195,6 +248,9 @@ void Engine::run(event::PhaseId num_phases, PhaseFeed* feed) {
 }
 
 event::PhaseId Engine::completed_phases() const {
+  if (sharded_ != nullptr) {
+    return sharded_->completed_through();
+  }
   std::lock_guard lock(mutex_);
   return scheduler_.completed_through();
 }
@@ -391,6 +447,127 @@ void Engine::worker_main(std::size_t worker_index) {
   }
 }
 
+void Engine::flush_applies(std::vector<Scheduler::StagedFinish>& local) {
+  if (local.empty()) {
+    return;
+  }
+  sharded_->apply_finish_batch(std::span<Scheduler::StagedFinish>(local));
+  const std::size_t applied = local.size();
+  local.clear();
+  // Count only after the apply completed: a collector that reads the
+  // counter and then collects is guaranteed to cover every counted finish
+  // (the shard locks order the apply before the collect's scan).
+  apply_dirty_.fetch_add(applied);
+}
+
+void Engine::maybe_collect(std::size_t threshold) {
+  for (;;) {
+    if (apply_dirty_.load() < threshold) {
+      return;
+    }
+    if (collecting_.exchange(true)) {
+      // Someone else is collecting. A lazy (batch-target) caller can
+      // leave: the holder re-checks apply_dirty_ after releasing, and our
+      // increment is ordered before this failed exchange. A must-collect
+      // caller (threshold 1, about to block on the run queue) waits for
+      // the flag and mops up the residue itself, exactly like
+      // maybe_drain's threshold-1 discipline.
+      if (threshold > 1) {
+        return;
+      }
+      std::this_thread::yield();
+      continue;
+    }
+    const std::size_t observed = apply_dirty_.load();
+    collect_ready_.clear();
+    const bool retired = sharded_->collect(collect_ready_);
+    if (options_.sample_inflight || retired) {
+      std::lock_guard lock(mutex_);
+      if (options_.sample_inflight) {
+        // One sample per covered finish, at the post-collect state (same
+        // weighting as the staged drain path).
+        const std::uint64_t active = sharded_->active_phase_count();
+        for (std::size_t i = 0; i < observed; ++i) {
+          inflight_.add(active);
+          inflight_sum_ += active;
+        }
+        inflight_samples_ += observed;
+      }
+      if (retired) {
+        // Retirement shrinks the window and may satisfy finish(); taking
+        // mutex_ around the notify pairs with both waiters' predicate
+        // checks so the wakeup cannot be lost.
+        progress_cv_.notify_all();
+      }
+    }
+    apply_dirty_.fetch_sub(observed);
+    enqueue_ready(collect_ready_);
+    collecting_.store(false);
+    // Loop: re-check for applies that landed after our scan whose owners
+    // lost the exchange above.
+  }
+}
+
+void Engine::worker_main_sharded(std::size_t /*worker_index*/) {
+  // Sharded drain protocol (DESIGN.md, "Sharded scheduler"): execute
+  // outside every lock, batch the finish records locally, apply them
+  // under per-shard locks (stage 1 — parallel across disjoint graph
+  // regions), and volunteer to collect (stage 2 — one collector at a
+  // time composes the frontier and issues ready pairs). Before blocking
+  // on an empty run queue a worker must flush its private batch and run a
+  // threshold-1 collect, so no finish — possibly the one completing a
+  // phase — waits on a batch that never fills.
+  //
+  // The execute/record section deliberately mirrors worker_main rather
+  // than sharing a helper: the shards=1 configuration must keep the PR 3
+  // flat code paths exactly as they are, so changes to the shared-looking
+  // middle (error capture, sink recording, stats) must be made in both
+  // loops knowingly.
+  std::vector<Scheduler::StagedFinish> local;
+  local.reserve(drain_batch_target_);
+  for (;;) {
+    std::optional<Scheduler::ReadyPair> item = run_queue_.try_pop();
+    if (!item.has_value()) {
+      flush_applies(local);
+      maybe_collect(1);
+      item = run_queue_.pop();
+      if (!item.has_value()) {
+        break;  // closed and drained
+      }
+    }
+    support::Stopwatch compute_timer;
+    ExecutionResult result;
+    try {
+      result =
+          execute_vertex(instance_, item->vertex, item->phase, item->bundle);
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (first_error_ == nullptr) {
+        first_error_ = std::current_exception();
+      }
+      result = ExecutionResult{};
+    }
+    compute_ns_.add(compute_timer.elapsed_ns());
+
+    if (!result.sink_records.empty()) {
+      sink_records_.add(result.sink_records.size());
+      sinks_.record_batch(std::move(result.sink_records));
+    }
+    messages_delivered_.add(result.deliveries.size());
+
+    support::Stopwatch bookkeeping_timer;
+    local.push_back(Scheduler::StagedFinish{item->vertex, item->phase,
+                                            std::move(result.deliveries),
+                                            std::move(item->bundle)});
+    if (local.size() >= drain_batch_target_) {
+      flush_applies(local);
+      maybe_collect(drain_batch_target_);
+    }
+    bookkeeping_ns_.add(bookkeeping_timer.elapsed_ns());
+    executed_pairs_.add(1);
+  }
+}
+
 ExecStats Engine::stats() const {
   ExecStats stats;
   stats.executed_pairs = executed_pairs_.value();
@@ -401,7 +578,9 @@ ExecStats Engine::stats() const {
   stats.wall_seconds = wall_seconds_;
   {
     std::lock_guard lock(mutex_);
-    stats.phases_completed = scheduler_.completed_through();
+    stats.phases_completed = sharded_ != nullptr
+                                 ? sharded_->completed_through()
+                                 : scheduler_.completed_through();
     stats.max_inflight_phases = max_inflight_;
     stats.mean_inflight_phases =
         inflight_samples_ == 0

@@ -44,6 +44,7 @@
 #include "core/observer.hpp"
 #include "core/program.hpp"
 #include "core/scheduler.hpp"
+#include "core/sharded_scheduler.hpp"
 #include "core/sink_store.hpp"
 #include "support/histogram.hpp"
 
@@ -76,7 +77,20 @@ struct EngineOptions {
   /// frontier pass over a real batch. Liveness does not depend on the
   /// target: a worker always drains everything pending before it would
   /// block on an empty run queue. 0 picks a default from the thread count.
+  /// In sharded mode the same target paces both the local apply flush and
+  /// the collect volunteer threshold.
   std::size_t drain_batch_target = 0;
+  /// Number of partition-aligned scheduler shards. 1 (default) keeps the
+  /// flat scheduler with the PR 3 staged-ring drain — the exact legacy
+  /// code paths, byte-for-byte. Values > 1 opt in to the sharded
+  /// scheduler (core/sharded_scheduler.hpp): finished pairs are applied
+  /// under per-shard locks (stage 1, parallel across disjoint graph
+  /// regions) and one collector at a time composes the frontier and
+  /// issues ready pairs (stage 2). Clamped to the vertex count. A
+  /// per-transition observer forces the flat path (it needs a snapshot
+  /// per transition). With max_inflight_phases == 0 the sharded
+  /// scheduler's finite slot ring bounds the window at 64.
+  std::size_t scheduler_shards = 1;
 };
 
 class Engine final : public Executor {
@@ -121,6 +135,19 @@ class Engine final : public Executor {
 
  private:
   void worker_main(std::size_t worker_index);
+  /// Worker loop for sharded mode (scheduler_shards > 1): execute, batch
+  /// finishes locally, apply under shard locks, volunteer to collect.
+  void worker_main_sharded(std::size_t worker_index);
+  /// Applies the worker's local batch to the sharded scheduler (stage 1)
+  /// and publishes the count for collect pacing. Clears `local`.
+  void flush_applies(std::vector<Scheduler::StagedFinish>& local);
+  /// Stage 2 volunteer: run a collect whenever at least `threshold`
+  /// applied finishes await one and nobody else holds the collecting
+  /// flag. Same liveness/stranding discipline as maybe_drain: threshold 1
+  /// callers (about to block) wait for the flag and mop up the residue;
+  /// the post-release re-check covers applies that landed after the
+  /// collector's pass.
+  void maybe_collect(std::size_t threshold);
   /// Applies one finished pair under the global lock — the paper's
   /// Listing 1 tail and the PR 1 hot path; still used when staging is off,
   /// when a staging ring overflows, and for per-transition observers.
@@ -153,6 +180,19 @@ class Engine final : public Executor {
   EngineOptions options_;
   Scheduler scheduler_;
   SinkStore sinks_;
+
+  // Sharded mode (PR 4 tentpole; DESIGN.md "Sharded scheduler"). Non-null
+  // iff scheduler_shards > 1 resolved to the sharded path; the flat
+  // scheduler_ above then stays unused so the shards=1 configuration is
+  // untouched. apply_dirty_ counts finishes applied under shard locks but
+  // not yet covered by a collect; collecting_ serializes collectors the
+  // way draining_ serializes drainers. collect_ready_ is owned by the
+  // collecting_ holder.
+  std::unique_ptr<ShardedScheduler> sharded_;
+  std::size_t sharded_window_ = 0;  // backpressure bound == slot capacity
+  std::atomic<std::size_t> apply_dirty_{0};
+  std::atomic<bool> collecting_{false};
+  std::vector<Scheduler::ReadyPair> collect_ready_;
 
   // Environment-thread scratch (start_phase is called by one thread only):
   // reused across phases so steady-state phase starts stay allocation-light.

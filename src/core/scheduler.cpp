@@ -118,7 +118,7 @@ void Scheduler::start_phase(event::PhaseId p,
     DF_DCHECK(vs.full_empty() || vs.full_phases.back() < p,
               "duplicate phase start");
     slot.bundle[s] = pool_.adopt(std::move(bundles[s - 1]));
-    set_bit(slot.pending_bits, s);
+    bit_set(slot.pending_bits, s);
     ++slot.pending_count;
     vs.push_full(p);
     affected_.push_back(s);
@@ -146,19 +146,19 @@ void Scheduler::apply_finish(std::uint32_t vertex, event::PhaseId p,
   for (Delivery& d : deliveries) {
     DF_CHECK(d.to_index > vertex,
              "messages must flow to higher-indexed vertices");
-    if (!test_bit(slot.partial_bits, d.to_index)) {
+    if (!bit_test(slot.partial_bits, d.to_index)) {
       // The recipient cannot already be full/ready/executing for p: that
       // would require all its predecessors (including `vertex`) to have
       // finished p. For the same reason it cannot sit at or below the
       // promotion bound m(x_p).
-      DF_DCHECK(!test_bit(slot.pending_bits, d.to_index),
+      DF_DCHECK(!bit_test(slot.pending_bits, d.to_index),
                 "delivery to a vertex already past partial in this phase");
       DF_DCHECK(d.to_index > slot.promoted_bound,
                 "delivery below the promotion bound");
       slot.bundle[d.to_index] = pool_.acquire();
-      set_bit(slot.partial_bits, d.to_index);
+      bit_set(slot.partial_bits, d.to_index);
       ++slot.partial_count;
-      set_bit(slot.pending_bits, d.to_index);
+      bit_set(slot.pending_bits, d.to_index);
       ++slot.pending_count;
     }
     pool_.at(slot.bundle[d.to_index])
@@ -166,9 +166,9 @@ void Scheduler::apply_finish(std::uint32_t vertex, event::PhaseId p,
   }
 
   // (v,p) is finished: drop it from the pending index behind x_p.
-  DF_CHECK(test_bit(slot.pending_bits, vertex),
+  DF_CHECK(bit_test(slot.pending_bits, vertex),
            "finished vertex was not pending");
-  clear_bit(slot.pending_bits, vertex);
+  bit_clear(slot.pending_bits, vertex);
   --slot.pending_count;
   affected_.push_back(vertex);  // vertex may have a later full phase queued
 }
@@ -213,21 +213,6 @@ void Scheduler::finish_execution_batch(std::span<StagedFinish> batch,
   promote_newly_full(from);
   retire_completed();
   collect_ready(out_ready);
-}
-
-std::vector<Scheduler::ReadyPair> Scheduler::start_phase(
-    event::PhaseId p, std::vector<event::InputBundle> bundles) {
-  std::vector<ReadyPair> out;
-  start_phase(p, std::span<event::InputBundle>(bundles), out);
-  return out;
-}
-
-std::vector<Scheduler::ReadyPair> Scheduler::finish_execution(
-    std::uint32_t vertex, event::PhaseId p,
-    std::vector<Delivery> deliveries) {
-  std::vector<ReadyPair> out;
-  finish_execution(vertex, p, std::span<Delivery>(deliveries), {}, out);
-  return out;
 }
 
 std::uint32_t Scheduler::min_pending(PhaseSlot& slot) {
@@ -296,7 +281,7 @@ void Scheduler::promote_newly_full(event::PhaseId from) {
         const std::uint32_t v =
             (w << 6) + static_cast<std::uint32_t>(std::countr_zero(word));
         word &= word - 1;
-        clear_bit(slot.partial_bits, v);
+        bit_clear(slot.partial_bits, v);
         --slot.partial_count;
         VertexState& vs = vertices_[v];
         // A pair can only become full for a phase later than any of the

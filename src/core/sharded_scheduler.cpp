@@ -1,0 +1,502 @@
+#include "core/sharded_scheduler.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/check.hpp"
+
+namespace df::core {
+
+ShardedScheduler::ShardedScheduler(std::vector<std::uint32_t> m,
+                                   graph::ShardMap shards,
+                                   std::size_t capacity)
+    : m_(std::move(m)),
+      shards_(std::move(shards)),
+      n_(static_cast<std::uint32_t>(m_.size() - 1)),
+      capacity_(capacity),
+      locks_(shards_.shard_count()),
+      global_slots_(capacity),
+      x_pub_(std::make_unique<conc::AtomicFrontier[]>(capacity)) {
+  DF_CHECK(!m_.empty(), "m vector must have at least m(0)");
+  DF_CHECK(m_[n_] == n_, "m(N) != N — numbering is not satisfactory");
+  DF_CHECK(capacity_ >= 1, "need room for at least one in-flight phase");
+  DF_CHECK(shards_.vertex_count() == n_,
+           "shard map does not cover internal indices 1..N");
+  shard_state_.resize(shards_.shard_count());
+  for (std::size_t k = 0; k < shards_.shard_count(); ++k) {
+    Shard& shard = shard_state_[k];
+    shard.begin = shards_.begin(k);
+    shard.end = shards_.end(k);
+    shard.word_lo = shard.begin >> 6;
+    shard.words = (shard.end >> 6) - shard.word_lo + 1;
+    shard.slots.resize(capacity_);
+    shard.vertices.resize(shard.end - shard.begin + 1);
+  }
+}
+
+ShardedScheduler::ShardSeg& ShardedScheduler::ensure_seg(Shard& shard,
+                                                         std::size_t slot) {
+  ShardSeg& seg = shard.slots[slot];
+  if (!seg.allocated()) {
+    seg.pending_bits.assign(shard.words, 0);
+    seg.partial_bits.assign(shard.words, 0);
+    seg.bundle.assign(shard.end - shard.begin + 1, kNoBundle);
+    seg.pending_count = 0;
+    seg.partial_count = 0;
+    seg.min_pending_word = 0;
+    seg.promoted_through = shard.begin - 1;
+  }
+  return seg;
+}
+
+void ShardedScheduler::reserve_steady_state(std::size_t live_bundles,
+                                            std::size_t bundle_capacity) {
+  std::lock_guard wl(window_mutex_);
+  DF_CHECK(pmax_ == 0,
+           "reserve_steady_state must precede the first start_phase");
+  for (std::size_t s = 0; s < shard_count(); ++s) {
+    Shard& shard = shard_state_[s];
+    std::lock_guard sl(locks_.at(s));
+    for (std::size_t slot = 0; slot < capacity_; ++slot) {
+      ensure_seg(shard, slot);
+    }
+    for (VertexSchedState& vs : shard.vertices) {
+      vs.full_phases.reserve(capacity_ + 1);
+    }
+    shard.affected.reserve(shard.end - shard.begin + 1);
+    // The pool share is proportional to the shard's vertex count: bundles
+    // never migrate between shards (a pair's bundle lives with its vertex).
+    const std::size_t share =
+        live_bundles * (shard.end - shard.begin + 1) / n_ + 1;
+    shard.pool.prewarm(share, bundle_capacity);
+  }
+}
+
+std::uint32_t ShardedScheduler::x(event::PhaseId p) const {
+  if (p == 0 || p <= completed_through()) {
+    return n_;  // x_0 = N by definition; retired phases are complete
+  }
+  const GlobalSlot& gs = global_slots_[p % capacity_];
+  if (gs.id.load(std::memory_order_acquire) != p) {
+    return 0;  // never started (or racing a slot transition: safe 0)
+  }
+  return x_pub_[p % capacity_].get();
+}
+
+std::size_t ShardedScheduler::bundle_pool_slots() {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < shard_count(); ++s) {
+    std::lock_guard sl(locks_.at(s));
+    total += shard_state_[s].pool.slot_count();
+  }
+  return total;
+}
+
+void ShardedScheduler::issue_if_ready(Shard& shard, std::uint32_t v,
+                                      std::vector<ReadyPair>& out_ready) {
+  VertexSchedState& vs = shard.vertices[v - shard.begin];
+  if (vs.in_ready || vs.full_empty()) {
+    return;  // at most one issued pair per vertex; phases in order
+  }
+  const event::PhaseId q = vs.full_front();
+  ++vs.full_head;
+  if (vs.full_empty()) {
+    vs.full_phases.clear();  // keeps capacity
+    vs.full_head = 0;
+  }
+  ShardSeg& seg = shard.slots[slot_index(q)];
+  const std::uint32_t idx = seg.bundle[v - shard.begin];
+  DF_CHECK(idx != kNoBundle, "full pair has no bundle");
+  seg.bundle[v - shard.begin] = kNoBundle;
+  vs.in_ready = true;
+  vs.ready_phase = q;
+  out_ready.push_back(ReadyPair{v, q, shard.pool.take(idx)});
+}
+
+void ShardedScheduler::start_phase(event::PhaseId p,
+                                   std::span<event::InputBundle> bundles,
+                                   std::vector<ReadyPair>& out_ready) {
+  std::lock_guard wl(window_mutex_);
+  DF_CHECK(p == pmax_ + 1, "phases must start in order: expected ", pmax_ + 1,
+           ", got ", p);
+  DF_CHECK(bundles.size() == m_[0], "need one bundle per source vertex");
+  DF_CHECK(active_count_ < capacity_,
+           "phase window exceeded the sharded scheduler's slot capacity");
+  GlobalSlot& gs = global_slots_[slot_index(p)];
+  DF_CHECK(gs.id.load(std::memory_order_relaxed) == 0,
+           "phase slot still occupied");
+  gs.x = 0;
+  gs.promoted_bound = 0;
+  gs.first_live_shard = 0;
+  x_pub_[slot_index(p)].reset(0);
+  gs.id.store(p, std::memory_order_release);
+  pmax_ = p;
+  if (active_count_ == 0) {
+    first_active_ = p;
+  }
+  ++active_count_;
+  active_atomic_.store(active_count_, std::memory_order_release);
+
+  // Sources are exactly internal indices 1..m(0); walk the shards they
+  // span in ascending order, entering pairs into full and issuing the
+  // issuable ones — ascending shards means the issue order matches the
+  // flat scheduler's ascending-vertex collect.
+  const std::uint32_t m0 = m_[0];
+  for (std::size_t s = 0;
+       s < shard_count() && shard_state_[s].begin <= m0; ++s) {
+    Shard& shard = shard_state_[s];
+    std::lock_guard sl(locks_.at(s));
+    ShardSeg& seg = ensure_seg(shard, slot_index(p));
+    const std::uint32_t hi = std::min(m0, shard.end);
+    for (std::uint32_t v = shard.begin; v <= hi; ++v) {
+      VertexSchedState& vs = shard.vertices[v - shard.begin];
+      DF_DCHECK(vs.full_empty() || vs.full_phases.back() < p,
+                "duplicate phase start");
+      seg.bundle[v - shard.begin] = shard.pool.adopt(std::move(bundles[v - 1]));
+      seg_set(shard, seg.pending_bits, v);
+      ++seg.pending_count;
+      vs.push_full(p);
+    }
+    for (std::uint32_t v = shard.begin; v <= hi; ++v) {
+      issue_if_ready(shard, v, out_ready);
+    }
+  }
+}
+
+void ShardedScheduler::deliver_locked(Shard& shard, std::size_t slot,
+                                      Delivery& d) {
+  ShardSeg& seg = ensure_seg(shard, slot);
+  const std::uint32_t v = d.to_index;
+  if (!seg_test(shard, seg.partial_bits, v)) {
+    // The recipient cannot already be full/ready/executing for this phase
+    // (all its predecessors would have to be finished, including the
+    // sender), nor sit at or below the promotion bound — same theorem as
+    // the flat scheduler's apply_finish, unchanged by sharding.
+    DF_DCHECK(!seg_test(shard, seg.pending_bits, v),
+              "delivery to a vertex already past partial in this phase");
+    DF_DCHECK(v > seg.promoted_through, "delivery below the promotion bound");
+    seg.bundle[v - shard.begin] = shard.pool.acquire();
+    seg_set(shard, seg.partial_bits, v);
+    ++seg.partial_count;
+    seg_set(shard, seg.pending_bits, v);
+    ++seg.pending_count;
+  }
+  shard.pool.at(seg.bundle[v - shard.begin])
+      .push_back(event::Message{d.to_port, std::move(d.value)});
+}
+
+void ShardedScheduler::apply_finish_batch(std::span<StagedFinish> batch) {
+  if (batch.empty()) {
+    return;
+  }
+  // Sweep the batch's touched shard range from highest to lowest, taking
+  // one shard lock per sweep step. For each staged finish, all delivery
+  // insertions happen in passes at or above the finisher's own shard
+  // (targets always have higher indices), and the finisher's pending-bit
+  // clear runs in its shard's pass *after* its same-shard deliveries — so
+  // every message is recorded before the clear that could let a
+  // concurrent collector advance the frontier past it. Within one shard,
+  // effects apply in batch order, so bundle contents match the flat
+  // batched path exactly.
+  std::uint32_t s_lo = shards_.shard_of[batch.front().vertex];
+  std::uint32_t s_hi = s_lo;
+  for (const StagedFinish& f : batch) {
+    const std::uint32_t fs = shards_.shard_of[f.vertex];
+    s_lo = std::min(s_lo, fs);
+    s_hi = std::max(s_hi, fs);
+    for (const Delivery& d : f.deliveries) {
+      s_hi = std::max(s_hi, shards_.shard_of[d.to_index]);
+    }
+  }
+  for (std::size_t s = s_hi + 1; s-- > s_lo;) {
+    const std::uint32_t sv = static_cast<std::uint32_t>(s);
+    bool any = false;
+    for (const StagedFinish& f : batch) {
+      if (shards_.shard_of[f.vertex] == sv) {
+        any = true;
+        break;
+      }
+      for (const Delivery& d : f.deliveries) {
+        if (shards_.shard_of[d.to_index] == sv) {
+          any = true;
+          break;
+        }
+      }
+      if (any) {
+        break;
+      }
+    }
+    if (!any) {
+      continue;
+    }
+    Shard& shard = shard_state_[s];
+    std::lock_guard sl(locks_.at(s));
+    for (StagedFinish& f : batch) {
+      const std::uint32_t fs = shards_.shard_of[f.vertex];
+      if (fs > sv) {
+        continue;  // all of f's effects live in shards >= fs
+      }
+      for (Delivery& d : f.deliveries) {
+        if (shards_.shard_of[d.to_index] == sv) {
+          DF_CHECK(d.to_index > f.vertex,
+                   "messages must flow to higher-indexed vertices");
+          deliver_locked(shard, slot_index(f.phase), d);
+        }
+      }
+      if (fs == sv) {
+        // Statements 5-7 plus the pending clear (Listing 1 tail): the pair
+        // leaves ready, its executed bundle recycles into this shard's
+        // pool, and the vertex joins the affected list for the next
+        // collect (it may have a later full phase queued).
+        VertexSchedState& vs = shard.vertices[f.vertex - shard.begin];
+        DF_CHECK(vs.in_ready && vs.ready_phase == f.phase,
+                 "finish_execution for a pair that was not issued: vertex ",
+                 f.vertex, " phase ", f.phase);
+        vs.in_ready = false;
+        shard.pool.donate(std::move(f.recycled));
+        ShardSeg& seg = shard.slots[slot_index(f.phase)];
+        DF_CHECK(seg.allocated() &&
+                     seg_test(shard, seg.pending_bits, f.vertex),
+                 "finished vertex was not pending");
+        seg_clear(shard, seg.pending_bits, f.vertex);
+        --seg.pending_count;
+        shard.affected.push_back(f.vertex);
+      }
+    }
+  }
+}
+
+std::uint32_t ShardedScheduler::seg_min_pending(const Shard& shard,
+                                                ShardSeg& seg) const {
+  std::uint32_t w = seg.min_pending_word;
+  while (seg.pending_bits[w] == 0) {
+    ++w;
+  }
+  seg.min_pending_word = w;
+  return ((shard.word_lo + w) << 6) +
+         static_cast<std::uint32_t>(std::countr_zero(seg.pending_bits[w]));
+}
+
+void ShardedScheduler::promote_range(event::PhaseId p, std::uint32_t lo,
+                                     std::uint32_t hi) {
+  if (lo > hi) {
+    return;
+  }
+  const std::size_t s_lo = shards_.shard_of[lo];
+  const std::size_t s_hi = shards_.shard_of[hi];
+  for (std::size_t s = s_lo; s <= s_hi; ++s) {
+    Shard& shard = shard_state_[s];
+    std::lock_guard sl(locks_.at(s));
+    ShardSeg& seg = shard.slots[slot_index(p)];
+    if (!seg.allocated()) {
+      continue;  // no traffic ever reached this shard for p
+    }
+    const std::uint32_t shi = std::min(hi, shard.end);
+    const std::uint32_t slo =
+        std::max({lo, shard.begin, seg.promoted_through + 1});
+    if (seg.partial_count > 0 && slo <= shi) {
+      // Scan partial bits in [slo, shi]; the per-shard promoted_through
+      // cursor is monotone, so each vertex is visited at most once per
+      // phase (new partial entries always land above the bound).
+      std::uint32_t w = (slo >> 6) - shard.word_lo;
+      const std::uint32_t w_hi = (shi >> 6) - shard.word_lo;
+      std::uint64_t word =
+          seg.partial_bits[w] & (~std::uint64_t{0} << (slo & 63));
+      while (true) {
+        if (w == w_hi) {
+          const std::uint32_t top = shi & 63;
+          if (top != 63) {
+            word &= (std::uint64_t{1} << (top + 1)) - 1;
+          }
+        }
+        while (word != 0) {
+          const std::uint32_t v =
+              ((shard.word_lo + w) << 6) +
+              static_cast<std::uint32_t>(std::countr_zero(word));
+          word &= word - 1;
+          seg_clear(shard, seg.partial_bits, v);
+          --seg.partial_count;
+          VertexSchedState& vs = shard.vertices[v - shard.begin];
+          DF_DCHECK(vs.full_empty() || vs.full_phases.back() < p,
+                    "full phases must be issued in ascending order");
+          vs.push_full(p);
+          shard.affected.push_back(v);
+        }
+        if (w == w_hi) {
+          break;
+        }
+        ++w;
+        word = seg.partial_bits[w];
+      }
+    }
+    seg.promoted_through = std::max(seg.promoted_through, shi);
+  }
+}
+
+void ShardedScheduler::collect_shard_ready(std::size_t s,
+                                           std::vector<ReadyPair>& out_ready) {
+  Shard& shard = shard_state_[s];
+  if (shard.affected.empty()) {
+    return;
+  }
+  // Deterministic issue order (ascending vertex), matching the flat
+  // scheduler's sorted global pass — ascending shards make it global.
+  std::sort(shard.affected.begin(), shard.affected.end());
+  std::uint32_t prev = 0;
+  for (const std::uint32_t v : shard.affected) {
+    if (v == prev) {
+      continue;
+    }
+    prev = v;
+    issue_if_ready(shard, v, out_ready);
+  }
+  shard.affected.clear();
+}
+
+bool ShardedScheduler::collect(std::vector<ReadyPair>& out_ready) {
+  std::lock_guard wl(window_mutex_);
+  if (active_count_ == 0) {
+    return false;
+  }
+  const event::PhaseId completed_before = completed_through_;
+  // Stage A (statements 1.12-1.26, composed over shards): recompute each
+  // active phase's frontier oldest-first. The lowest shard that still has
+  // pending pairs owns the phase's frontier; its shard-local min-pending
+  // cursor yields the candidate, which is clamped by the previous phase
+  // (no overtaking) and published through the phase's atomic.
+  std::uint32_t prev_x = n_;  // phase before the oldest active is complete
+  for (std::size_t i = 0; i < active_count_; ++i) {
+    const event::PhaseId p = first_active_ + i;
+    GlobalSlot& gs = global_slots_[slot_index(p)];
+    DF_DCHECK(gs.id.load(std::memory_order_relaxed) == p,
+              "phase slot mismatch");
+    std::uint32_t candidate = n_;
+    std::size_t s = gs.first_live_shard;
+    for (; s < shard_count(); ++s) {
+      Shard& shard = shard_state_[s];
+      std::lock_guard sl(locks_.at(s));
+      ShardSeg& seg = shard.slots[slot_index(p)];
+      if (seg.allocated() && seg.pending_count > 0) {
+        candidate = seg_min_pending(shard, seg) - 1;
+        break;
+      }
+    }
+    if (s < shard_count()) {
+      // Shards below s hold no pending pairs for p and never will again
+      // (insertions land above the monotone global minimum), so the scan
+      // cursor only moves forward.
+      gs.first_live_shard = static_cast<std::uint32_t>(s);
+    }
+    candidate = std::min(candidate, prev_x);
+    DF_CHECK(candidate >= gs.x, "x must be monotone within a phase");
+    gs.x = candidate;
+    x_pub_[slot_index(p)].advance_to(candidate);
+    prev_x = candidate;
+    // Statements 1.24-1.26: promote partial pairs the new bound covers.
+    const std::uint32_t bound = m_[candidate];
+    if (bound > gs.promoted_bound) {
+      promote_range(p, gs.promoted_bound + 1, bound);
+      gs.promoted_bound = bound;
+    }
+  }
+  // Stage B (statements 1.27-1.30): issue newly ready pairs, ascending
+  // shard order == ascending vertex order.
+  for (std::size_t s = 0; s < shard_count(); ++s) {
+    std::lock_guard sl(locks_.at(s));
+    collect_shard_ready(s, out_ready);
+  }
+  // Retire complete phases from the front of the window.
+  while (active_count_ > 0 &&
+         global_slots_[slot_index(first_active_)].x == n_) {
+    retire_front();
+  }
+  return completed_through_ != completed_before;
+}
+
+void ShardedScheduler::retire_front() {
+  const event::PhaseId p = first_active_;
+  GlobalSlot& gs = global_slots_[slot_index(p)];
+  DF_CHECK(gs.x == n_, "retiring an incomplete phase");
+  for (std::size_t s = 0; s < shard_count(); ++s) {
+    Shard& shard = shard_state_[s];
+    std::lock_guard sl(locks_.at(s));
+    ShardSeg& seg = shard.slots[slot_index(p)];
+    if (!seg.allocated()) {
+      continue;
+    }
+    DF_CHECK(seg.pending_count == 0, "complete phase still has pending pairs");
+    DF_CHECK(seg.partial_count == 0, "complete phase still has partial pairs");
+    // Counts at zero imply both bitsets and the bundle table are already
+    // clear, so the segment is reusable in place.
+    seg.min_pending_word = 0;
+    seg.promoted_through = shard.begin - 1;
+  }
+  gs.id.store(0, std::memory_order_release);
+  gs.x = 0;
+  gs.promoted_bound = 0;
+  gs.first_live_shard = 0;
+  completed_through_ = p;
+  completed_atomic_.store(p, std::memory_order_release);
+  ++first_active_;
+  --active_count_;
+  active_atomic_.store(active_count_, std::memory_order_release);
+}
+
+ShardedScheduler::Snapshot ShardedScheduler::snapshot() {
+  std::lock_guard wl(window_mutex_);
+  // Hold every shard lock for one consistent cut. Appliers take at most
+  // one shard lock at a time and acquire no other lock while holding it,
+  // so grabbing all of them in ascending order cannot deadlock.
+  std::vector<std::unique_lock<std::mutex>> shard_locks;
+  shard_locks.reserve(shard_count());
+  for (std::size_t s = 0; s < shard_count(); ++s) {
+    shard_locks.emplace_back(locks_.at(s));
+  }
+  Snapshot snap;
+  snap.pmax = pmax_;
+  snap.completed_through = completed_through_;
+  for (std::size_t i = 0; i < active_count_; ++i) {
+    const event::PhaseId p = first_active_ + i;
+    const GlobalSlot& gs = global_slots_[slot_index(p)];
+    snap.x.emplace_back(p, gs.x);
+    for (const Shard& shard : shard_state_) {
+      const ShardSeg& seg = shard.slots[slot_index(p)];
+      if (!seg.allocated()) {
+        continue;
+      }
+      for (std::uint32_t w = 0; w < shard.words; ++w) {
+        std::uint64_t word = seg.partial_bits[w];
+        while (word != 0) {
+          const std::uint32_t v =
+              ((shard.word_lo + w) << 6) +
+              static_cast<std::uint32_t>(std::countr_zero(word));
+          word &= word - 1;
+          snap.partial.push_back(Snapshot::Pair{v, p});
+        }
+      }
+    }
+  }
+  for (const Shard& shard : shard_state_) {
+    for (std::uint32_t v = shard.begin; v <= shard.end; ++v) {
+      const VertexSchedState& vs = shard.vertices[v - shard.begin];
+      for (std::size_t i = vs.full_head; i < vs.full_phases.size(); ++i) {
+        snap.full.push_back(Snapshot::Pair{v, vs.full_phases[i]});
+      }
+      if (vs.in_ready) {
+        // Issued pairs remain in the paper's full ∩ ready until finished.
+        snap.full.push_back(Snapshot::Pair{v, vs.ready_phase});
+        snap.ready.push_back(Snapshot::Pair{v, vs.ready_phase});
+      }
+    }
+  }
+  const auto by_phase_vertex = [](const Snapshot::Pair& a,
+                                  const Snapshot::Pair& b) {
+    return a.phase != b.phase ? a.phase < b.phase : a.vertex < b.vertex;
+  };
+  std::sort(snap.partial.begin(), snap.partial.end(), by_phase_vertex);
+  std::sort(snap.full.begin(), snap.full.end(), by_phase_vertex);
+  std::sort(snap.ready.begin(), snap.ready.end(), by_phase_vertex);
+  return snap;
+}
+
+}  // namespace df::core

@@ -1,0 +1,267 @@
+// Partition-aligned sharded scheduler (DESIGN.md, "Sharded scheduler").
+//
+// The flat scheduler (core/scheduler.hpp) serializes every transition
+// through one global lock. This variant splits the same state machine into
+// shards aligned with contiguous blocks of the satisfactory numbering
+// (graph::ShardMap): shard k owns the pending/partial bitsets, per-vertex
+// full FIFOs, bundle-table segments and bundle pool for internal indices
+// (bounds[k], bounds[k+1]], guarded by its own lock (conc::StripedMutexSet,
+// stripe k). Because every edge goes to a higher index, all cross-shard
+// message traffic flows from lower-numbered shards to higher-numbered ones
+// — never backward — which is what makes the split sound:
+//
+//  * apply (stage 1, thread-safe): recording a finished pair touches only
+//    the shards of the finishing vertex and of its delivery targets, one
+//    shard lock at a time. Finishes in disjoint graph regions do not
+//    contend at all. Within one finish, deliveries are inserted *before*
+//    the finisher's pending bit is cleared (shards are swept highest to
+//    lowest, and targets always sit in shards >= the finisher's), so a
+//    concurrent collect can never advance the frontier past a vertex whose
+//    message is still in flight.
+//  * collect (stage 2, one collector at a time, concurrent with applies):
+//    recomputes each active phase's frontier x = min(pending) - 1 by
+//    composing shard-local min-pending cursors — the lowest shard that
+//    still has pending pairs determines x, and a per-phase first-live-shard
+//    cursor plus the monotone per-shard word cursors keep the scan O(1)
+//    amortized. The new x is published through a single atomic
+//    (conc::AtomicFrontier) per phase; promotion and ready collection then
+//    visit only the shards the bound m(x) crossed, and ready pairs are
+//    returned batch-wise for one run-queue push.
+//
+// Applies may interleave with a collect: they only clear pending bits and
+// insert partial entries above the promotion bound, so a concurrently
+// computed frontier under-approximates — exactly the tolerance the flat
+// batched path (Scheduler::finish_execution_batch) already relies on.
+// Single-threaded, apply_finish_batch + collect is equivalent to the flat
+// scheduler's finish_execution_batch; the randomized sharded-vs-flat
+// differential in tests/test_scheduler_differential.cpp pins that down by
+// comparing Snapshots after every transition for shard counts 1..8.
+//
+// The phase window lives in a fixed ring of `capacity` slots addressed by
+// p % capacity, so appliers map a phase to its slot without any global
+// lock; the scheduler therefore bounds the number of in-flight phases at
+// `capacity` (the engine sizes it from EngineOptions::max_inflight_phases).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "concurrency/striped_lock.hpp"
+#include "core/delivery.hpp"
+#include "core/scheduler.hpp"
+#include "core/scheduler_state.hpp"
+#include "graph/partition.hpp"
+
+namespace df::core {
+
+class ShardedScheduler {
+ public:
+  // Shared vocabulary with the flat scheduler so engine and tests can drive
+  // either interchangeably.
+  using ReadyPair = Scheduler::ReadyPair;
+  using StagedFinish = Scheduler::StagedFinish;
+  using Delivery = core::Delivery;
+  using Snapshot = Scheduler::Snapshot;
+
+  /// `m` is the numbering's m-vector (m[0..N]); `shards` must partition
+  /// 1..N (graph::make_shard_map over a Partitioning from the same
+  /// numbering). `capacity` bounds the number of concurrently active
+  /// phases; start_phase fails if the window would exceed it.
+  ShardedScheduler(std::vector<std::uint32_t> m, graph::ShardMap shards,
+                   std::size_t capacity);
+
+  ShardedScheduler(const ShardedScheduler&) = delete;
+  ShardedScheduler& operator=(const ShardedScheduler&) = delete;
+
+  /// Environment side. Takes the window lock plus the source shards' locks;
+  /// newly ready source pairs are appended to `out_ready` (not cleared).
+  /// Safe to call concurrently with apply_finish_batch, but phases must be
+  /// started by one thread in order (p == pmax() + 1).
+  void start_phase(event::PhaseId p, std::span<event::InputBundle> bundles,
+                   std::vector<ReadyPair>& out_ready);
+
+  /// Stage 1 of the drain: records every staged finish's set updates
+  /// (delivery insertions, pending-bit clears, bundle recycling) under the
+  /// affected shard locks only — no window lock, no frontier work. Entries
+  /// are moved from. Thread-safe: concurrent batches touching different
+  /// shards proceed in parallel; per-shard effects are applied in batch
+  /// order. Every staged pair must be outstanding (issued, not finished).
+  void apply_finish_batch(std::span<StagedFinish> batch);
+
+  /// Stage 2 of the drain: one frontier recomputation, promotion sweep,
+  /// ready collection and retirement pass over the whole window. At most
+  /// one collector may run at a time (the engine serializes via its
+  /// collecting flag); applies may interleave freely. Appends newly ready
+  /// pairs to `out_ready` (not cleared) in ascending vertex order. Returns
+  /// true when completed_through() advanced.
+  bool collect(std::vector<ReadyPair>& out_ready);
+
+  // Thread-safe queries (atomic reads).
+  event::PhaseId completed_through() const {
+    return completed_atomic_.load(std::memory_order_acquire);
+  }
+  std::size_t active_phase_count() const {
+    return active_atomic_.load(std::memory_order_acquire);
+  }
+  bool all_started_phases_complete() const {
+    return active_phase_count() == 0;
+  }
+
+  /// Caller-side sequencing only (the environment thread is the sole
+  /// starter of phases, so reading pmax between its own calls is safe).
+  event::PhaseId pmax() const { return pmax_; }
+
+  /// Published frontier for phase p: N for completed phases, the last value
+  /// the collector published for active ones, 0 if never started. Exact
+  /// only when the scheduler is quiescent (between collects with no applies
+  /// in flight); concurrent use sees a safe under-approximation.
+  std::uint32_t x(event::PhaseId p) const;
+
+  std::uint32_t n() const { return n_; }
+  std::uint32_t source_count() const { return m_[0]; }
+  std::size_t shard_count() const { return shards_.shard_count(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Total bundle-pool slots across shards; flat at steady state. Takes
+  /// the shard locks.
+  std::size_t bundle_pool_slots();
+
+  /// Pre-sizes every per-shard structure (phase segments for all window
+  /// slots, full FIFOs, pool prewarm split across shards) so steady-state
+  /// transitions reach the allocation-free regime immediately. Call before
+  /// the first start_phase.
+  void reserve_steady_state(std::size_t live_bundles,
+                            std::size_t bundle_capacity = 4);
+
+  /// Set-membership snapshot identical in format to the flat scheduler's
+  /// (so differential tests compare them directly). Takes the window lock
+  /// and every shard lock; meant for quiescent checkpoints, not hot paths.
+  Snapshot snapshot();
+
+ private:
+  /// A shard's segment of one phase slot: the shard-local slice of the
+  /// flat scheduler's PhaseSlot. Bitset words cover the shard's global
+  /// word range [word_lo, word_hi]; a boundary word shared with a
+  /// neighbouring shard is duplicated, but each copy only ever holds bits
+  /// for its own vertex range. Allocated lazily on first use and reset in
+  /// place at retirement.
+  struct ShardSeg {
+    std::uint32_t pending_count = 0;
+    std::uint32_t partial_count = 0;
+    /// Word cursor for the shard-local min-pending scan, relative to
+    /// word_lo. Only advanced while this shard is the lowest shard with
+    /// pending pairs for the phase — the only regime in which insertions
+    /// cannot land below it (see DESIGN.md).
+    std::uint32_t min_pending_word = 0;
+    /// Highest vertex of this shard already promotion-scanned for this
+    /// phase (global index, init begin - 1). Monotone per phase.
+    std::uint32_t promoted_through = 0;
+    std::vector<std::uint64_t> pending_bits;
+    std::vector<std::uint64_t> partial_bits;
+    std::vector<std::uint32_t> bundle;  // [0..end-begin], kNoBundle absent
+
+    bool allocated() const { return !bundle.empty(); }
+  };
+
+  /// Everything one shard owns. Guarded by locks_.at(shard index); plain
+  /// aggregate so the vector of shards stays regular (the mutexes live in
+  /// the striped set).
+  struct Shard {
+    std::uint32_t begin = 0;  // first owned internal index
+    std::uint32_t end = 0;    // last owned internal index
+    std::uint32_t word_lo = 0;
+    std::uint32_t words = 0;
+    std::vector<ShardSeg> slots;            // [capacity], by p % capacity
+    std::vector<VertexSchedState> vertices;  // [0..end-begin]
+    BundlePool pool;
+    /// Vertices whose full set may have gained an issuable pair since the
+    /// last ready collection (finished vertices and fresh promotions).
+    std::vector<std::uint32_t> affected;
+  };
+
+  /// Global per-slot bookkeeping. id is written under the window lock and
+  /// read lock-free by x(); the remaining fields belong to the collector
+  /// (window lock held).
+  struct GlobalSlot {
+    std::atomic<event::PhaseId> id{0};  // 0 = free
+    std::uint32_t x = 0;
+    std::uint32_t promoted_bound = 0;
+    std::uint32_t first_live_shard = 0;
+  };
+
+  std::size_t slot_index(event::PhaseId p) const { return p % capacity_; }
+  Shard& shard_of_vertex(std::uint32_t v) {
+    return shard_state_[shards_.shard_of[v]];
+  }
+
+  /// Allocates (or verifies) the shard's segment for a slot. Shard lock
+  /// held by the caller.
+  ShardSeg& ensure_seg(Shard& shard, std::size_t slot);
+
+  static bool seg_test(const Shard& shard,
+                       const std::vector<std::uint64_t>& bits,
+                       std::uint32_t v) {
+    return (bits[(v >> 6) - shard.word_lo] >> (v & 63)) & 1u;
+  }
+  static void seg_set(const Shard& shard, std::vector<std::uint64_t>& bits,
+                      std::uint32_t v) {
+    bits[(v >> 6) - shard.word_lo] |= std::uint64_t{1} << (v & 63);
+  }
+  static void seg_clear(const Shard& shard, std::vector<std::uint64_t>& bits,
+                        std::uint32_t v) {
+    bits[(v >> 6) - shard.word_lo] &= ~(std::uint64_t{1} << (v & 63));
+  }
+
+  /// Smallest pending vertex in the shard's segment; advances the relative
+  /// word cursor. Caller holds the shard lock and has checked
+  /// pending_count > 0; only valid while the shard is lowest-live.
+  std::uint32_t seg_min_pending(const Shard& shard, ShardSeg& seg) const;
+
+  /// Inserts one delivery into the target shard's segment (the flat
+  /// scheduler's statements 8-11). Shard lock held.
+  void deliver_locked(Shard& shard, std::size_t slot, Delivery& d);
+
+  /// Moves partial pairs with vertex in [lo, hi] into full for phase p,
+  /// appending promoted vertices to each shard's affected list. Window
+  /// lock held; takes shard locks one at a time.
+  void promote_range(event::PhaseId p, std::uint32_t lo, std::uint32_t hi);
+
+  /// Issues (v, min full phase) if v has no issued pair and a non-empty
+  /// full set — the flat scheduler's collect_ready body for one vertex.
+  /// Shard lock held.
+  void issue_if_ready(Shard& shard, std::uint32_t v,
+                      std::vector<ReadyPair>& out_ready);
+
+  /// Issues every issuable affected pair of one shard in ascending vertex
+  /// order. Shard lock held.
+  void collect_shard_ready(std::size_t s, std::vector<ReadyPair>& out_ready);
+
+  /// Retires the oldest active phase (x == N). Window lock held.
+  void retire_front();
+
+  std::vector<std::uint32_t> m_;
+  graph::ShardMap shards_;
+  std::uint32_t n_;
+  std::size_t capacity_;
+
+  mutable std::mutex window_mutex_;
+  conc::StripedMutexSet locks_;
+  std::vector<Shard> shard_state_;
+  std::vector<GlobalSlot> global_slots_;           // [capacity], never moved
+  std::unique_ptr<conc::AtomicFrontier[]> x_pub_;  // [capacity]
+
+  // Window state: plain fields under window_mutex_, with atomic mirrors
+  // for the engine's lock-free backpressure/termination predicates.
+  event::PhaseId pmax_ = 0;
+  event::PhaseId first_active_ = 1;
+  event::PhaseId completed_through_ = 0;
+  std::size_t active_count_ = 0;
+  std::atomic<event::PhaseId> completed_atomic_{0};
+  std::atomic<std::size_t> active_atomic_{0};
+};
+
+}  // namespace df::core

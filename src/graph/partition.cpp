@@ -130,6 +130,22 @@ Partitioning partition_min_cut(const Dag& dag, const Numbering& numbering,
   return partitioning;
 }
 
+ShardMap make_shard_map(const Partitioning& partitioning) {
+  DF_CHECK(partitioning.bounds.size() >= 2 && partitioning.bounds.front() == 0,
+           "partitioning has no blocks");
+  ShardMap map;
+  map.bounds = partitioning.bounds;
+  map.shard_of.assign(map.vertex_count() + 1, 0);
+  for (std::size_t k = 0; k < map.shard_count(); ++k) {
+    DF_CHECK(map.bounds[k] < map.bounds[k + 1],
+             "partition block ", k, " is empty");
+    for (std::uint32_t v = map.begin(k); v <= map.end(k); ++v) {
+      map.shard_of[v] = static_cast<std::uint32_t>(k);
+    }
+  }
+  return map;
+}
+
 PartitionMetrics evaluate_partitioning(const Dag& dag,
                                        const Numbering& numbering,
                                        const Partitioning& partitioning) {

@@ -49,6 +49,28 @@ Partitioning partition_weighted(const Numbering& numbering,
 Partitioning partition_min_cut(const Dag& dag, const Numbering& numbering,
                                std::size_t blocks, std::uint32_t slack = 8);
 
+/// A Partitioning flattened for O(1) vertex->shard lookup on hot paths.
+/// The sharded scheduler (core/sharded_scheduler.hpp) aligns its state
+/// segments and locks with these blocks: because the numbering sends every
+/// edge to a higher index, all cross-shard message traffic flows from
+/// lower-numbered shards to higher-numbered ones, never backward.
+struct ShardMap {
+  /// Same encoding as Partitioning::bounds: shard k covers
+  /// (bounds[k], bounds[k+1]]; bounds.front() == 0, bounds.back() == N.
+  std::vector<std::uint32_t> bounds;
+  /// shard_of[v] for internal index v in 1..N (slot 0 unused).
+  std::vector<std::uint32_t> shard_of;
+
+  std::size_t shard_count() const { return bounds.size() - 1; }
+  std::uint32_t vertex_count() const { return bounds.back(); }
+  /// First / last internal index owned by shard k (inclusive).
+  std::uint32_t begin(std::size_t k) const { return bounds[k] + 1; }
+  std::uint32_t end(std::size_t k) const { return bounds[k + 1]; }
+};
+
+/// Materializes the lookup table for a partitioning.
+ShardMap make_shard_map(const Partitioning& partitioning);
+
 /// Quality metrics for a partitioning.
 struct PartitionMetrics {
   std::size_t blocks = 0;

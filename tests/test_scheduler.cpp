@@ -39,6 +39,27 @@ Scheduler::Delivery deliver(std::uint32_t to) {
   return Scheduler::Delivery{to, 0, event::Value(1.0)};
 }
 
+// Vector-returning conveniences over the buffer-reuse API (the seed-compat
+// wrappers were removed from the Scheduler itself once no production code
+// used them; scripted tests keep the ergonomic shape here).
+std::vector<Scheduler::ReadyPair> start_phase(
+    Scheduler& scheduler, event::PhaseId p,
+    std::vector<event::InputBundle> bundles) {
+  std::vector<Scheduler::ReadyPair> out;
+  scheduler.start_phase(p, std::span<event::InputBundle>(bundles), out);
+  return out;
+}
+
+std::vector<Scheduler::ReadyPair> finish_execution(
+    Scheduler& scheduler, std::uint32_t vertex, event::PhaseId p,
+    std::vector<Scheduler::Delivery> deliveries) {
+  std::vector<Scheduler::ReadyPair> out;
+  scheduler.finish_execution(vertex, p,
+                             std::span<Scheduler::Delivery>(deliveries), {},
+                             out);
+  return out;
+}
+
 std::set<std::pair<std::uint32_t, event::PhaseId>> as_set(
     const std::vector<Scheduler::Snapshot::Pair>& pairs) {
   std::set<std::pair<std::uint32_t, event::PhaseId>> out;
@@ -84,7 +105,7 @@ TEST_F(Fig3Scheduler, NumberingMatchesHandComputation) {
 }
 
 TEST_F(Fig3Scheduler, PhaseStartMakesSourcesReady) {
-  const auto ready = scheduler_.start_phase(1, source_bundles());
+  const auto ready = start_phase(scheduler_, 1, source_bundles());
   EXPECT_EQ(ready_set(ready),
             (std::set<std::pair<std::uint32_t, event::PhaseId>>{{1, 1},
                                                                 {2, 1}}));
@@ -94,16 +115,16 @@ TEST_F(Fig3Scheduler, PhaseStartMakesSourcesReady) {
 }
 
 TEST_F(Fig3Scheduler, PhasesMustStartInOrder) {
-  scheduler_.start_phase(1, source_bundles());
-  EXPECT_THROW(scheduler_.start_phase(3, source_bundles()),
+  start_phase(scheduler_, 1, source_bundles());
+  EXPECT_THROW(start_phase(scheduler_, 3, source_bundles()),
                support::check_error);
 }
 
 TEST_F(Fig3Scheduler, MessageWaitsInPartialUntilFrontierReaches) {
-  scheduler_.start_phase(1, source_bundles());
+  start_phase(scheduler_, 1, source_bundles());
   // v1 finishes and sends to v3. v2 has not finished, so x_1 = 1, m(1) = 2,
   // and v3 (> 2) must wait in partial.
-  const auto ready = scheduler_.finish_execution(1, 1, {deliver(3)});
+  const auto ready = finish_execution(scheduler_, 1, 1, {deliver(3)});
   EXPECT_TRUE(ready.empty());
   EXPECT_EQ(scheduler_.x(1), 1U);
   const auto snap = scheduler_.snapshot();
@@ -112,20 +133,20 @@ TEST_F(Fig3Scheduler, MessageWaitsInPartialUntilFrontierReaches) {
 }
 
 TEST_F(Fig3Scheduler, AbsenceOfMessagesStillUnblocksSuccessors) {
-  scheduler_.start_phase(1, source_bundles());
-  scheduler_.finish_execution(1, 1, {deliver(3)});
+  start_phase(scheduler_, 1, source_bundles());
+  finish_execution(scheduler_, 1, 1, {deliver(3)});
   // v2 finishes *without* sending anything: the absence of messages is
   // information. x_1 jumps to 2 (v3 pending), m(2) = 4 releases v3.
-  const auto ready = scheduler_.finish_execution(2, 1, {});
+  const auto ready = finish_execution(scheduler_, 2, 1, {});
   EXPECT_EQ(ready_set(ready),
             (std::set<std::pair<std::uint32_t, event::PhaseId>>{{3, 1}}));
   EXPECT_EQ(scheduler_.x(1), 2U);
 }
 
 TEST_F(Fig3Scheduler, FanInBundleCollectsBothMessages) {
-  scheduler_.start_phase(1, source_bundles());
-  scheduler_.finish_execution(1, 1, {deliver(3)});
-  const auto ready = scheduler_.finish_execution(
+  start_phase(scheduler_, 1, source_bundles());
+  finish_execution(scheduler_, 1, 1, {deliver(3)});
+  const auto ready = finish_execution(scheduler_, 
       2, 1, {Scheduler::Delivery{3, 1, event::Value(2.0)},
              Scheduler::Delivery{4, 0, event::Value(3.0)}});
   ASSERT_EQ(ready.size(), 2U);
@@ -136,15 +157,15 @@ TEST_F(Fig3Scheduler, FanInBundleCollectsBothMessages) {
 }
 
 TEST_F(Fig3Scheduler, PhaseCompletesAndRetiresInOrder) {
-  scheduler_.start_phase(1, source_bundles());
-  scheduler_.finish_execution(1, 1, {deliver(3)});
-  auto ready = scheduler_.finish_execution(2, 1, {deliver(4)});
+  start_phase(scheduler_, 1, source_bundles());
+  finish_execution(scheduler_, 1, 1, {deliver(3)});
+  auto ready = finish_execution(scheduler_, 2, 1, {deliver(4)});
   // v3 and v4 both ready.
   ASSERT_EQ(ready.size(), 2U);
-  auto more = scheduler_.finish_execution(3, 1, {});  // no output
+  auto more = finish_execution(scheduler_, 3, 1, {});  // no output
   EXPECT_TRUE(more.empty());
   EXPECT_EQ(scheduler_.completed_through(), 0U);
-  more = scheduler_.finish_execution(4, 1, {});  // no output either
+  more = finish_execution(scheduler_, 4, 1, {});  // no output either
   // Nothing was sent to v5/v6, so the phase completes without them.
   EXPECT_TRUE(more.empty());
   EXPECT_EQ(scheduler_.completed_through(), 1U);
@@ -153,26 +174,26 @@ TEST_F(Fig3Scheduler, PhaseCompletesAndRetiresInOrder) {
 }
 
 TEST_F(Fig3Scheduler, PipelinedPhasesKeepSourcesBusy) {
-  scheduler_.start_phase(1, source_bundles());
+  start_phase(scheduler_, 1, source_bundles());
   // Sources are issued for phase 1; starting phase 2 cannot issue them
   // again until they finish (one phase at a time per vertex).
-  auto ready2 = scheduler_.start_phase(2, source_bundles());
+  auto ready2 = start_phase(scheduler_, 2, source_bundles());
   EXPECT_TRUE(ready2.empty());
   // When v1 finishes phase 1, it immediately becomes ready for phase 2.
-  const auto ready = scheduler_.finish_execution(1, 1, {});
+  const auto ready = finish_execution(scheduler_, 1, 1, {});
   EXPECT_EQ(ready_set(ready),
             (std::set<std::pair<std::uint32_t, event::PhaseId>>{{1, 2}}));
 }
 
 TEST_F(Fig3Scheduler, NoOvertaking) {
-  scheduler_.start_phase(1, source_bundles());
-  scheduler_.start_phase(2, source_bundles());
-  scheduler_.finish_execution(1, 1, {deliver(3)});
-  scheduler_.finish_execution(1, 2, {});
+  start_phase(scheduler_, 1, source_bundles());
+  start_phase(scheduler_, 2, source_bundles());
+  finish_execution(scheduler_, 1, 1, {deliver(3)});
+  finish_execution(scheduler_, 1, 2, {});
   // Phase 2's sources are done except v2... finish v2 phase 1 delivering
   // nothing; then v2 phase 2. Throughout, x_2 <= x_1 must hold.
   EXPECT_LE(scheduler_.x(2), scheduler_.x(1));
-  scheduler_.finish_execution(2, 1, {});
+  finish_execution(scheduler_, 2, 1, {});
   EXPECT_LE(scheduler_.x(2), scheduler_.x(1));
   const auto snap = scheduler_.snapshot();
   for (std::size_t i = 1; i < snap.x.size(); ++i) {
@@ -181,13 +202,13 @@ TEST_F(Fig3Scheduler, NoOvertaking) {
 }
 
 TEST_F(Fig3Scheduler, FinishOfUnissuedPairIsRejected) {
-  scheduler_.start_phase(1, source_bundles());
-  EXPECT_THROW(scheduler_.finish_execution(3, 1, {}), support::check_error);
-  EXPECT_THROW(scheduler_.finish_execution(1, 2, {}), support::check_error);
+  start_phase(scheduler_, 1, source_bundles());
+  EXPECT_THROW(finish_execution(scheduler_, 3, 1, {}), support::check_error);
+  EXPECT_THROW(finish_execution(scheduler_, 1, 2, {}), support::check_error);
 }
 
 TEST_F(Fig3Scheduler, WrongBundleCountIsRejected) {
-  EXPECT_THROW(scheduler_.start_phase(1, {}), support::check_error);
+  EXPECT_THROW(start_phase(scheduler_, 1, {}), support::check_error);
 }
 
 // --- Definitional property test -------------------------------------------
@@ -273,7 +294,7 @@ TEST_P(DefinitionalProperty, SetsAlwaysMatchEquations7To9) {
       for (std::uint32_t s = 1; s <= numbering.m[0]; ++s) {
         ghost.msg[{s, started}] = true;  // phase signal
       }
-      absorb(scheduler.start_phase(
+      absorb(start_phase(scheduler, 
           started, std::vector<event::InputBundle>(numbering.m[0])));
       verify();
       continue;
@@ -296,7 +317,7 @@ TEST_P(DefinitionalProperty, SetsAlwaysMatchEquations7To9) {
       }
     }
     ghost.msg[{pair.vertex, pair.phase}] = false;  // inputs consumed
-    absorb(scheduler.finish_execution(pair.vertex, pair.phase,
+    absorb(finish_execution(scheduler, pair.vertex, pair.phase,
                                       std::move(deliveries)));
     verify();
   }
