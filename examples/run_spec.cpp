@@ -3,20 +3,24 @@
 // chosen executor, print the sink streams and statistics.
 //
 // Usage:
-//   run_spec <spec.xml> [--executor=engine|sequential|lockstep|eager]
-//            [--phases=N] [--threads=K] [--verify] [--events=file.csv]
+//   run_spec <spec.xml> [--executor=engine|sequential|lockstep|eager|
+//            transport] [--phases=N] [--threads=K] [--machines=K]
+//            [--channel=inproc|socket] [--verify] [--events=file.csv]
 //
 // With --verify, the run is repeated on the sequential reference and the
 // sink streams are compared (serializability check). With --events, the
 // named timestamped-event CSV is grouped into phases (equal timestamps =
 // one phase, paper section 2) and fed to source vertices; the phase count
-// then comes from the file.
+// then comes from the file. --executor=transport runs the partitioned
+// multi-engine transport; the partition count comes from --machines or the
+// spec's <simulation machines="K"> attribute.
 #include <cstdio>
 
 #include "baseline/eager.hpp"
 #include "baseline/lockstep.hpp"
 #include "baseline/sequential.hpp"
 #include "core/engine.hpp"
+#include "distrib/transport.hpp"
 #include "spec/event_csv.hpp"
 #include "spec/spec.hpp"
 #include "support/cli.hpp"
@@ -28,7 +32,8 @@ int main(int argc, char** argv) {
   const support::CliFlags flags(argc, argv);
   if (flags.positional().empty()) {
     std::printf("usage: run_spec <spec.xml> [--executor=engine|sequential|"
-                "lockstep|eager] [--phases=N] [--threads=K] [--verify]\n");
+                "lockstep|eager|transport] [--phases=N] [--threads=K] "
+                "[--machines=K] [--channel=inproc|socket] [--verify]\n");
     return 2;
   }
 
@@ -64,6 +69,22 @@ int main(int argc, char** argv) {
     executor = std::make_unique<baseline::LockstepExecutor>(program, threads);
   } else if (executor_name == "eager") {
     executor = std::make_unique<baseline::EagerExecutor>(program);
+  } else if (executor_name == "transport") {
+    distrib::TransportOptions options;
+    options.machines = flags.get(
+        "machines",
+        static_cast<std::uint64_t>(computation.simulation.machines));
+    const std::string channel = flags.get("channel", std::string("inproc"));
+    if (channel == "socket") {
+      options.channel = distrib::ChannelKind::kSocket;
+    } else if (channel == "inproc") {
+      options.channel = distrib::ChannelKind::kInProcess;
+    } else {
+      std::printf("unknown channel '%s' (expected inproc|socket)\n",
+                  channel.c_str());
+      return 2;
+    }
+    executor = std::make_unique<distrib::TransportEngine>(program, options);
   } else {
     std::printf("unknown executor '%s'\n", executor_name.c_str());
     return 2;

@@ -1,0 +1,292 @@
+#include "distrib/channel.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "distrib/wire.hpp"
+#include "support/check.hpp"
+
+namespace df::distrib {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t result = 2;
+  while (result < v) {
+    result <<= 1;
+  }
+  return result;
+}
+
+}  // namespace
+
+// --- InProcessChannel -------------------------------------------------------
+
+InProcessChannel::InProcessChannel(std::size_t capacity_frames)
+    : ring_(round_up_pow2(capacity_frames)) {}
+
+void InProcessChannel::send(std::span<const std::uint8_t> frame) {
+  std::vector<std::uint8_t> buffer(frame.begin(), frame.end());
+  for (;;) {
+    if (recv_closed_.load(std::memory_order_acquire)) {
+      return;  // receiver abandoned the channel; drop
+    }
+    if (ring_.try_push(buffer)) {
+      break;
+    }
+    std::unique_lock lock(mutex_);
+    can_send_.wait(lock, [&] {
+      return ring_.size() < ring_.capacity() ||
+             recv_closed_.load(std::memory_order_acquire);
+    });
+  }
+  {
+    std::lock_guard lock(mutex_);
+  }
+  can_recv_.notify_one();
+}
+
+void InProcessChannel::close_send() {
+  send_closed_.store(true, std::memory_order_release);
+  {
+    std::lock_guard lock(mutex_);
+  }
+  can_recv_.notify_all();
+}
+
+bool InProcessChannel::recv(std::vector<std::uint8_t>& frame) {
+  for (;;) {
+    if (auto item = ring_.pop()) {
+      frame = std::move(*item);
+      {
+        std::lock_guard lock(mutex_);
+      }
+      can_send_.notify_one();
+      return true;
+    }
+    if (send_closed_.load(std::memory_order_acquire)) {
+      // The closed flag was stored after the final push; re-check the ring
+      // so a frame racing the close is not lost.
+      if (auto item = ring_.pop()) {
+        frame = std::move(*item);
+        return true;
+      }
+      return false;
+    }
+    std::unique_lock lock(mutex_);
+    can_recv_.wait(lock, [&] {
+      return !ring_.empty() || send_closed_.load(std::memory_order_acquire);
+    });
+  }
+}
+
+void InProcessChannel::close_recv() {
+  recv_closed_.store(true, std::memory_order_release);
+  {
+    std::lock_guard lock(mutex_);
+  }
+  can_send_.notify_all();
+}
+
+// --- SocketChannel ----------------------------------------------------------
+
+SocketChannel::SocketChannel(int write_fd, int read_fd)
+    : write_fd_(write_fd), read_fd_(read_fd) {}
+
+std::unique_ptr<SocketChannel> SocketChannel::make_loopback() {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  DF_CHECK(listener >= 0, "socket() failed: ", std::strerror(errno));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  DF_CHECK(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof addr) == 0,
+           "bind(127.0.0.1) failed: ", std::strerror(errno));
+  DF_CHECK(::listen(listener, 1) == 0,
+           "listen() failed: ", std::strerror(errno));
+  socklen_t addr_len = sizeof addr;
+  DF_CHECK(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
+                         &addr_len) == 0,
+           "getsockname() failed: ", std::strerror(errno));
+
+  // Loopback connect to a listening socket completes in-kernel (backlog),
+  // so the synchronous connect-then-accept sequence cannot deadlock.
+  const int client = ::socket(AF_INET, SOCK_STREAM, 0);
+  DF_CHECK(client >= 0, "socket() failed: ", std::strerror(errno));
+  DF_CHECK(::connect(client, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof addr) == 0,
+           "connect(127.0.0.1) failed: ", std::strerror(errno));
+  const int server = ::accept(listener, nullptr, nullptr);
+  DF_CHECK(server >= 0, "accept() failed: ", std::strerror(errno));
+  ::close(listener);
+
+  const int nodelay = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof nodelay);
+  ::setsockopt(server, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof nodelay);
+
+  return std::unique_ptr<SocketChannel>(new SocketChannel(client, server));
+}
+
+SocketChannel::~SocketChannel() {
+  if (write_fd_ >= 0) {
+    ::close(write_fd_);
+  }
+  if (read_fd_ >= 0) {
+    ::close(read_fd_);
+  }
+}
+
+void SocketChannel::send(std::span<const std::uint8_t> frame) {
+  DF_CHECK(frame.size() <= wire::kMaxFrameBytes, "frame too large");
+  if (broken_.load(std::memory_order_relaxed)) {
+    return;  // receiver closed its end; the run is tearing down
+  }
+  std::uint8_t prefix[4];
+  const auto size = static_cast<std::uint32_t>(frame.size());
+  for (int i = 0; i < 4; ++i) {
+    prefix[i] = static_cast<std::uint8_t>(size >> (8 * i));
+  }
+
+  const auto write_all = [&](const std::uint8_t* data,
+                             std::size_t count) -> bool {
+    std::size_t written = 0;
+    while (written < count) {
+      // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not SIGPIPE.
+      const ssize_t result = ::send(write_fd_, data + written,
+                                    count - written, MSG_NOSIGNAL);
+      if (result < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        DF_CHECK(errno == EPIPE || errno == ECONNRESET,
+                 "socket send failed: ", std::strerror(errno));
+        broken_.store(true, std::memory_order_relaxed);
+        return false;
+      }
+      written += static_cast<std::size_t>(result);
+    }
+    return true;
+  };
+
+  if (write_all(prefix, sizeof prefix)) {
+    write_all(frame.data(), frame.size());
+  }
+}
+
+void SocketChannel::close_send() {
+  ::shutdown(write_fd_, SHUT_WR);
+}
+
+bool SocketChannel::recv(std::vector<std::uint8_t>& frame) {
+  if (read_fd_ < 0) {
+    return false;
+  }
+  const auto read_all = [&](std::uint8_t* data, std::size_t count,
+                            bool eof_ok) -> bool {
+    std::size_t got = 0;
+    while (got < count) {
+      const ssize_t result = ::read(read_fd_, data + got, count - got);
+      if (result < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        DF_CHECK(false, "socket read failed: ", std::strerror(errno));
+      }
+      if (result == 0) {
+        DF_CHECK(eof_ok && got == 0,
+                 "peer closed mid-frame (truncated stream)");
+        return false;
+      }
+      got += static_cast<std::size_t>(result);
+    }
+    return true;
+  };
+
+  std::uint8_t prefix[4];
+  if (!read_all(prefix, sizeof prefix, /*eof_ok=*/true)) {
+    return false;
+  }
+  std::uint32_t size = 0;
+  for (int i = 0; i < 4; ++i) {
+    size |= static_cast<std::uint32_t>(prefix[i]) << (8 * i);
+  }
+  DF_CHECK(size <= wire::kMaxFrameBytes,
+           "frame length prefix exceeds sanity bound: ", size);
+  frame.resize(size);
+  if (size > 0) {
+    read_all(frame.data(), size, /*eof_ok=*/false);
+  }
+  return true;
+}
+
+void SocketChannel::close_recv() {
+  // A full close (not shutdown) makes the kernel answer later-arriving data
+  // with RST, which surfaces as EPIPE/ECONNRESET on a sender blocked in a
+  // full-buffer write — exactly the unblock-and-drop teardown we need.
+  if (read_fd_ >= 0) {
+    ::close(read_fd_);
+    read_fd_ = -1;
+  }
+}
+
+// --- FaultInjectingChannel --------------------------------------------------
+
+FaultInjectingChannel::FaultInjectingChannel(std::unique_ptr<Channel> inner,
+                                             FaultOptions options)
+    : inner_(std::move(inner)), options_(options), rng_(options.seed) {
+  DF_CHECK(options_.reorder_window >= 1, "reorder window must be >= 1");
+}
+
+void FaultInjectingChannel::release_down_to(std::size_t keep) {
+  while (held_.size() > keep) {
+    const std::size_t pick =
+        static_cast<std::size_t>(rng_.next_below(held_.size()));
+    inner_->send(held_[pick]);
+    held_[pick] = std::move(held_.back());
+    held_.pop_back();
+  }
+}
+
+void FaultInjectingChannel::send(std::span<const std::uint8_t> frame) {
+  std::vector<std::uint8_t> copy(frame.begin(), frame.end());
+  if (rng_.next_bernoulli(options_.duplicate_probability)) {
+    ++duplicates_injected_;
+    held_.push_back(copy);
+  }
+  if (rng_.next_bernoulli(options_.hold_probability)) {
+    ++frames_held_;
+    held_.push_back(std::move(copy));
+  } else {
+    inner_->send(copy);
+  }
+  // Release a random subset so held frames are delayed past — and reordered
+  // with — later sends, but never past the window bound.
+  std::size_t keep = held_.size();
+  while (keep > 0 && rng_.next_bernoulli(0.5)) {
+    --keep;
+  }
+  release_down_to(std::min(keep, options_.reorder_window));
+}
+
+void FaultInjectingChannel::close_send() {
+  release_down_to(0);
+  inner_->close_send();
+}
+
+bool FaultInjectingChannel::recv(std::vector<std::uint8_t>& frame) {
+  return inner_->recv(frame);
+}
+
+void FaultInjectingChannel::close_recv() {
+  inner_->close_recv();
+}
+
+}  // namespace df::distrib

@@ -1,0 +1,153 @@
+// Frame channels between partition engines (DESIGN.md, "Real transport").
+//
+// A Channel is a unidirectional, order-preserving pipe of byte frames with
+// exactly one sender thread and one receiver thread (the roles may migrate
+// like SpscRing's, through a stronger-than-acquire/release handoff). The
+// TransportEngine creates one channel per ordered partition pair (j, k),
+// j < k — cross-partition traffic is forward-only, so no backward channels
+// exist at all.
+//
+// Two production implementations:
+//   * InProcessChannel — a bounded SPSC-ring of frames; the sender blocks
+//     while the ring is full, which is the engine's cross-partition
+//     backpressure (an upstream partition cannot run unboundedly ahead).
+//   * SocketChannel — a loopback TCP connection carrying length-prefixed
+//     frames; backpressure comes from the kernel socket buffer. This is the
+//     configuration that proves real bytes cross the boundary; pointing the
+//     same code at a remote address is deployment, not engineering.
+//
+// Plus one test implementation:
+//   * FaultInjectingChannel — wraps any channel and duplicates, reorders
+//     (within a bounded window), and delays frames on the send side. The
+//     receiver's sequence-number reassembly must absorb all of it; the
+//     fault-injection suite in test_transport.cpp asserts exactly-once
+//     delivery and unchanged sink output.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "concurrency/spsc_ring.hpp"
+#include "support/rng.hpp"
+
+namespace df::distrib {
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Sender side: enqueues one frame, blocking while the channel is at
+  /// capacity. After close_recv() the frame is silently dropped — the
+  /// receiver is gone and the run is tearing down.
+  virtual void send(std::span<const std::uint8_t> frame) = 0;
+
+  /// Sender side: no more sends will follow. Idempotent.
+  virtual void close_send() = 0;
+
+  /// Receiver side: blocks for the next frame; returns false once the
+  /// sender has closed and every frame has been drained.
+  virtual bool recv(std::vector<std::uint8_t>& frame) = 0;
+
+  /// Receiver side: abandons the channel so blocked or future senders drop
+  /// frames instead of waiting forever (teardown of an aborting run).
+  virtual void close_recv() = 0;
+};
+
+/// Bounded in-process channel over conc::SpscRing. The ring itself is
+/// lock-free; the mutex/condvars only park threads that found it full or
+/// empty (the state predicates read the ring's atomics, and notifiers take
+/// the empty lock before notifying so a wakeup can never be lost).
+class InProcessChannel final : public Channel {
+ public:
+  /// `capacity_frames` is rounded up to a power of two (ring requirement).
+  explicit InProcessChannel(std::size_t capacity_frames);
+
+  void send(std::span<const std::uint8_t> frame) override;
+  void close_send() override;
+  bool recv(std::vector<std::uint8_t>& frame) override;
+  void close_recv() override;
+
+ private:
+  conc::SpscRing<std::vector<std::uint8_t>> ring_;
+  std::mutex mutex_;
+  std::condition_variable can_send_;
+  std::condition_variable can_recv_;
+  std::atomic<bool> send_closed_{false};
+  std::atomic<bool> recv_closed_{false};
+};
+
+/// Loopback-TCP channel: frames travel as u32 little-endian length prefixes
+/// followed by the frame bytes. One connected socket per channel; the
+/// sender owns the write end, the receiver the read end.
+class SocketChannel final : public Channel {
+ public:
+  /// Builds a connected loopback pair (listen on 127.0.0.1:0, connect,
+  /// accept) and returns the ready channel. Throws check_error on any
+  /// socket failure.
+  static std::unique_ptr<SocketChannel> make_loopback();
+
+  ~SocketChannel() override;
+
+  void send(std::span<const std::uint8_t> frame) override;
+  void close_send() override;
+  bool recv(std::vector<std::uint8_t>& frame) override;
+  void close_recv() override;
+
+ private:
+  SocketChannel(int write_fd, int read_fd);
+
+  int write_fd_;
+  int read_fd_;
+  /// Set when a send hit a dead peer (EPIPE/ECONNRESET after the receiver
+  /// closed); later sends drop immediately.
+  std::atomic<bool> broken_{false};
+};
+
+/// Knobs for FaultInjectingChannel. All faults are send-side: the wrapped
+/// channel still delivers every frame it is given, in the order given.
+struct FaultOptions {
+  /// Chance a frame is enqueued twice.
+  double duplicate_probability = 0.0;
+  /// Chance a frame is held back and released later (delayed past — and
+  /// therefore reordered with — up to `reorder_window` subsequent frames).
+  double hold_probability = 0.0;
+  /// Maximum frames held back at once; bounds how far delivery order can
+  /// diverge from send order.
+  std::size_t reorder_window = 4;
+  std::uint64_t seed = 1;
+};
+
+class FaultInjectingChannel final : public Channel {
+ public:
+  FaultInjectingChannel(std::unique_ptr<Channel> inner, FaultOptions options);
+
+  void send(std::span<const std::uint8_t> frame) override;
+  /// Flushes every held frame (in random order), then closes the inner
+  /// channel — faults delay frames, they never lose them.
+  void close_send() override;
+  bool recv(std::vector<std::uint8_t>& frame) override;
+  void close_recv() override;
+
+  /// Fault counters, for tests to assert the faults actually fired. Read
+  /// only after the sending thread is joined.
+  std::uint64_t duplicates_injected() const { return duplicates_injected_; }
+  std::uint64_t frames_held() const { return frames_held_; }
+
+ private:
+  /// Releases random held frames until at most `keep` remain.
+  void release_down_to(std::size_t keep);
+
+  std::unique_ptr<Channel> inner_;
+  FaultOptions options_;
+  support::Rng rng_;
+  std::vector<std::vector<std::uint8_t>> held_;
+  std::uint64_t duplicates_injected_ = 0;
+  std::uint64_t frames_held_ = 0;
+};
+
+}  // namespace df::distrib

@@ -45,10 +45,8 @@ ClusterExecutor::ClusterExecutor(const core::Program& program,
   DF_CHECK(options_.machines >= 1, "cluster needs at least one machine");
   DF_CHECK(options_.cores_per_machine >= 1,
            "machines need at least one core");
-  DF_CHECK(partitioning_.block_count() == options_.machines,
-           "partitioning block count must equal machine count");
-  DF_CHECK(partitioning_.bounds.back() == instance_.n(),
-           "partitioning does not cover the graph");
+  graph::validate_partition_cut(partitioning_, instance_.n(),
+                                options_.machines);
 }
 
 void ClusterExecutor::run(event::PhaseId num_phases, core::PhaseFeed* feed) {

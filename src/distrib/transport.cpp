@@ -1,0 +1,533 @@
+#include "distrib/transport.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "distrib/wire.hpp"
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace df::distrib {
+
+namespace {
+
+/// Thrown when a neighbour closed its channel before the protocol allowed
+/// it — the sign that *another* engine failed and the run is tearing down.
+/// The coordinator reports the root cause, not these secondary aborts.
+class peer_closed_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Sender side of one egress channel: assigns the per-channel sequence
+/// numbers and owns the encode scratch buffer.
+struct EgressLink {
+  explicit EgressLink(Channel* channel) : channel(channel) {}
+
+  Channel* channel;
+  std::uint64_t next_seq = 0;
+  std::vector<std::uint8_t> buf;
+
+  void send_delivery(event::PhaseId phase, const core::Delivery& delivery,
+                     TransportStats& stats) {
+    wire::encode_delivery(next_seq++, phase, delivery, buf);
+    channel->send(buf);
+    ++stats.frames_sent;
+    stats.bytes_sent += buf.size();
+  }
+
+  void send_watermark(event::PhaseId phase, TransportStats& stats) {
+    wire::encode_watermark(next_seq++, phase, buf);
+    channel->send(buf);
+    ++stats.frames_sent;
+    ++stats.watermarks_sent;
+    stats.bytes_sent += buf.size();
+  }
+};
+
+/// One entry of an engine's ingress queue: a decoded frame from upstream
+/// block `src`, or (with `closed`) that channel's end-of-stream marker,
+/// carrying the reader's error if decoding failed.
+struct IngressItem {
+  std::size_t src = 0;
+  bool closed = false;
+  std::exception_ptr error;
+  wire::Frame frame;
+};
+
+/// Bounded MPSC queue between an engine's channel readers (one producer
+/// per ingress channel) and the engine thread. The bound is part of the
+/// backpressure story: readers stop pulling once the engine falls this far
+/// behind, which in turn fills the channel and blocks the sender.
+///
+/// Why readers exist at all (DESIGN.md, "Real transport"): an engine that
+/// blocked on *one* channel's recv while another ingress channel filled up
+/// could deadlock the ensemble (sender j stuck on a full j->k while k
+/// waits for a laggard j' whose progress transitively needs j). Readers
+/// guarantee every ingress channel keeps draining no matter which sender
+/// the engine is logically waiting for; the engine itself always consumes
+/// from this queue while waiting, so the queue never stays full while
+/// anyone needs it to move.
+class IngressQueue {
+ public:
+  explicit IngressQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  void push(IngressItem item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [&] { return items_.size() < capacity_; });
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+  }
+
+  IngressItem pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return !items_.empty(); });
+    IngressItem item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<IngressItem> items_;
+};
+
+/// Engine-side reassembly state for one ingress channel: restores the
+/// exact send order from sequence numbers, parking early arrivals in a
+/// reorder buffer and dropping duplicates — the exactly-once, in-order
+/// ingestion layer that makes fault-injected channels survivable. Fed by
+/// the engine thread only (frames arrive through the IngressQueue), so it
+/// needs no synchronization of its own.
+class IngressSequencer {
+ public:
+  /// Accepts one decoded frame: duplicates are counted and dropped, early
+  /// arrivals parked, and every frame that completes the sequence moves to
+  /// the in-order ready queue.
+  void feed(wire::Frame&& frame) {
+    ++frames_received_;
+    if (frame.seq < next_seq_ || out_of_order_.contains(frame.seq)) {
+      ++duplicates_dropped_;
+      return;
+    }
+    out_of_order_.emplace(frame.seq, std::move(frame));
+    while (!out_of_order_.empty() &&
+           out_of_order_.begin()->first == next_seq_) {
+      ready_.push_back(std::move(out_of_order_.begin()->second));
+      out_of_order_.erase(out_of_order_.begin());
+      ++next_seq_;
+    }
+  }
+
+  /// Consumes ready frames up to and including the phase-p watermark,
+  /// appending phase-p deliveries (in the sender's emission order) to
+  /// `out`. Returns false when the watermark has not been reassembled yet
+  /// (already-consumed deliveries stay consumed; callers feed more frames
+  /// and retry).
+  bool take_phase(event::PhaseId p, std::vector<core::Delivery>& out) {
+    while (!ready_.empty()) {
+      wire::Frame frame = std::move(ready_.front());
+      ready_.pop_front();
+      DF_CHECK(frame.phase == p, "frame for phase ", frame.phase,
+               " inside phase ", p, "'s window (protocol violation)");
+      if (frame.type == wire::FrameType::kWatermark) {
+        return true;
+      }
+      out.push_back(std::move(frame.delivery));
+    }
+    return false;
+  }
+
+  void mark_closed() { closed_ = true; }
+  bool closed() const { return closed_; }
+
+  /// After the final watermark, nothing new may remain: trailing frames
+  /// reaching feed() must all have been duplicates, and no gap may be left
+  /// in the sequence.
+  void check_drained() const {
+    DF_CHECK(ready_.empty(), "trailing non-duplicate frames after teardown");
+    DF_CHECK(out_of_order_.empty(),
+             "channel closed with frames missing from the sequence");
+  }
+
+  std::uint64_t frames_received() const { return frames_received_; }
+  std::uint64_t duplicates_dropped() const { return duplicates_dropped_; }
+
+ private:
+  std::uint64_t next_seq_ = 0;
+  std::map<std::uint64_t, wire::Frame> out_of_order_;
+  std::deque<wire::Frame> ready_;
+  bool closed_ = false;
+  std::uint64_t frames_received_ = 0;
+  std::uint64_t duplicates_dropped_ = 0;
+};
+
+/// Body of one channel-reader thread: blocking-receive frames, decode them
+/// off the engine's critical path, and hand them to the engine through the
+/// bounded queue. Always ends by pushing the channel's closed marker.
+void reader_main(Channel* channel, std::size_t src, IngressQueue& queue) {
+  std::vector<std::uint8_t> buf;
+  std::exception_ptr error;
+  try {
+    while (channel->recv(buf)) {
+      IngressItem item;
+      item.src = src;
+      const wire::DecodeStatus status = wire::decode_frame(buf, item.frame);
+      DF_CHECK(status == wire::DecodeStatus::kOk,
+               "rejected ingress frame: ", wire::to_string(status));
+      queue.push(std::move(item));
+    }
+  } catch (...) {
+    error = std::current_exception();
+    // Keep consuming to EOF, discarding frames: a reader that stopped
+    // receiving would let the upstream sender block forever on a full
+    // channel, freezing that engine before it could close its *other*
+    // egress channels and deadlocking the ensemble. The error is already
+    // captured; it rides the closed marker once EOF arrives.
+    try {
+      while (channel->recv(buf)) {
+      }
+    } catch (...) {
+    }
+  }
+  IngressItem closed;
+  closed.src = src;
+  closed.closed = true;
+  closed.error = error;
+  queue.push(std::move(closed));
+}
+
+}  // namespace
+
+/// Everything one partition engine owns: its block bounds, its own
+/// ProgramInstance (constructed exactly like the sequential reference's, so
+/// per-vertex module state and rng streams agree bit-for-bit — a real
+/// deployment would ship the same program to every machine), its channel
+/// endpoints, and its pre-routed external events. `ingress_channels` and
+/// `sequencers` are parallel vectors over upstream blocks 0..block-1 in
+/// ascending order; `queue` sits between the per-channel reader threads
+/// and the engine thread.
+struct TransportEngine::EngineState {
+  std::size_t block = 0;
+  std::uint32_t begin = 1;  // inclusive internal range; begin > end if empty
+  std::uint32_t end = 0;
+  std::unique_ptr<core::ProgramInstance> instance;
+  std::vector<Channel*> ingress_channels;
+  std::vector<IngressSequencer> sequencers;
+  std::unique_ptr<IngressQueue> queue;
+  std::vector<EgressLink> egress;  // to blocks block+1.., ascending
+  std::vector<std::vector<event::ExternalEvent>> events;  // [phase - 1]
+  core::ExecStats stats;
+  TransportStats tstats;
+  std::exception_ptr error;
+};
+
+TransportEngine::TransportEngine(const core::Program& program,
+                                 TransportOptions options)
+    : program_(program),
+      options_(std::move(options)),
+      partitioning_(options_.partitioning.bounds.empty()
+                        ? graph::partition_balanced(program.numbering,
+                                                    options_.machines)
+                        : options_.partitioning) {
+  DF_CHECK(options_.machines >= 1, "transport needs at least one machine");
+  const auto n = static_cast<std::uint32_t>(program_.numbering.size());
+  graph::validate_partition_cut(partitioning_, n, options_.machines);
+  owner_.assign(n + 1, 0);
+  for (std::size_t k = 0; k < partitioning_.block_count(); ++k) {
+    for (std::uint32_t v = partitioning_.bounds[k] + 1;
+         v <= partitioning_.bounds[k + 1]; ++v) {
+      owner_[v] = static_cast<std::uint32_t>(k);
+    }
+  }
+}
+
+void TransportEngine::engine_main(EngineState& state,
+                                  event::PhaseId num_phases) {
+  // One reader per ingress channel for the whole run; they exit at channel
+  // EOF (every sender closes its egress on completion *and* on abort, so
+  // EOF always arrives).
+  std::vector<std::thread> readers;
+  readers.reserve(state.ingress_channels.size());
+  for (std::size_t j = 0; j < state.ingress_channels.size(); ++j) {
+    readers.emplace_back(reader_main, state.ingress_channels[j], j,
+                         std::ref(*state.queue));
+  }
+  std::size_t open_channels = state.ingress_channels.size();
+
+  // Takes one item off the ingress queue: feeds a frame to its channel's
+  // sequencer, or marks the channel closed (rethrowing the reader's error,
+  // e.g. a rejected frame — a root-cause protocol failure).
+  const auto ingest_one = [&state, &open_channels] {
+    IngressItem item = state.queue->pop();
+    if (item.closed) {
+      --open_channels;
+      state.sequencers[item.src].mark_closed();
+      if (item.error) {
+        std::rethrow_exception(item.error);
+      }
+      return;
+    }
+    state.sequencers[item.src].feed(std::move(item.frame));
+  };
+
+  try {
+    core::ProgramInstance& instance = *state.instance;
+    const std::uint32_t n = instance.n();
+    // Messages waiting per vertex within the current phase; only this
+    // block's slots are ever populated (plus the check below proves it).
+    std::vector<std::optional<event::InputBundle>> pending(n + 1);
+    std::vector<core::Delivery> remote;
+
+    for (event::PhaseId p = 1; p <= num_phases; ++p) {
+      // Phase-advance handshake: ingest every upstream block's phase-p
+      // deliveries, in ascending block order, blocking on each until its
+      // watermark arrives. Ascending block order = ascending sender index
+      // order, the order the sequential reference applies them in. While
+      // logically waiting for one channel the engine still consumes the
+      // shared queue, so every ingress channel keeps draining (the
+      // no-deadlock argument in DESIGN.md rests on this).
+      remote.clear();
+      for (IngressSequencer& in : state.sequencers) {
+        while (!in.take_phase(p, remote)) {
+          if (in.closed()) {
+            throw peer_closed_error(
+                "upstream partition closed its channel before phase " +
+                std::to_string(p) + " completed");
+          }
+          ingest_one();
+        }
+      }
+      for (core::Delivery& d : remote) {
+        DF_CHECK(d.to_index >= 1 && d.to_index <= n &&
+                     owner_[d.to_index] == state.block,
+                 "misrouted delivery for internal index ", d.to_index);
+        if (!pending[d.to_index].has_value()) {
+          pending[d.to_index].emplace();
+        }
+        pending[d.to_index]->push_back(
+            event::Message{d.to_port, std::move(d.value)});
+      }
+      for (const event::ExternalEvent& ev : state.events[p - 1]) {
+        const std::uint32_t index = instance.internal_index(ev.vertex);
+        if (!pending[index].has_value()) {
+          pending[index].emplace();
+        }
+        pending[index]->push_back(event::Message{ev.port, ev.value});
+      }
+
+      // Execute this block in index order — Δ-semantics identical to the
+      // sequential reference's sweep restricted to [begin, end].
+      for (std::uint32_t v = state.begin; v <= state.end; ++v) {
+        const bool is_source = instance.is_source(v);
+        if (!is_source && !pending[v].has_value()) {
+          continue;  // no input changed: execution unnecessary this phase
+        }
+        const event::InputBundle bundle =
+            pending[v].has_value() ? std::move(*pending[v])
+                                   : event::InputBundle{};
+        pending[v].reset();
+
+        support::Stopwatch compute_timer;
+        core::ExecutionResult result =
+            core::execute_vertex(instance, v, p, bundle);
+        state.stats.compute_ns += compute_timer.elapsed_ns();
+        ++state.stats.executed_pairs;
+
+        for (core::Delivery& d : result.deliveries) {
+          DF_CHECK(d.to_index > v, "delivery to an already-visited vertex");
+          const std::uint32_t dest = owner_[d.to_index];
+          if (dest == state.block) {
+            if (!pending[d.to_index].has_value()) {
+              pending[d.to_index].emplace();
+            }
+            pending[d.to_index]->push_back(
+                event::Message{d.to_port, std::move(d.value)});
+            ++state.tstats.local_messages;
+          } else {
+            state.egress[dest - state.block - 1].send_delivery(p, d,
+                                                               state.tstats);
+            ++state.tstats.remote_messages;
+          }
+          ++state.stats.messages_delivered;
+        }
+        state.stats.sink_records += result.sink_records.size();
+        sinks_.record_batch(std::move(result.sink_records));
+      }
+
+      for (EgressLink& out : state.egress) {
+        out.send_watermark(p, state.tstats);
+      }
+      ++state.stats.phases_completed;
+    }
+
+    // Normal teardown: tell downstream we are done first, then consume
+    // trailing (necessarily duplicate) frames from upstream until every
+    // reader reports EOF — see DESIGN.md, "Real transport", teardown
+    // ordering.
+    for (EgressLink& out : state.egress) {
+      out.channel->close_send();
+    }
+    while (open_channels > 0) {
+      ingest_one();
+    }
+    for (const IngressSequencer& in : state.sequencers) {
+      in.check_drained();
+    }
+  } catch (...) {
+    state.error = std::current_exception();
+    // Abort teardown: close egress so downstream observes the failure (a
+    // close before the expected watermark) and aborts in turn, then keep
+    // draining ingress to EOF so upstream senders never block forever on a
+    // full channel to us. Secondary reader errors are absorbed — the root
+    // cause is already recorded.
+    for (EgressLink& out : state.egress) {
+      out.channel->close_send();
+    }
+    while (open_channels > 0) {
+      try {
+        ingest_one();
+      } catch (...) {
+      }
+    }
+  }
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+  for (const IngressSequencer& in : state.sequencers) {
+    state.tstats.frames_received += in.frames_received();
+    state.tstats.duplicates_dropped += in.duplicates_dropped();
+  }
+}
+
+void TransportEngine::run(event::PhaseId num_phases, core::PhaseFeed* feed) {
+  DF_CHECK(!ran_, "run() may be called once per TransportEngine");
+  ran_ = true;
+  const std::size_t machines = options_.machines;
+  support::Stopwatch wall;
+
+  std::vector<EngineState> states(machines);
+  for (std::size_t k = 0; k < machines; ++k) {
+    states[k].block = k;
+    states[k].begin = partitioning_.bounds[k] + 1;
+    states[k].end = partitioning_.bounds[k + 1];
+    states[k].instance = std::make_unique<core::ProgramInstance>(program_);
+    states[k].events.resize(num_phases);
+    states[k].queue = std::make_unique<IngressQueue>(
+        std::max<std::size_t>(8, options_.channel_capacity));
+  }
+
+  // One channel per ordered pair (j, k), j < k; forward-only traffic needs
+  // nothing else. Watermarks flow on every channel each phase, so even a
+  // pair with no crossing edges keeps its handshake (and an *empty* block
+  // still paces its downstream neighbours).
+  for (std::size_t j = 0; j < machines; ++j) {
+    for (std::size_t k = j + 1; k < machines; ++k) {
+      std::unique_ptr<Channel> channel;
+      switch (options_.channel) {
+        case ChannelKind::kInProcess:
+          channel =
+              std::make_unique<InProcessChannel>(options_.channel_capacity);
+          break;
+        case ChannelKind::kSocket:
+          channel = SocketChannel::make_loopback();
+          break;
+      }
+      if (options_.channel_wrapper) {
+        channel = options_.channel_wrapper(std::move(channel), j, k);
+        DF_CHECK(channel != nullptr, "channel_wrapper returned null");
+      }
+      states[j].egress.emplace_back(channel.get());
+      states[k].ingress_channels.push_back(channel.get());
+      states[k].sequencers.emplace_back();
+      channels_.push_back(std::move(channel));
+    }
+  }
+
+  // Pull the feed up front (feeds are sequential by contract) and route
+  // every external event to the partition owning its source vertex.
+  core::NullFeed null_feed;
+  core::PhaseFeed& source = feed != nullptr ? *feed : null_feed;
+  const std::vector<std::uint32_t>& index_of = program_.numbering.index_of;
+  const std::uint32_t source_bound = program_.numbering.m[0];
+  for (event::PhaseId p = 1; p <= num_phases; ++p) {
+    std::vector<event::ExternalEvent> batch = source.events_for(p);
+    for (event::ExternalEvent& ev : batch) {
+      DF_CHECK(ev.vertex < index_of.size(), "unknown vertex ", ev.vertex);
+      const std::uint32_t index = index_of[ev.vertex];
+      DF_CHECK(index >= 1 && index <= source_bound,
+               "external events may only target source vertices");
+      states[owner_[index]].events[p - 1].push_back(std::move(ev));
+    }
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(machines);
+  for (std::size_t k = 0; k < machines; ++k) {
+    threads.emplace_back([this, &states, k, num_phases] {
+      engine_main(states[k], num_phases);
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+
+  // Aggregate, then rethrow the first root-cause error (a module exception
+  // or protocol violation beats the secondary peer-closed aborts it set
+  // off in the neighbours).
+  std::exception_ptr root_error;
+  std::exception_ptr peer_error;
+  stats_.phases_completed = num_phases;
+  for (EngineState& state : states) {
+    stats_.executed_pairs += state.stats.executed_pairs;
+    stats_.messages_delivered += state.stats.messages_delivered;
+    stats_.sink_records += state.stats.sink_records;
+    stats_.compute_ns += state.stats.compute_ns;
+    stats_.phases_completed =
+        std::min(stats_.phases_completed, state.stats.phases_completed);
+    transport_stats_.frames_sent += state.tstats.frames_sent;
+    transport_stats_.frames_received += state.tstats.frames_received;
+    transport_stats_.bytes_sent += state.tstats.bytes_sent;
+    transport_stats_.watermarks_sent += state.tstats.watermarks_sent;
+    transport_stats_.duplicates_dropped += state.tstats.duplicates_dropped;
+    transport_stats_.remote_messages += state.tstats.remote_messages;
+    transport_stats_.local_messages += state.tstats.local_messages;
+    if (state.error) {
+      try {
+        std::rethrow_exception(state.error);
+      } catch (const peer_closed_error&) {
+        if (!peer_error) {
+          peer_error = state.error;
+        }
+      } catch (...) {
+        if (!root_error) {
+          root_error = state.error;
+        }
+      }
+    }
+  }
+  stats_.wall_seconds = wall.elapsed_s();
+  stats_.max_inflight_phases = 0;
+  stats_.mean_inflight_phases = 0.0;
+  if (root_error) {
+    std::rethrow_exception(root_error);
+  }
+  if (peer_error) {
+    std::rethrow_exception(peer_error);
+  }
+}
+
+}  // namespace df::distrib

@@ -1,0 +1,124 @@
+// Real partitioned execution over serialized channels (paper section 6;
+// DESIGN.md, "Real transport").
+//
+// Where distrib::ClusterExecutor *simulates* multi-machine execution with a
+// timing model, TransportEngine actually runs one engine per partition
+// block with serialized bytes crossing every boundary:
+//
+//   * the graph is cut into contiguous satisfactory-numbering blocks
+//     (graph::Partitioning, the same cuts the sharded scheduler aligns its
+//     state segments with); partition engine k owns block k and executes
+//     only its own vertices, on its own thread, against its own module
+//     state;
+//   * every ordered pair (j, k), j < k, gets one distrib::Channel carrying
+//     wire-encoded frames (distrib/wire.hpp) — cross-partition traffic is
+//     forward-only, the invariant the numbering guarantees, so no backward
+//     channels exist;
+//   * a cross-partition delivery is encoded as a kDelivery frame and sent
+//     to the owner block; after finishing phase p, an engine sends a
+//     kWatermark frame ("all my phase <= p deliveries precede this") on
+//     every egress channel — that watermark is the phase-advance handshake:
+//     a receiving engine starts phase p only after reassembling watermark p
+//     from every upstream block;
+//   * the receiver ingests remote frames through a per-channel sequencer
+//     that restores exact send order from frame sequence numbers and drops
+//     duplicates, so exactly-once in-order ingestion survives duplicating,
+//     reordering, and delaying channels (FaultInjectingChannel);
+//   * pipelining happens *across* blocks: block 0 may be phases ahead of
+//     block k, bounded by channel capacity (in-process ring) or the kernel
+//     socket buffer — the transport's backpressure.
+//
+// Within a block, execution is phase-at-a-time in index order, which makes
+// the whole ensemble's sink output *byte-identical* to the sequential
+// reference (blocks are contiguous index ranges, so per-phase global index
+// order is preserved end-to-end); the differential suite in
+// test_transport.cpp asserts exactly that over the randomized program
+// corpus, both channel implementations, and fault-injected channels.
+//
+// Teardown ordering (also DESIGN.md): each engine closes its egress
+// channels immediately after its last watermark, then drains its ingress
+// channels to EOF (consuming any fault-injected trailing duplicates). On an
+// error, the failing engine closes egress first — downstream observes a
+// close before the expected watermark and aborts in turn — and then keeps
+// draining ingress to EOF so upstream senders can never block forever on a
+// full channel to it. The coordinator joins all engines and rethrows the
+// first root-cause error.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/executor.hpp"
+#include "distrib/channel.hpp"
+#include "graph/partition.hpp"
+
+namespace df::distrib {
+
+enum class ChannelKind {
+  kInProcess,  // bounded SPSC-ring channel, frames still wire-encoded
+  kSocket,     // loopback TCP, length-prefixed frames
+};
+
+struct TransportOptions {
+  std::size_t machines = 2;
+  ChannelKind channel = ChannelKind::kInProcess;
+  /// Frames buffered per in-process channel before the sender blocks (the
+  /// cross-partition backpressure bound). Rounded up to a power of two.
+  std::size_t channel_capacity = 256;
+  /// Explicit cut; if empty bounds, a balanced one is computed. Validated
+  /// by graph::validate_partition_cut (empty blocks are legal).
+  graph::Partitioning partitioning;
+  /// Test hook: wraps each freshly built channel, e.g. in a
+  /// FaultInjectingChannel. Arguments are (channel, from_block, to_block).
+  std::function<std::unique_ptr<Channel>(std::unique_ptr<Channel>,
+                                         std::size_t, std::size_t)>
+      channel_wrapper;
+};
+
+struct TransportStats {
+  std::uint64_t frames_sent = 0;       // delivery + watermark frames
+  std::uint64_t frames_received = 0;   // includes duplicates
+  std::uint64_t bytes_sent = 0;        // encoded frame bytes (no prefixes)
+  std::uint64_t watermarks_sent = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t remote_messages = 0;   // deliveries that crossed a boundary
+  std::uint64_t local_messages = 0;    // deliveries within a block
+};
+
+class TransportEngine final : public core::Executor {
+ public:
+  TransportEngine(const core::Program& program, TransportOptions options);
+
+  /// Pulls all feed batches up front, routes each external event to the
+  /// partition owning its source vertex, runs every partition engine to
+  /// completion, and rethrows the first engine error (if any) after all
+  /// threads have been joined.
+  void run(event::PhaseId num_phases, core::PhaseFeed* feed) override;
+
+  const core::SinkStore& sinks() const override { return sinks_; }
+  core::ExecStats stats() const override { return stats_; }
+  const TransportStats& transport_stats() const { return transport_stats_; }
+  const graph::Partitioning& partitioning() const { return partitioning_; }
+
+ private:
+  struct EngineState;
+
+  void engine_main(EngineState& state, event::PhaseId num_phases);
+
+  core::Program program_;
+  TransportOptions options_;
+  graph::Partitioning partitioning_;
+  /// owner_[v] = block owning internal index v (slot 0 unused). Like
+  /// graph::ShardMap::shard_of but tolerant of empty blocks.
+  std::vector<std::uint32_t> owner_;
+  /// Channels live until the engine is destroyed (not just until run()
+  /// returns), so tests holding wrapper pointers can read fault counters
+  /// after the run.
+  std::vector<std::unique_ptr<Channel>> channels_;
+  core::SinkStore sinks_;
+  core::ExecStats stats_;
+  TransportStats transport_stats_;
+  bool ran_ = false;
+};
+
+}  // namespace df::distrib

@@ -1,0 +1,328 @@
+#include "distrib/wire.hpp"
+
+#include <bit>
+#include <cstring>
+#include <string>
+
+namespace df::distrib::wire {
+
+namespace {
+
+constexpr std::uint8_t kMagic[3] = {'D', 'F', 'W'};
+constexpr std::size_t kHeaderBytes = 3 + 1 + 1 + 8 + 8;
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+/// Bounds-checked little-endian reader. Every `read_*` either succeeds and
+/// advances the cursor or returns false leaving the cursor untouched, so a
+/// decoder can bail with kTruncated at any point without having read past
+/// the buffer.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::size_t remaining() const { return bytes_.size() - cursor_; }
+  std::size_t cursor() const { return cursor_; }
+
+  bool read_u8(std::uint8_t& v) {
+    if (remaining() < 1) {
+      return false;
+    }
+    v = bytes_[cursor_++];
+    return true;
+  }
+
+  bool read_u16(std::uint16_t& v) {
+    if (remaining() < 2) {
+      return false;
+    }
+    v = static_cast<std::uint16_t>(
+        static_cast<std::uint16_t>(bytes_[cursor_]) |
+        (static_cast<std::uint16_t>(bytes_[cursor_ + 1]) << 8));
+    cursor_ += 2;
+    return true;
+  }
+
+  bool read_u32(std::uint32_t& v) {
+    if (remaining() < 4) {
+      return false;
+    }
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes_[cursor_ + i]) << (8 * i);
+    }
+    cursor_ += 4;
+    return true;
+  }
+
+  bool read_u64(std::uint64_t& v) {
+    if (remaining() < 8) {
+      return false;
+    }
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(bytes_[cursor_ + i]) << (8 * i);
+    }
+    cursor_ += 8;
+    return true;
+  }
+
+  bool read_bytes(std::size_t count, const std::uint8_t*& data) {
+    if (remaining() < count) {
+      return false;
+    }
+    data = bytes_.data() + cursor_;
+    cursor_ += count;
+    return true;
+  }
+
+  void seek(std::size_t cursor) { cursor_ = cursor; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t cursor_ = 0;
+};
+
+DecodeStatus decode_value_at(Reader& reader, event::Value& out) {
+  std::uint8_t tag = 0;
+  if (!reader.read_u8(tag)) {
+    return DecodeStatus::kTruncated;
+  }
+  switch (static_cast<event::Value::Kind>(tag)) {
+    case event::Value::Kind::kEmpty:
+      out = event::Value();
+      return DecodeStatus::kOk;
+    case event::Value::Kind::kBool: {
+      std::uint8_t byte = 0;
+      if (!reader.read_u8(byte)) {
+        return DecodeStatus::kTruncated;
+      }
+      if (byte > 1) {
+        return DecodeStatus::kBadPayload;
+      }
+      out = event::Value(byte == 1);
+      return DecodeStatus::kOk;
+    }
+    case event::Value::Kind::kInt: {
+      std::uint64_t bits = 0;
+      if (!reader.read_u64(bits)) {
+        return DecodeStatus::kTruncated;
+      }
+      out = event::Value(static_cast<std::int64_t>(bits));
+      return DecodeStatus::kOk;
+    }
+    case event::Value::Kind::kDouble: {
+      std::uint64_t bits = 0;
+      if (!reader.read_u64(bits)) {
+        return DecodeStatus::kTruncated;
+      }
+      out = event::Value(std::bit_cast<double>(bits));
+      return DecodeStatus::kOk;
+    }
+    case event::Value::Kind::kString: {
+      std::uint32_t length = 0;
+      if (!reader.read_u32(length)) {
+        return DecodeStatus::kTruncated;
+      }
+      // Validate against the remaining bytes *before* allocating, so a
+      // corrupted length cannot trigger a giant allocation.
+      const std::uint8_t* data = nullptr;
+      if (!reader.read_bytes(length, data)) {
+        return DecodeStatus::kTruncated;
+      }
+      out = event::Value(
+          std::string(reinterpret_cast<const char*>(data), length));
+      return DecodeStatus::kOk;
+    }
+    case event::Value::Kind::kVector: {
+      std::uint32_t count = 0;
+      if (!reader.read_u32(count)) {
+        return DecodeStatus::kTruncated;
+      }
+      if (reader.remaining() / 8 < count) {
+        return DecodeStatus::kTruncated;
+      }
+      std::vector<double> values;
+      values.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint64_t bits = 0;
+        if (!reader.read_u64(bits)) {
+          return DecodeStatus::kTruncated;
+        }
+        values.push_back(std::bit_cast<double>(bits));
+      }
+      out = event::Value(std::move(values));
+      return DecodeStatus::kOk;
+    }
+  }
+  return DecodeStatus::kBadValueTag;
+}
+
+void encode_header(FrameType type, std::uint64_t seq, event::PhaseId phase,
+                   std::vector<std::uint8_t>& out) {
+  out.clear();
+  out.push_back(kMagic[0]);
+  out.push_back(kMagic[1]);
+  out.push_back(kMagic[2]);
+  put_u8(out, kVersion);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u64(out, seq);
+  put_u64(out, phase);
+}
+
+}  // namespace
+
+const char* to_string(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kOk:
+      return "ok";
+    case DecodeStatus::kTruncated:
+      return "truncated";
+    case DecodeStatus::kBadMagic:
+      return "bad magic";
+    case DecodeStatus::kBadVersion:
+      return "unsupported version";
+    case DecodeStatus::kBadFrameType:
+      return "unknown frame type";
+    case DecodeStatus::kBadValueTag:
+      return "unknown value tag";
+    case DecodeStatus::kBadPayload:
+      return "invalid payload";
+    case DecodeStatus::kTrailingBytes:
+      return "trailing bytes";
+    case DecodeStatus::kOversized:
+      return "oversized frame";
+  }
+  return "unknown status";
+}
+
+void encode_value(const event::Value& value, std::vector<std::uint8_t>& out) {
+  put_u8(out, static_cast<std::uint8_t>(value.kind()));
+  switch (value.kind()) {
+    case event::Value::Kind::kEmpty:
+      break;
+    case event::Value::Kind::kBool:
+      put_u8(out, value.as_bool() ? 1 : 0);
+      break;
+    case event::Value::Kind::kInt:
+      put_u64(out, static_cast<std::uint64_t>(value.as_int()));
+      break;
+    case event::Value::Kind::kDouble:
+      put_u64(out, std::bit_cast<std::uint64_t>(value.as_double()));
+      break;
+    case event::Value::Kind::kString: {
+      const std::string& text = value.as_string();
+      put_u32(out, static_cast<std::uint32_t>(text.size()));
+      out.insert(out.end(), text.begin(), text.end());
+      break;
+    }
+    case event::Value::Kind::kVector: {
+      const std::vector<double>& values = value.as_vector();
+      put_u32(out, static_cast<std::uint32_t>(values.size()));
+      for (const double v : values) {
+        put_u64(out, std::bit_cast<std::uint64_t>(v));
+      }
+      break;
+    }
+  }
+}
+
+DecodeStatus decode_value(std::span<const std::uint8_t> bytes,
+                          std::size_t& cursor, event::Value& out) {
+  Reader reader(bytes);
+  reader.seek(cursor);
+  const DecodeStatus status = decode_value_at(reader, out);
+  if (status == DecodeStatus::kOk) {
+    cursor = reader.cursor();
+  }
+  return status;
+}
+
+void encode_delivery(std::uint64_t seq, event::PhaseId phase,
+                     const core::Delivery& delivery,
+                     std::vector<std::uint8_t>& out) {
+  encode_header(FrameType::kDelivery, seq, phase, out);
+  put_u32(out, delivery.to_index);
+  put_u16(out, delivery.to_port);
+  encode_value(delivery.value, out);
+}
+
+void encode_watermark(std::uint64_t seq, event::PhaseId phase,
+                      std::vector<std::uint8_t>& out) {
+  encode_header(FrameType::kWatermark, seq, phase, out);
+}
+
+DecodeStatus decode_frame(std::span<const std::uint8_t> bytes, Frame& out) {
+  if (bytes.size() > kMaxFrameBytes) {
+    return DecodeStatus::kOversized;
+  }
+  if (bytes.size() < kHeaderBytes) {
+    return DecodeStatus::kTruncated;
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0) {
+    return DecodeStatus::kBadMagic;
+  }
+  Reader reader(bytes);
+  reader.seek(sizeof kMagic);
+  std::uint8_t version = 0;
+  std::uint8_t type = 0;
+  reader.read_u8(version);
+  reader.read_u8(type);
+  if (version != kVersion) {
+    return DecodeStatus::kBadVersion;
+  }
+  reader.read_u64(out.seq);
+  std::uint64_t phase = 0;
+  reader.read_u64(phase);
+  out.phase = phase;
+
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kWatermark:
+      out.type = FrameType::kWatermark;
+      out.delivery = core::Delivery{};
+      break;
+    case FrameType::kDelivery: {
+      out.type = FrameType::kDelivery;
+      if (!reader.read_u32(out.delivery.to_index)) {
+        return DecodeStatus::kTruncated;
+      }
+      std::uint16_t port = 0;
+      if (!reader.read_u16(port)) {
+        return DecodeStatus::kTruncated;
+      }
+      out.delivery.to_port = port;
+      const DecodeStatus status = decode_value_at(reader, out.delivery.value);
+      if (status != DecodeStatus::kOk) {
+        return status;
+      }
+      break;
+    }
+    default:
+      return DecodeStatus::kBadFrameType;
+  }
+  if (reader.remaining() != 0) {
+    return DecodeStatus::kTrailingBytes;
+  }
+  return DecodeStatus::kOk;
+}
+
+}  // namespace df::distrib::wire

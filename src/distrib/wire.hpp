@@ -1,0 +1,95 @@
+// Wire format for cross-partition transport frames (DESIGN.md, "Real
+// transport").
+//
+// The partitioned TransportEngine (distrib/transport.hpp) moves *serialized
+// bytes* between partition engines — unlike the simulated ClusterExecutor,
+// nothing crosses a partition boundary as a live C++ object. This module
+// defines the frame format those bytes follow:
+//
+//   offset  size  field
+//   0       3     magic "DFW"
+//   3       1     version (kVersion; receivers reject anything else)
+//   4       1     frame type (FrameType)
+//   5       8     sequence number, little-endian (per-channel, starts at 0,
+//                 counts every frame; the receiver reassembles the exact
+//                 send order from it and drops duplicates)
+//   13      8     phase id, little-endian
+//   21      ...   type-specific payload
+//
+// kDelivery payload: u32 to_index, u16 to_port, then one encoded Value.
+// kWatermark payload: empty — the phase field *is* the watermark ("every
+// delivery I will ever send for phases <= p precedes this frame").
+//
+// Values serialize as one Kind tag byte (event::Value::Kind, a wire
+// contract) followed by: nothing (empty), u8 0/1 (bool), u64 two's
+// complement (int), u64 bit pattern (double), u32 length + raw bytes
+// (string), u32 count + count doubles (vector).
+//
+// Decoding is total: every read is bounds-checked, length fields are
+// validated against the remaining bytes *before* any allocation, and
+// trailing bytes are rejected, so truncated or corrupted frames produce a
+// DecodeStatus — never undefined behaviour (test_wire.cpp fuzzes exactly
+// this under ASan/UBSan).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/delivery.hpp"
+#include "event/phase.hpp"
+#include "event/value.hpp"
+
+namespace df::distrib::wire {
+
+inline constexpr std::uint8_t kVersion = 1;
+
+/// Sanity bound on a single frame; anything larger is rejected both by the
+/// decoder and by the socket channel's length-prefix reader (a corrupted
+/// length field must not trigger a giant allocation).
+inline constexpr std::size_t kMaxFrameBytes = std::size_t{1} << 22;
+
+enum class FrameType : std::uint8_t {
+  kDelivery = 1,
+  kWatermark = 2,
+};
+
+/// One decoded frame. `delivery` is meaningful only for kDelivery.
+struct Frame {
+  FrameType type = FrameType::kWatermark;
+  std::uint64_t seq = 0;
+  event::PhaseId phase = 0;
+  core::Delivery delivery;
+};
+
+enum class DecodeStatus : std::uint8_t {
+  kOk = 0,
+  kTruncated,      // frame ends before a required field
+  kBadMagic,       // not a DFW frame
+  kBadVersion,     // version this decoder does not speak
+  kBadFrameType,   // unknown FrameType
+  kBadValueTag,    // unknown Value::Kind tag
+  kBadPayload,     // structurally invalid payload (e.g. bool not 0/1)
+  kTrailingBytes,  // frame longer than its content
+  kOversized,      // exceeds kMaxFrameBytes
+};
+
+const char* to_string(DecodeStatus status);
+
+/// Replaces `out` with the encoded frame.
+void encode_delivery(std::uint64_t seq, event::PhaseId phase,
+                     const core::Delivery& delivery,
+                     std::vector<std::uint8_t>& out);
+void encode_watermark(std::uint64_t seq, event::PhaseId phase,
+                      std::vector<std::uint8_t>& out);
+
+/// Decodes one complete frame; `out` is valid only when kOk is returned.
+DecodeStatus decode_frame(std::span<const std::uint8_t> bytes, Frame& out);
+
+// Value-level encode/append and decode, exposed for the round-trip fuzz
+// tests; decode_value advances `cursor` past the consumed bytes.
+void encode_value(const event::Value& value, std::vector<std::uint8_t>& out);
+DecodeStatus decode_value(std::span<const std::uint8_t> bytes,
+                          std::size_t& cursor, event::Value& out);
+
+}  // namespace df::distrib::wire

@@ -15,6 +15,9 @@ namespace df::event {
 
 class Value {
  public:
+  /// Alternative order is a wire contract: Kind below mirrors it and the
+  /// transport frame format (distrib/wire.hpp) serializes Kind values
+  /// verbatim, so alternatives may be appended but never reordered.
   using Storage = std::variant<std::monostate, bool, std::int64_t, double,
                                std::string, std::vector<double>>;
 
@@ -26,6 +29,19 @@ class Value {
   Value(std::string v) : storage_(std::move(v)) {}      // NOLINT(google-explicit-constructor)
   Value(const char* v) : storage_(std::string(v)) {}    // NOLINT(google-explicit-constructor)
   Value(std::vector<double> v) : storage_(std::move(v)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Stable discriminant for serialization; numeric values are part of the
+  /// wire format and must never be renumbered.
+  enum class Kind : std::uint8_t {
+    kEmpty = 0,
+    kBool = 1,
+    kInt = 2,
+    kDouble = 3,
+    kString = 4,
+    kVector = 5,
+  };
+
+  Kind kind() const { return static_cast<Kind>(storage_.index()); }
 
   bool is_empty() const {
     return std::holds_alternative<std::monostate>(storage_);

@@ -130,6 +130,25 @@ Partitioning partition_min_cut(const Dag& dag, const Numbering& numbering,
   return partitioning;
 }
 
+void validate_partition_cut(const Partitioning& partitioning, std::uint32_t n,
+                            std::size_t expected_blocks) {
+  DF_CHECK(expected_blocks >= 1, "need at least one block");
+  DF_CHECK(partitioning.bounds.size() == expected_blocks + 1,
+           "partitioning has ", partitioning.bounds.size() - 1,
+           " blocks, expected ", expected_blocks);
+  DF_CHECK(partitioning.bounds.front() == 0,
+           "partition bounds must start at 0, got ",
+           partitioning.bounds.front());
+  DF_CHECK(partitioning.bounds.back() == n,
+           "partitioning covers 1..", partitioning.bounds.back(),
+           " but the graph has ", n, " vertices");
+  for (std::size_t k = 0; k + 1 < partitioning.bounds.size(); ++k) {
+    DF_CHECK(partitioning.bounds[k] <= partitioning.bounds[k + 1],
+             "partition bounds decrease at block ", k, ": ",
+             partitioning.bounds[k], " > ", partitioning.bounds[k + 1]);
+  }
+}
+
 ShardMap make_shard_map(const Partitioning& partitioning) {
   DF_CHECK(partitioning.bounds.size() >= 2 && partitioning.bounds.front() == 0,
            "partitioning has no blocks");

@@ -49,6 +49,16 @@ Partitioning partition_weighted(const Numbering& numbering,
 Partitioning partition_min_cut(const Dag& dag, const Numbering& numbering,
                                std::size_t blocks, std::uint32_t slack = 8);
 
+/// The one partition-cut validator every consumer of a cut shares (the
+/// simulated distrib::ClusterExecutor and the real distrib::TransportEngine):
+/// DF_CHECKs that `partitioning` has exactly `expected_blocks` blocks whose
+/// bounds start at 0, end at `n`, and never decrease. Empty (degenerate)
+/// blocks are legal — a machine that owns no vertices still participates in
+/// watermark forwarding — but coverage gaps, overlaps, and out-of-range
+/// bounds are not.
+void validate_partition_cut(const Partitioning& partitioning, std::uint32_t n,
+                            std::size_t expected_blocks);
+
 /// A Partitioning flattened for O(1) vertex->shard lookup on hot paths.
 /// The sharded scheduler (core/sharded_scheduler.hpp) aligns its state
 /// segments and locks with these blocks: because the numbering sends every

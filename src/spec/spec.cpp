@@ -42,6 +42,10 @@ ComputationSpec parse_spec(const std::string& xml_text) {
     spec.simulation.max_inflight_phases =
         support::parse_uint(sim->attribute_or("max_inflight", "64"))
             .value_or(64);
+    spec.simulation.machines =
+        support::parse_uint(sim->attribute_or("machines", "1")).value_or(1);
+    DF_CHECK(spec.simulation.machines >= 1,
+             "simulation machines must be >= 1");
   }
 
   const XmlNode* graph_node = root.child("graph");
@@ -120,6 +124,7 @@ std::string ComputationSpec::to_xml_text() const {
   sim.attributes["threads"] = std::to_string(simulation.threads);
   sim.attributes["max_inflight"] =
       std::to_string(simulation.max_inflight_phases);
+  sim.attributes["machines"] = std::to_string(simulation.machines);
   root.children.push_back(std::move(sim));
 
   XmlNode graph_node;

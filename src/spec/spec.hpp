@@ -50,6 +50,9 @@ struct SimulationSpec {
   std::uint64_t seed = 0xdf5eedULL;
   std::size_t threads = 2;
   std::size_t max_inflight_phases = 64;
+  /// Partition count for distributed execution (distrib::TransportEngine);
+  /// 1 means single-machine. Consumed by run_spec --executor=transport.
+  std::size_t machines = 1;
 };
 
 struct ComputationSpec {

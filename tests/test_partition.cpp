@@ -53,6 +53,38 @@ TEST(Partition, SingleBlockAndRejections) {
                support::check_error);
 }
 
+TEST(Partition, ValidatorAcceptsDegenerateCutsAndRejectsInvalidOnes) {
+  // Empty blocks are legal (regression: only balanced cuts used to be
+  // exercised, and an empty block slipping into an executor was untested);
+  // gaps, overlaps, and coverage errors are not.
+  graph::Partitioning degenerate;
+  degenerate.bounds = {0, 0, 4, 4, 9, 9};
+  graph::validate_partition_cut(degenerate, 9, 5);
+
+  // block_of stays consistent across empty neighbours: the empty blocks
+  // own nothing and every index maps into a non-empty block.
+  EXPECT_EQ(degenerate.block_of(1), 1U);
+  EXPECT_EQ(degenerate.block_of(4), 1U);
+  EXPECT_EQ(degenerate.block_of(5), 3U);
+  EXPECT_EQ(degenerate.block_of(9), 3U);
+
+  graph::Partitioning bad;
+  bad.bounds = {1, 9};
+  EXPECT_THROW(graph::validate_partition_cut(bad, 9, 1),
+               support::check_error);
+  bad.bounds = {0, 8};
+  EXPECT_THROW(graph::validate_partition_cut(bad, 9, 1),
+               support::check_error);
+  bad.bounds = {0, 5, 3, 9};
+  EXPECT_THROW(graph::validate_partition_cut(bad, 9, 3),
+               support::check_error);
+  bad.bounds = {0, 9};
+  EXPECT_THROW(graph::validate_partition_cut(bad, 9, 2),
+               support::check_error);
+  EXPECT_THROW(graph::validate_partition_cut(bad, 9, 0),
+               support::check_error);
+}
+
 TEST(Partition, ShardMapAgreesWithBlockOf) {
   support::Rng rng(5);
   const graph::Dag dag = graph::random_dag(23, 0.3, rng);

@@ -17,7 +17,8 @@ namespace {
 
 constexpr const char* kSpecText = R"(<?xml version="1.0"?>
 <computation>
-  <simulation timesteps="240" seed="42" threads="3" max_inflight="16"/>
+  <simulation timesteps="240" seed="42" threads="3" max_inflight="16"
+              machines="3"/>
   <graph>
     <vertex id="temp"  type="temperature" base="20" amplitude="8"
             period="24" noise="0.5" report_delta="0.5"/>
@@ -34,6 +35,7 @@ TEST(Spec, ParsesSimulationAndGraph) {
   EXPECT_EQ(spec.simulation.seed, 42U);
   EXPECT_EQ(spec.simulation.threads, 3U);
   EXPECT_EQ(spec.simulation.max_inflight_phases, 16U);
+  EXPECT_EQ(spec.simulation.machines, 3U);
   ASSERT_EQ(spec.vertices.size(), 3U);
   EXPECT_EQ(spec.vertices[0].id, "temp");
   EXPECT_EQ(spec.vertices[0].type, "temperature");
@@ -51,6 +53,7 @@ TEST(Spec, AutoAssignsInputPorts) {
   </graph></computation>)");
   EXPECT_EQ(spec.edges[0].to_port, 0);
   EXPECT_EQ(spec.edges[1].to_port, 1);  // next free port
+  EXPECT_EQ(spec.simulation.machines, 1U);  // default: single machine
 }
 
 TEST(Spec, ExplicitPortsRespected) {
@@ -77,6 +80,7 @@ TEST(Spec, RoundTripsThroughXml) {
   const ComputationSpec spec = parse_spec(kSpecText);
   const ComputationSpec again = parse_spec(spec.to_xml_text());
   EXPECT_EQ(again.simulation.timesteps, spec.simulation.timesteps);
+  EXPECT_EQ(again.simulation.machines, spec.simulation.machines);
   EXPECT_EQ(again.vertices.size(), spec.vertices.size());
   EXPECT_EQ(again.edges.size(), spec.edges.size());
   EXPECT_EQ(again.vertices[0].params, spec.vertices[0].params);
