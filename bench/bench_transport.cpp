@@ -101,6 +101,14 @@ int main(int argc, char** argv) {
                   reference_s / stats.wall_seconds)
           .metric("frames_sent", tstats.frames_sent)
           .metric("bytes_sent", tstats.bytes_sent)
+          .metric("batch_frames_sent", tstats.batch_frames_sent)
+          .metric("batched_deliveries", tstats.batched_deliveries)
+          .metric("frames_per_phase",
+                  static_cast<double>(tstats.frames_sent) /
+                      static_cast<double>(phases))
+          .metric("bytes_per_phase",
+                  static_cast<double>(tstats.bytes_sent) /
+                      static_cast<double>(phases))
           .metric("remote_messages", tstats.remote_messages)
           .metric("remote_frac", remote_frac)
           .emit();

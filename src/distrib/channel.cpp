@@ -135,6 +135,11 @@ std::unique_ptr<SocketChannel> SocketChannel::make_loopback() {
   return std::unique_ptr<SocketChannel>(new SocketChannel(client, server));
 }
 
+std::unique_ptr<SocketChannel> SocketChannel::adopt(int write_fd,
+                                                    int read_fd) {
+  return std::unique_ptr<SocketChannel>(new SocketChannel(write_fd, read_fd));
+}
+
 SocketChannel::~SocketChannel() {
   if (write_fd_ >= 0) {
     ::close(write_fd_);
@@ -146,43 +151,42 @@ SocketChannel::~SocketChannel() {
 
 void SocketChannel::send(std::span<const std::uint8_t> frame) {
   DF_CHECK(frame.size() <= wire::kMaxFrameBytes, "frame too large");
+  DF_CHECK(write_fd_ >= 0, "send on a receive-only socket channel");
   if (broken_.load(std::memory_order_relaxed)) {
     return;  // receiver closed its end; the run is tearing down
   }
-  std::uint8_t prefix[4];
+  // One send() per frame: assemble prefix + payload in the reused scratch
+  // so the kernel sees the frame as a single write (with TCP_NODELAY a
+  // separate prefix write would go out as its own 4-byte segment).
   const auto size = static_cast<std::uint32_t>(frame.size());
+  send_buf_.clear();
   for (int i = 0; i < 4; ++i) {
-    prefix[i] = static_cast<std::uint8_t>(size >> (8 * i));
+    send_buf_.push_back(static_cast<std::uint8_t>(size >> (8 * i)));
   }
+  send_buf_.insert(send_buf_.end(), frame.begin(), frame.end());
 
-  const auto write_all = [&](const std::uint8_t* data,
-                             std::size_t count) -> bool {
-    std::size_t written = 0;
-    while (written < count) {
-      // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not SIGPIPE.
-      const ssize_t result = ::send(write_fd_, data + written,
-                                    count - written, MSG_NOSIGNAL);
-      if (result < 0) {
-        if (errno == EINTR) {
-          continue;
-        }
-        DF_CHECK(errno == EPIPE || errno == ECONNRESET,
-                 "socket send failed: ", std::strerror(errno));
-        broken_.store(true, std::memory_order_relaxed);
-        return false;
+  std::size_t written = 0;
+  while (written < send_buf_.size()) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not SIGPIPE.
+    const ssize_t result = ::send(write_fd_, send_buf_.data() + written,
+                                  send_buf_.size() - written, MSG_NOSIGNAL);
+    if (result < 0) {
+      if (errno == EINTR) {
+        continue;
       }
-      written += static_cast<std::size_t>(result);
+      DF_CHECK(errno == EPIPE || errno == ECONNRESET,
+               "socket send failed: ", std::strerror(errno));
+      broken_.store(true, std::memory_order_relaxed);
+      return;
     }
-    return true;
-  };
-
-  if (write_all(prefix, sizeof prefix)) {
-    write_all(frame.data(), frame.size());
+    written += static_cast<std::size_t>(result);
   }
 }
 
 void SocketChannel::close_send() {
-  ::shutdown(write_fd_, SHUT_WR);
+  if (write_fd_ >= 0) {
+    ::shutdown(write_fd_, SHUT_WR);
+  }
 }
 
 bool SocketChannel::recv(std::vector<std::uint8_t>& frame) {

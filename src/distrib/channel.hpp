@@ -83,13 +83,23 @@ class InProcessChannel final : public Channel {
 
 /// Loopback-TCP channel: frames travel as u32 little-endian length prefixes
 /// followed by the frame bytes. One connected socket per channel; the
-/// sender owns the write end, the receiver the read end.
+/// sender owns the write end, the receiver the read end. Each frame goes
+/// out as a *single* send() syscall — prefix and payload are assembled in
+/// a reused scratch buffer first — so TCP_NODELAY never splits a frame
+/// across segments needlessly and the per-frame syscall count is one.
 class SocketChannel final : public Channel {
  public:
   /// Builds a connected loopback pair (listen on 127.0.0.1:0, connect,
   /// accept) and returns the ready channel. Throws check_error on any
   /// socket failure.
   static std::unique_ptr<SocketChannel> make_loopback();
+
+  /// Wraps already-connected descriptors (ownership transfers; pass -1 for
+  /// a side this endpoint does not use, e.g. a receive-only channel). This
+  /// is the deployment seam — a remote connect/accept produces fds, this
+  /// turns them into a Channel — and the hook tests use to inject raw
+  /// stream conditions like a half-written frame.
+  static std::unique_ptr<SocketChannel> adopt(int write_fd, int read_fd);
 
   ~SocketChannel() override;
 
@@ -103,6 +113,9 @@ class SocketChannel final : public Channel {
 
   int write_fd_;
   int read_fd_;
+  /// Sender-side scratch assembling length prefix + payload for the single
+  /// send() per frame; capacity persists across frames.
+  std::vector<std::uint8_t> send_buf_;
   /// Set when a send hit a dead peer (EPIPE/ECONNRESET after the receiver
   /// closed); later sends drop immediately.
   std::atomic<bool> broken_{false};

@@ -27,24 +27,47 @@ class peer_closed_error : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// A batch flushes as soon as its payload reaches this size, so memory per
+/// egress link stays bounded no matter how chatty a phase is (multiple
+/// batch frames per phase are legal; each carries the same phase id).
+constexpr std::size_t kBatchFlushBytes = std::size_t{48} * 1024;
+
 /// Sender side of one egress channel: assigns the per-channel sequence
-/// numbers and owns the encode scratch buffer.
+/// numbers, accumulates the current phase's deliveries into one
+/// kDeliveryBatch frame (encoded incrementally — nothing is staged as live
+/// objects), and owns the encode scratch buffer. Both buffers retain their
+/// capacity across phases, so a warmed-up sender encodes and flushes with
+/// zero allocations.
 struct EgressLink {
   explicit EgressLink(Channel* channel) : channel(channel) {}
 
   Channel* channel;
   std::uint64_t next_seq = 0;
   std::vector<std::uint8_t> buf;
+  wire::BatchEncoder batch;
 
-  void send_delivery(event::PhaseId phase, const core::Delivery& delivery,
-                     TransportStats& stats) {
-    wire::encode_delivery(next_seq++, phase, delivery, buf);
+  void add_delivery(event::PhaseId phase, const core::Delivery& delivery,
+                    TransportStats& stats) {
+    batch.add(delivery);
+    if (batch.payload_bytes() >= kBatchFlushBytes) {
+      flush(phase, stats);
+    }
+  }
+
+  void flush(event::PhaseId phase, TransportStats& stats) {
+    if (batch.pending() == 0) {
+      return;
+    }
+    stats.batched_deliveries += batch.pending();
+    batch.finish(next_seq++, phase, buf);
     channel->send(buf);
     ++stats.frames_sent;
+    ++stats.batch_frames_sent;
     stats.bytes_sent += buf.size();
   }
 
   void send_watermark(event::PhaseId phase, TransportStats& stats) {
+    flush(phase, stats);
     wire::encode_watermark(next_seq++, phase, buf);
     channel->send(buf);
     ++stats.frames_sent;
@@ -53,14 +76,56 @@ struct EgressLink {
   }
 };
 
-/// One entry of an engine's ingress queue: a decoded frame from upstream
+/// Recycles received-frame buffers between the engine thread (which
+/// releases each consumed frame) and its reader threads (which acquire one
+/// before every recv). In steady state every buffer in flight came from
+/// here with its capacity intact, so ingestion performs no per-frame
+/// allocations. The lock is uncontended in practice: batching makes frames
+/// rare (a couple per channel per phase).
+class BufferPool {
+ public:
+  std::vector<std::uint8_t> acquire() {
+    std::lock_guard lock(mutex_);
+    if (pool_.empty()) {
+      return {};
+    }
+    std::vector<std::uint8_t> buf = std::move(pool_.back());
+    pool_.pop_back();
+    return buf;
+  }
+
+  void release(std::vector<std::uint8_t>&& buf) {
+    buf.clear();
+    std::lock_guard lock(mutex_);
+    if (pool_.size() < kMaxPooled) {
+      pool_.push_back(std::move(buf));
+    }
+  }
+
+ private:
+  static constexpr std::size_t kMaxPooled = 64;
+  std::mutex mutex_;
+  std::vector<std::vector<std::uint8_t>> pool_;
+};
+
+/// One received frame travelling from a reader to the engine: the decoded
+/// header plus the raw encoded bytes (already validated by the reader; the
+/// payload is decoded only by the engine, straight into its input
+/// bundles). `bytes` is a pooled buffer and returns to the pool once the
+/// engine has consumed the frame.
+struct RawFrame {
+  wire::FrameHeader header;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// One entry of an engine's ingress queue: a validated frame from upstream
 /// block `src`, or (with `closed`) that channel's end-of-stream marker,
-/// carrying the reader's error if decoding failed.
+/// carrying the reader's error if validation failed.
 struct IngressItem {
   std::size_t src = 0;
   bool closed = false;
   std::exception_ptr error;
-  wire::Frame frame;
+  RawFrame frame;
 };
 
 /// Bounded MPSC queue between an engine's channel readers (one producer
@@ -114,16 +179,19 @@ class IngressQueue {
 /// needs no synchronization of its own.
 class IngressSequencer {
  public:
-  /// Accepts one decoded frame: duplicates are counted and dropped, early
-  /// arrivals parked, and every frame that completes the sequence moves to
-  /// the in-order ready queue.
-  void feed(wire::Frame&& frame) {
+  /// Accepts one validated frame: duplicates are counted and dropped (their
+  /// buffers recycled), early arrivals parked, and every frame that
+  /// completes the sequence moves to the in-order ready queue.
+  void feed(RawFrame&& frame, BufferPool& pool) {
     ++frames_received_;
-    if (frame.seq < next_seq_ || out_of_order_.contains(frame.seq)) {
+    bytes_received_ += frame.bytes.size();
+    if (frame.header.seq < next_seq_ ||
+        out_of_order_.contains(frame.header.seq)) {
       ++duplicates_dropped_;
+      pool.release(std::move(frame.bytes));
       return;
     }
-    out_of_order_.emplace(frame.seq, std::move(frame));
+    out_of_order_.emplace(frame.header.seq, std::move(frame));
     while (!out_of_order_.empty() &&
            out_of_order_.begin()->first == next_seq_) {
       ready_.push_back(std::move(out_of_order_.begin()->second));
@@ -132,23 +200,16 @@ class IngressSequencer {
     }
   }
 
-  /// Consumes ready frames up to and including the phase-p watermark,
-  /// appending phase-p deliveries (in the sender's emission order) to
-  /// `out`. Returns false when the watermark has not been reassembled yet
-  /// (already-consumed deliveries stay consumed; callers feed more frames
-  /// and retry).
-  bool take_phase(event::PhaseId p, std::vector<core::Delivery>& out) {
-    while (!ready_.empty()) {
-      wire::Frame frame = std::move(ready_.front());
-      ready_.pop_front();
-      DF_CHECK(frame.phase == p, "frame for phase ", frame.phase,
-               " inside phase ", p, "'s window (protocol violation)");
-      if (frame.type == wire::FrameType::kWatermark) {
-        return true;
-      }
-      out.push_back(std::move(frame.delivery));
+  /// Pops the next in-order frame, if one is ready. The engine consumes
+  /// frames one at a time, stopping at each watermark — frames past the
+  /// current phase's watermark stay queued until that phase's window.
+  bool next_ready(RawFrame& out) {
+    if (ready_.empty()) {
+      return false;
     }
-    return false;
+    out = std::move(ready_.front());
+    ready_.pop_front();
+    return true;
   }
 
   void mark_closed() { closed_ = true; }
@@ -164,30 +225,41 @@ class IngressSequencer {
   }
 
   std::uint64_t frames_received() const { return frames_received_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
   std::uint64_t duplicates_dropped() const { return duplicates_dropped_; }
 
  private:
   std::uint64_t next_seq_ = 0;
-  std::map<std::uint64_t, wire::Frame> out_of_order_;
-  std::deque<wire::Frame> ready_;
+  std::map<std::uint64_t, RawFrame> out_of_order_;
+  std::deque<RawFrame> ready_;
   bool closed_ = false;
   std::uint64_t frames_received_ = 0;
+  std::uint64_t bytes_received_ = 0;
   std::uint64_t duplicates_dropped_ = 0;
 };
 
-/// Body of one channel-reader thread: blocking-receive frames, decode them
-/// off the engine's critical path, and hand them to the engine through the
-/// bounded queue. Always ends by pushing the channel's closed marker.
-void reader_main(Channel* channel, std::size_t src, IngressQueue& queue) {
-  std::vector<std::uint8_t> buf;
+/// Body of one channel-reader thread: blocking-receive frames into pooled
+/// buffers, validate them (a bounds-checked structural walk — corruption
+/// dies here, off the engine's critical path, without allocating), and
+/// hand the raw bytes to the engine through the bounded queue. Always ends
+/// by pushing the channel's closed marker.
+void reader_main(Channel* channel, std::size_t src, IngressQueue& queue,
+                 BufferPool& pool) {
   std::exception_ptr error;
   try {
-    while (channel->recv(buf)) {
+    for (;;) {
+      std::vector<std::uint8_t> buf = pool.acquire();
+      if (!channel->recv(buf)) {
+        pool.release(std::move(buf));
+        break;
+      }
       IngressItem item;
       item.src = src;
-      const wire::DecodeStatus status = wire::decode_frame(buf, item.frame);
+      const wire::DecodeStatus status = wire::validate_frame(buf);
       DF_CHECK(status == wire::DecodeStatus::kOk,
                "rejected ingress frame: ", wire::to_string(status));
+      wire::decode_header(buf, item.frame.header);
+      item.frame.bytes = std::move(buf);
       queue.push(std::move(item));
     }
   } catch (...) {
@@ -198,7 +270,8 @@ void reader_main(Channel* channel, std::size_t src, IngressQueue& queue) {
     // egress channels and deadlocking the ensemble. The error is already
     // captured; it rides the closed marker once EOF arrives.
     try {
-      while (channel->recv(buf)) {
+      std::vector<std::uint8_t> discard;
+      while (channel->recv(discard)) {
       }
     } catch (...) {
     }
@@ -228,6 +301,7 @@ struct TransportEngine::EngineState {
   std::vector<Channel*> ingress_channels;
   std::vector<IngressSequencer> sequencers;
   std::unique_ptr<IngressQueue> queue;
+  BufferPool pool;  // recycles frame buffers engine -> readers
   std::vector<EgressLink> egress;  // to blocks block+1.., ascending
   std::vector<std::vector<event::ExternalEvent>> events;  // [phase - 1]
   core::ExecStats stats;
@@ -264,7 +338,7 @@ void TransportEngine::engine_main(EngineState& state,
   readers.reserve(state.ingress_channels.size());
   for (std::size_t j = 0; j < state.ingress_channels.size(); ++j) {
     readers.emplace_back(reader_main, state.ingress_channels[j], j,
-                         std::ref(*state.queue));
+                         std::ref(*state.queue), std::ref(state.pool));
   }
   std::size_t open_channels = state.ingress_channels.size();
 
@@ -281,7 +355,7 @@ void TransportEngine::engine_main(EngineState& state,
       }
       return;
     }
-    state.sequencers[item.src].feed(std::move(item.frame));
+    state.sequencers[item.src].feed(std::move(item.frame), state.pool);
   };
 
   try {
@@ -290,7 +364,21 @@ void TransportEngine::engine_main(EngineState& state,
     // Messages waiting per vertex within the current phase; only this
     // block's slots are ever populated (plus the check below proves it).
     std::vector<std::optional<event::InputBundle>> pending(n + 1);
-    std::vector<core::Delivery> remote;
+
+    // Routes one remote delivery into its pending bundle. Batch payloads
+    // decode straight into this — one Value materialization per delivery,
+    // no intermediate collection.
+    const auto deliver_remote = [this, &state, &pending,
+                                 n](core::Delivery&& d) {
+      DF_CHECK(d.to_index >= 1 && d.to_index <= n &&
+                   owner_[d.to_index] == state.block,
+               "misrouted delivery for internal index ", d.to_index);
+      if (!pending[d.to_index].has_value()) {
+        pending[d.to_index].emplace();
+      }
+      pending[d.to_index]->push_back(
+          event::Message{d.to_port, std::move(d.value)});
+    };
 
     for (event::PhaseId p = 1; p <= num_phases; ++p) {
       // Phase-advance handshake: ingest every upstream block's phase-p
@@ -299,27 +387,59 @@ void TransportEngine::engine_main(EngineState& state,
       // order, the order the sequential reference applies them in. While
       // logically waiting for one channel the engine still consumes the
       // shared queue, so every ingress channel keeps draining (the
-      // no-deadlock argument in DESIGN.md rests on this).
-      remote.clear();
+      // no-deadlock argument in DESIGN.md rests on this). Stopping at each
+      // watermark keeps frames the sender pipelined ahead (later phases)
+      // queued until their own window.
       for (IngressSequencer& in : state.sequencers) {
-        while (!in.take_phase(p, remote)) {
-          if (in.closed()) {
-            throw peer_closed_error(
-                "upstream partition closed its channel before phase " +
-                std::to_string(p) + " completed");
+        for (bool watermark = false; !watermark;) {
+          RawFrame raw;
+          if (!in.next_ready(raw)) {
+            if (in.closed()) {
+              throw peer_closed_error(
+                  "upstream partition closed its channel before phase " +
+                  std::to_string(p) + " completed");
+            }
+            ingest_one();
+            continue;
           }
-          ingest_one();
+          DF_CHECK(raw.header.phase == p, "frame for phase ",
+                   raw.header.phase, " inside phase ", p,
+                   "'s window (protocol violation)");
+          switch (raw.header.type) {
+            case wire::FrameType::kWatermark:
+              watermark = true;
+              break;
+            case wire::FrameType::kDeliveryBatch: {
+              // The reader already validated the frame; these statuses are
+              // protocol assertions, not reachable decode paths.
+              wire::BatchReader batch;
+              wire::DecodeStatus status = batch.open(raw.bytes);
+              DF_CHECK(status == wire::DecodeStatus::kOk,
+                       "batch frame failed to reopen: ",
+                       wire::to_string(status));
+              core::Delivery d;
+              while (batch.remaining() > 0) {
+                status = batch.next(d);
+                DF_CHECK(status == wire::DecodeStatus::kOk,
+                         "batched delivery failed to decode: ",
+                         wire::to_string(status));
+                deliver_remote(std::move(d));
+              }
+              break;
+            }
+            case wire::FrameType::kDelivery: {
+              wire::Frame frame;
+              const wire::DecodeStatus status =
+                  wire::decode_frame(raw.bytes, frame);
+              DF_CHECK(status == wire::DecodeStatus::kOk,
+                       "delivery frame failed to reopen: ",
+                       wire::to_string(status));
+              deliver_remote(std::move(frame.delivery));
+              break;
+            }
+          }
+          state.pool.release(std::move(raw.bytes));
         }
-      }
-      for (core::Delivery& d : remote) {
-        DF_CHECK(d.to_index >= 1 && d.to_index <= n &&
-                     owner_[d.to_index] == state.block,
-                 "misrouted delivery for internal index ", d.to_index);
-        if (!pending[d.to_index].has_value()) {
-          pending[d.to_index].emplace();
-        }
-        pending[d.to_index]->push_back(
-            event::Message{d.to_port, std::move(d.value)});
       }
       for (const event::ExternalEvent& ev : state.events[p - 1]) {
         const std::uint32_t index = instance.internal_index(ev.vertex);
@@ -358,8 +478,8 @@ void TransportEngine::engine_main(EngineState& state,
                 event::Message{d.to_port, std::move(d.value)});
             ++state.tstats.local_messages;
           } else {
-            state.egress[dest - state.block - 1].send_delivery(p, d,
-                                                               state.tstats);
+            state.egress[dest - state.block - 1].add_delivery(p, d,
+                                                              state.tstats);
             ++state.tstats.remote_messages;
           }
           ++state.stats.messages_delivered;
@@ -409,6 +529,7 @@ void TransportEngine::engine_main(EngineState& state,
   }
   for (const IngressSequencer& in : state.sequencers) {
     state.tstats.frames_received += in.frames_received();
+    state.tstats.bytes_received += in.bytes_received();
     state.tstats.duplicates_dropped += in.duplicates_dropped();
   }
 }
@@ -501,6 +622,9 @@ void TransportEngine::run(event::PhaseId num_phases, core::PhaseFeed* feed) {
     transport_stats_.frames_sent += state.tstats.frames_sent;
     transport_stats_.frames_received += state.tstats.frames_received;
     transport_stats_.bytes_sent += state.tstats.bytes_sent;
+    transport_stats_.bytes_received += state.tstats.bytes_received;
+    transport_stats_.batch_frames_sent += state.tstats.batch_frames_sent;
+    transport_stats_.batched_deliveries += state.tstats.batched_deliveries;
     transport_stats_.watermarks_sent += state.tstats.watermarks_sent;
     transport_stats_.duplicates_dropped += state.tstats.duplicates_dropped;
     transport_stats_.remote_messages += state.tstats.remote_messages;

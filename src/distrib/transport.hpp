@@ -14,16 +14,24 @@
 //     wire-encoded frames (distrib/wire.hpp) — cross-partition traffic is
 //     forward-only, the invariant the numbering guarantees, so no backward
 //     channels exist;
-//   * a cross-partition delivery is encoded as a kDelivery frame and sent
-//     to the owner block; after finishing phase p, an engine sends a
-//     kWatermark frame ("all my phase <= p deliveries precede this") on
-//     every egress channel — that watermark is the phase-advance handshake:
-//     a receiving engine starts phase p only after reassembling watermark p
-//     from every upstream block;
+//   * cross-partition deliveries accumulate per egress channel and travel
+//     as coalesced kDeliveryBatch frames (wire v2: one header + seq/phase
+//     for the whole flush, varint-delta addressing, dense value encoding);
+//     a batch is flushed when it reaches the flush threshold and before the
+//     phase's kWatermark frame ("all my phase <= p deliveries precede
+//     this") goes out on every egress channel — that watermark is the
+//     phase-advance handshake: a receiving engine starts phase p only after
+//     reassembling watermark p from every upstream block;
 //   * the receiver ingests remote frames through a per-channel sequencer
 //     that restores exact send order from frame sequence numbers and drops
 //     duplicates, so exactly-once in-order ingestion survives duplicating,
-//     reordering, and delaying channels (FaultInjectingChannel);
+//     reordering, and delaying channels (FaultInjectingChannel). Reader
+//     threads only *validate* frames (bounds-checked structural walk, no
+//     allocation); the raw bytes ride pooled buffers through the sequencer
+//     and the engine decodes batches straight into its pending input
+//     bundles — payload bytes are copied exactly once, from the received
+//     frame into the final event::Value, and steady-state ingestion
+//     recycles every buffer it touches;
 //   * pipelining happens *across* blocks: block 0 may be phases ahead of
 //     block k, bounded by channel capacity (in-process ring) or the kernel
 //     socket buffer — the transport's backpressure.
@@ -75,14 +83,22 @@ struct TransportOptions {
       channel_wrapper;
 };
 
+/// Per-run wire accounting, summed over every engine. The differential
+/// suite asserts a frames-per-phase ceiling on these (at most one batch
+/// flush plus one watermark per channel per phase for sub-threshold
+/// traffic), so a batching regression fails CI instead of only showing up
+/// in bench_transport.
 struct TransportStats {
-  std::uint64_t frames_sent = 0;       // delivery + watermark frames
-  std::uint64_t frames_received = 0;   // includes duplicates
-  std::uint64_t bytes_sent = 0;        // encoded frame bytes (no prefixes)
+  std::uint64_t frames_sent = 0;        // delivery + batch + watermark frames
+  std::uint64_t frames_received = 0;    // includes duplicates
+  std::uint64_t bytes_sent = 0;         // encoded frame bytes (no prefixes)
+  std::uint64_t bytes_received = 0;     // encoded frame bytes (incl. dups)
+  std::uint64_t batch_frames_sent = 0;  // kDeliveryBatch frames
+  std::uint64_t batched_deliveries = 0; // deliveries carried inside batches
   std::uint64_t watermarks_sent = 0;
   std::uint64_t duplicates_dropped = 0;
-  std::uint64_t remote_messages = 0;   // deliveries that crossed a boundary
-  std::uint64_t local_messages = 0;    // deliveries within a block
+  std::uint64_t remote_messages = 0;    // deliveries that crossed a boundary
+  std::uint64_t local_messages = 0;     // deliveries within a block
 };
 
 class TransportEngine final : public core::Executor {

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -28,10 +29,16 @@ class Value {
   Value(double v) : storage_(v) {}                      // NOLINT(google-explicit-constructor)
   Value(std::string v) : storage_(std::move(v)) {}      // NOLINT(google-explicit-constructor)
   Value(const char* v) : storage_(std::string(v)) {}    // NOLINT(google-explicit-constructor)
+  /// Builds the string in place from a byte range — the wire decoder's
+  /// path from a received frame buffer into a Value with exactly one copy.
+  Value(std::string_view v) : storage_(std::string(v)) {}  // NOLINT(google-explicit-constructor)
   Value(std::vector<double> v) : storage_(std::move(v)) {}  // NOLINT(google-explicit-constructor)
 
   /// Stable discriminant for serialization; numeric values are part of the
-  /// wire format and must never be renumbered.
+  /// wire format and must never be renumbered. The transport's value
+  /// encoding (distrib/wire.hpp) serializes these verbatim as tags 0..5 and
+  /// appends dense wire-only tags after them, so alternatives may be
+  /// appended here but never reordered.
   enum class Kind : std::uint8_t {
     kEmpty = 0,
     kBool = 1,

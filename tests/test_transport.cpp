@@ -20,7 +20,11 @@
 //     `transport` ctest label; runs under TSan in CI).
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
 #include <cstring>
 #include <memory>
 #include <stdexcept>
@@ -82,8 +86,28 @@ TEST_P(TransportDifferential, MatchesSequentialOnBothChannelKinds) {
           << " seed=" << seed << "\n"
           << report.summary();
       EXPECT_GT(report.reference_records, 0U) << "workload produced no output";
-      if (machines > 1) {
-        EXPECT_GT(transport.transport_stats().watermarks_sent, 0U);
+
+      // Batching ceiling: with one channel per ordered pair (j, k), j < k,
+      // a phase costs each channel at most one watermark plus one coalesced
+      // kDeliveryBatch flush (this corpus never reaches the flush
+      // threshold), so total frames are bounded by 2 * phases * channels.
+      // The v1 one-frame-per-delivery wire would blow through this on any
+      // seed whose remote traffic exceeds phases * channels.
+      const auto& stats = transport.transport_stats();
+      const std::uint64_t channels = machines * (machines - 1) / 2;
+      EXPECT_GT(stats.watermarks_sent, 0U);
+      EXPECT_LE(stats.frames_sent, 2 * phases * channels)
+          << "machines=" << machines << " channel=" << kind_name(kind)
+          << " seed=" << seed << ": batching regressed ("
+          << stats.frames_sent << " frames, " << stats.remote_messages
+          << " remote deliveries)";
+      // Every remote delivery rides a batch — the engine never falls back
+      // to one-delivery-per-frame — and nothing is lost or double-counted.
+      EXPECT_EQ(stats.batched_deliveries, stats.remote_messages);
+      EXPECT_EQ(stats.frames_received, stats.frames_sent);
+      EXPECT_EQ(stats.bytes_received, stats.bytes_sent);
+      if (stats.remote_messages > 0) {
+        EXPECT_GT(stats.batch_frames_sent, 0U);
       }
     }
   }
@@ -381,6 +405,87 @@ TEST(TransportTeardown, CorruptedFrameAbortsTheRunInsteadOfHanging) {
                 std::string::npos)
           << "channel=" << kind_name(kind) << ": " << error.what();
     }
+  }
+}
+
+// Regression for the framed-stream teardown contract: a peer that dies
+// after writing a length prefix (or part of one) but before the full
+// payload must surface as a hard error on the receiver — never a hang and
+// never a silent truncation that looks like clean EOF.
+TEST(TransportTeardown, HalfWrittenFrameAtCloseSurfacesAsError) {
+  const auto raw_write = [](int fd, const std::vector<std::uint8_t>& bytes) {
+    std::size_t written = 0;
+    while (written < bytes.size()) {
+      const ssize_t result =
+          ::write(fd, bytes.data() + written, bytes.size() - written);
+      ASSERT_GE(result, 0) << std::strerror(errno);
+      written += static_cast<std::size_t>(result);
+    }
+  };
+  const auto prefix_for = [](std::uint32_t size) {
+    std::vector<std::uint8_t> bytes;
+    for (int i = 0; i < 4; ++i) {
+      bytes.push_back(static_cast<std::uint8_t>(size >> (8 * i)));
+    }
+    return bytes;
+  };
+
+  {
+    // Prefix claims 40 payload bytes; only 10 arrive before the close.
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    raw_write(fds[0], prefix_for(40));
+    raw_write(fds[0], std::vector<std::uint8_t>(10, 0xcd));
+    ::close(fds[0]);
+    auto channel = distrib::SocketChannel::adopt(-1, fds[1]);
+    std::vector<std::uint8_t> frame;
+    try {
+      channel->recv(frame);
+      FAIL() << "truncated payload decoded as a clean EOF";
+    } catch (const support::check_error& error) {
+      EXPECT_NE(std::string(error.what()).find("peer closed mid-frame"),
+                std::string::npos)
+          << error.what();
+    }
+  }
+  {
+    // Even a torn length prefix (2 of 4 bytes) is mid-frame, not EOF.
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    raw_write(fds[0], {0x12, 0x34});
+    ::close(fds[0]);
+    auto channel = distrib::SocketChannel::adopt(-1, fds[1]);
+    std::vector<std::uint8_t> frame;
+    EXPECT_THROW(channel->recv(frame), support::check_error);
+  }
+  {
+    // A complete frame followed by a half-written one: the good frame is
+    // delivered, then the truncation surfaces.
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    const std::vector<std::uint8_t> payload(16, 0xab);
+    raw_write(fds[0], prefix_for(16));
+    raw_write(fds[0], payload);
+    raw_write(fds[0], prefix_for(16));
+    raw_write(fds[0], std::vector<std::uint8_t>(7, 0xee));
+    ::close(fds[0]);
+    auto channel = distrib::SocketChannel::adopt(-1, fds[1]);
+    std::vector<std::uint8_t> frame;
+    ASSERT_TRUE(channel->recv(frame));
+    EXPECT_EQ(frame, payload);
+    EXPECT_THROW(channel->recv(frame), support::check_error);
+  }
+  {
+    // Clean close exactly on a frame boundary is EOF, not an error.
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    raw_write(fds[0], prefix_for(4));
+    raw_write(fds[0], {1, 2, 3, 4});
+    ::close(fds[0]);
+    auto channel = distrib::SocketChannel::adopt(-1, fds[1]);
+    std::vector<std::uint8_t> frame;
+    ASSERT_TRUE(channel->recv(frame));
+    EXPECT_FALSE(channel->recv(frame));
   }
 }
 

@@ -1,16 +1,21 @@
 // Wire-format round-trip and rejection fuzzing (distrib/wire.hpp).
 //
-// Three properties, all meant to run under ASan/UBSan in CI:
-//   * every frame the encoder can produce decodes back to an identical
-//     frame (encode -> decode identity over randomized deliveries and
-//     watermarks, covering every Value kind including adversarial string
-//     bytes and empty/large vectors);
+// Properties, all meant to run under ASan/UBSan in CI:
+//   * every frame the v2 encoder can produce — deliveries, watermarks, and
+//     kDeliveryBatch frames over a randomized delivery corpus — decodes
+//     back to an identical frame, both through the Frame-level decoder and
+//     the streaming BatchReader;
+//   * validate_frame (the readers' no-allocation structural walk) returns
+//     exactly the status a full decode would, on valid and corrupt input;
 //   * every strict prefix of a valid encoding is rejected (no partial
 //     frame ever half-applies);
 //   * arbitrary single-byte corruption and pure random bytes never crash
 //     or read out of bounds — they either decode to *something* (payload
-//     bits are not checksummed) or return a DecodeStatus, but length
-//     fields can never trigger giant allocations or overreads.
+//     bits are not checksummed) or return a DecodeStatus, but length and
+//     count fields can never trigger giant allocations or overreads;
+//   * cross-version rejection is clean both ways: the v2 decoder rejects
+//     v1 frames with kBadVersion and the v1 decode-compat fixture rejects
+//     v2 frames the same way — no UB, no hang, no partial decode.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -24,7 +29,7 @@ namespace df::distrib::wire {
 namespace {
 
 event::Value random_value(support::Rng& rng) {
-  switch (rng.next_below(7)) {
+  switch (rng.next_below(9)) {
     case 0:
       return event::Value();
     case 1:
@@ -49,21 +54,42 @@ event::Value random_value(support::Rng& rng) {
       }
       return event::Value(std::move(values));
     }
+    case 6:
+      // Small ints are the varint encoding's sweet spot; cover them and
+      // the sign boundary explicitly, not just as a sliver of case 2.
+      return event::Value(rng.next_int(-300, 300));
+    case 7: {
+      // Strings around the short-string (u8 length) boundary.
+      std::string text(250 + rng.next_below(12), 'x');
+      return event::Value(std::move(text));
+    }
     default:
       return event::Value(rng.next_double());
   }
+}
+
+core::Delivery random_delivery(support::Rng& rng) {
+  core::Delivery delivery;
+  delivery.to_index = static_cast<std::uint32_t>(rng.next_u64());
+  delivery.to_port = static_cast<graph::Port>(rng.next_below(1 << 16));
+  delivery.value = random_value(rng);
+  return delivery;
 }
 
 Frame random_frame(support::Rng& rng) {
   Frame frame;
   frame.seq = rng.next_u64();
   frame.phase = rng.next_below(1 << 20);
-  if (rng.next_bernoulli(0.7)) {
+  const std::uint64_t pick = rng.next_below(10);
+  if (pick < 4) {
     frame.type = FrameType::kDelivery;
-    frame.delivery.to_index = static_cast<std::uint32_t>(rng.next_u64());
-    frame.delivery.to_port =
-        static_cast<graph::Port>(rng.next_below(1 << 16));
-    frame.delivery.value = random_value(rng);
+    frame.delivery = random_delivery(rng);
+  } else if (pick < 8) {
+    frame.type = FrameType::kDeliveryBatch;
+    const std::size_t count = 1 + rng.next_below(24);
+    for (std::size_t i = 0; i < count; ++i) {
+      frame.batch.push_back(random_delivery(rng));
+    }
   } else {
     frame.type = FrameType::kWatermark;
   }
@@ -71,10 +97,35 @@ Frame random_frame(support::Rng& rng) {
 }
 
 void encode(const Frame& frame, std::vector<std::uint8_t>& out) {
+  switch (frame.type) {
+    case FrameType::kDelivery:
+      encode_delivery(frame.seq, frame.phase, frame.delivery, out);
+      break;
+    case FrameType::kDeliveryBatch:
+      encode_delivery_batch(frame.seq, frame.phase, frame.batch, out);
+      break;
+    case FrameType::kWatermark:
+      encode_watermark(frame.seq, frame.phase, out);
+      break;
+  }
+}
+
+void expect_frames_equal(const Frame& decoded, const Frame& frame) {
+  EXPECT_EQ(decoded.type, frame.type);
+  EXPECT_EQ(decoded.seq, frame.seq);
+  EXPECT_EQ(decoded.phase, frame.phase);
   if (frame.type == FrameType::kDelivery) {
-    encode_delivery(frame.seq, frame.phase, frame.delivery, out);
-  } else {
-    encode_watermark(frame.seq, frame.phase, out);
+    EXPECT_EQ(decoded.delivery.to_index, frame.delivery.to_index);
+    EXPECT_EQ(decoded.delivery.to_port, frame.delivery.to_port);
+    EXPECT_EQ(decoded.delivery.value, frame.delivery.value);
+  }
+  if (frame.type == FrameType::kDeliveryBatch) {
+    ASSERT_EQ(decoded.batch.size(), frame.batch.size());
+    for (std::size_t i = 0; i < frame.batch.size(); ++i) {
+      EXPECT_EQ(decoded.batch[i].to_index, frame.batch[i].to_index);
+      EXPECT_EQ(decoded.batch[i].to_port, frame.batch[i].to_port);
+      EXPECT_EQ(decoded.batch[i].value, frame.batch[i].value);
+    }
   }
 }
 
@@ -84,21 +135,40 @@ TEST(WireRoundTrip, RandomFramesEncodeDecodeIdentically) {
   for (int i = 0; i < 2000; ++i) {
     const Frame frame = random_frame(rng);
     encode(frame, bytes);
+    ASSERT_EQ(validate_frame(bytes), DecodeStatus::kOk) << "iteration " << i;
     Frame decoded;
     ASSERT_EQ(decode_frame(bytes, decoded), DecodeStatus::kOk)
         << "iteration " << i;
-    EXPECT_EQ(decoded.type, frame.type);
-    EXPECT_EQ(decoded.seq, frame.seq);
-    EXPECT_EQ(decoded.phase, frame.phase);
-    if (frame.type == FrameType::kDelivery) {
-      EXPECT_EQ(decoded.delivery.to_index, frame.delivery.to_index);
-      EXPECT_EQ(decoded.delivery.to_port, frame.delivery.to_port);
-      EXPECT_EQ(decoded.delivery.value, frame.delivery.value);
-    }
+    expect_frames_equal(decoded, frame);
   }
 }
 
-TEST(WireRoundTrip, ValueLevelHelpersRoundTrip) {
+TEST(WireRoundTrip, BatchReaderStreamsDeliveriesIdentically) {
+  support::Rng rng(2027);
+  std::vector<std::uint8_t> bytes;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<core::Delivery> deliveries(1 + rng.next_below(40));
+    for (core::Delivery& d : deliveries) {
+      d = random_delivery(rng);
+    }
+    encode_delivery_batch(rng.next_u64(), rng.next_below(1 << 20),
+                          deliveries, bytes);
+    BatchReader reader;
+    ASSERT_EQ(reader.open(bytes), DecodeStatus::kOk);
+    ASSERT_EQ(reader.header().type, FrameType::kDeliveryBatch);
+    ASSERT_EQ(reader.remaining(), deliveries.size());
+    for (const core::Delivery& want : deliveries) {
+      core::Delivery got;
+      ASSERT_EQ(reader.next(got), DecodeStatus::kOk);
+      EXPECT_EQ(got.to_index, want.to_index);
+      EXPECT_EQ(got.to_port, want.to_port);
+      EXPECT_EQ(got.value, want.value);
+    }
+    EXPECT_EQ(reader.remaining(), 0U);
+  }
+}
+
+TEST(WireRoundTrip, ValueLevelHelpersRoundTripBothVersions) {
   support::Rng rng(7);
   std::vector<std::uint8_t> bytes;
   for (int i = 0; i < 2000; ++i) {
@@ -110,22 +180,100 @@ TEST(WireRoundTrip, ValueLevelHelpersRoundTrip) {
     ASSERT_EQ(decode_value(bytes, cursor, decoded), DecodeStatus::kOk);
     EXPECT_EQ(cursor, bytes.size()) << "decoder left trailing bytes";
     EXPECT_EQ(decoded, value);
+
+    bytes.clear();
+    encode_value_v1(value, bytes);
+    cursor = 0;
+    event::Value decoded_v1;
+    ASSERT_EQ(decode_value_v1(bytes, cursor, decoded_v1), DecodeStatus::kOk);
+    EXPECT_EQ(cursor, bytes.size());
+    EXPECT_EQ(decoded_v1, value);
+
+    // The v2 decoder also speaks the v1 tags (they are a prefix of its tag
+    // space); the v1 decoder must *reject* the dense tags, not misread.
+    cursor = 0;
+    event::Value decoded_compat;
+    ASSERT_EQ(decode_value(bytes, cursor, decoded_compat), DecodeStatus::kOk);
+    EXPECT_EQ(decoded_compat, value);
   }
+}
+
+TEST(WireDensity, DenseEncodingIsSmallerOnCommonSmallValues) {
+  // The whole point of the v2 value encoding: common small payloads cost a
+  // fraction of their v1 size.
+  const event::Value small_ints[] = {
+      event::Value(0), event::Value(1), event::Value(-1), event::Value(4096)};
+  std::vector<std::uint8_t> v1;
+  std::vector<std::uint8_t> v2;
+  for (const event::Value& value : small_ints) {
+    v1.clear();
+    v2.clear();
+    encode_value_v1(value, v1);
+    encode_value(value, v2);
+    EXPECT_EQ(v1.size(), 9U);
+    EXPECT_LE(v2.size(), 3U) << value.to_string();
+  }
+  v1.clear();
+  v2.clear();
+  const event::Value text(std::string("alert"));
+  encode_value_v1(text, v1);
+  encode_value(text, v2);
+  EXPECT_EQ(v1.size(), 1U + 4U + 5U);
+  EXPECT_EQ(v2.size(), 1U + 1U + 5U);
+}
+
+TEST(WireDensity, BatchAmortizesTheFrameHeader) {
+  // 64 single-delivery frames vs one 64-delivery batch over typical small
+  // payloads: the batch must cut total bytes by well over half.
+  support::Rng rng(31);
+  std::vector<core::Delivery> deliveries(64);
+  std::uint32_t index = 5;
+  for (core::Delivery& d : deliveries) {
+    index += static_cast<std::uint32_t>(rng.next_below(4));
+    d.to_index = index;
+    d.to_port = static_cast<graph::Port>(rng.next_below(4));
+    d.value = event::Value(static_cast<std::int64_t>(rng.next_below(1000)));
+  }
+  std::size_t single_total = 0;
+  std::vector<std::uint8_t> bytes;
+  for (const core::Delivery& d : deliveries) {
+    encode_delivery_v1(7, 3, d, bytes);
+    single_total += bytes.size();
+  }
+  encode_delivery_batch(7, 3, deliveries, bytes);
+  EXPECT_LT(bytes.size() * 2, single_total)
+      << "batch " << bytes.size() << "B vs singles " << single_total << "B";
+  // Per-delivery framing cost (everything except the value payload) must
+  // be a few bytes, not 21+.
+  const std::size_t value_bytes = [&deliveries] {
+    std::vector<std::uint8_t> tmp;
+    std::size_t total = 0;
+    for (const core::Delivery& d : deliveries) {
+      tmp.clear();
+      encode_value(d.value, tmp);
+      total += tmp.size();
+    }
+    return total;
+  }();
+  const std::size_t framing = bytes.size() - value_bytes;
+  EXPECT_LE(framing, kHeaderBytes + 1 + 4 * deliveries.size())
+      << "framing overhead " << framing << "B for " << deliveries.size()
+      << " deliveries";
 }
 
 TEST(WireRejection, EveryStrictPrefixOfAValidFrameIsRejected) {
   support::Rng rng(11);
   std::vector<std::uint8_t> bytes;
-  for (int i = 0; i < 200; ++i) {
+  for (int i = 0; i < 120; ++i) {
     const Frame frame = random_frame(rng);
     encode(frame, bytes);
     for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+      const std::span<const std::uint8_t> prefix(bytes.data(), cut);
       Frame decoded;
-      const DecodeStatus status = decode_frame(
-          std::span<const std::uint8_t>(bytes.data(), cut), decoded);
-      EXPECT_NE(status, DecodeStatus::kOk)
+      EXPECT_NE(decode_frame(prefix, decoded), DecodeStatus::kOk)
           << "prefix of " << cut << "/" << bytes.size()
           << " bytes decoded as a whole frame";
+      EXPECT_NE(validate_frame(prefix), DecodeStatus::kOk);
     }
   }
 }
@@ -138,10 +286,11 @@ TEST(WireRejection, TrailingBytesAreRejected) {
     bytes.push_back(0);
     Frame decoded;
     EXPECT_EQ(decode_frame(bytes, decoded), DecodeStatus::kTrailingBytes);
+    EXPECT_EQ(validate_frame(bytes), DecodeStatus::kTrailingBytes);
   }
 }
 
-TEST(WireRejection, SingleByteCorruptionNeverCrashes) {
+TEST(WireRejection, SingleByteCorruptionNeverCrashesAndValidateAgrees) {
   support::Rng rng(17);
   std::vector<std::uint8_t> bytes;
   std::vector<std::uint8_t> corrupted;
@@ -155,8 +304,11 @@ TEST(WireRejection, SingleByteCorruptionNeverCrashes) {
       corrupted[at] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
       Frame decoded;
       // Either outcome is fine — payload bits carry no checksum — but the
-      // decode must stay in bounds (ASan/UBSan enforce that part).
-      if (decode_frame(corrupted, decoded) == DecodeStatus::kOk) {
+      // decode must stay in bounds (ASan/UBSan enforce that part), and the
+      // readers' allocation-free validate must agree with the real decode.
+      const DecodeStatus status = decode_frame(corrupted, decoded);
+      EXPECT_EQ(validate_frame(corrupted), status);
+      if (status == DecodeStatus::kOk) {
         ++still_decoded;
       } else {
         ++rejected;
@@ -169,7 +321,7 @@ TEST(WireRejection, SingleByteCorruptionNeverCrashes) {
   EXPECT_GT(still_decoded, 0U);
 }
 
-TEST(WireRejection, RandomGarbageNeverCrashes) {
+TEST(WireRejection, RandomGarbageNeverCrashesAndValidateAgrees) {
   support::Rng rng(23);
   std::vector<std::uint8_t> garbage;
   for (int i = 0; i < 2000; ++i) {
@@ -178,23 +330,26 @@ TEST(WireRejection, RandomGarbageNeverCrashes) {
       b = static_cast<std::uint8_t>(rng.next_below(256));
     }
     Frame decoded;
-    decode_frame(garbage, decoded);  // status irrelevant; must not crash
+    EXPECT_EQ(validate_frame(garbage), decode_frame(garbage, decoded));
   }
 }
 
 TEST(WireRejection, CorruptedLengthFieldCannotTriggerGiantAllocation) {
-  // A delivery carrying a string whose length field is corrupted to a huge
-  // value: the decoder must reject before allocating (kTruncated), because
-  // the claimed length exceeds the remaining bytes.
+  // A delivery carrying a long (v1-form, u32 length) string whose length
+  // field is corrupted to a huge value: the decoder must reject before
+  // allocating (kTruncated), because the claimed length exceeds the
+  // remaining bytes.
   core::Delivery delivery;
   delivery.to_index = 9;
   delivery.to_port = 1;
-  delivery.value = event::Value(std::string("abcdef"));
+  delivery.value = event::Value(std::string(300, 'a'));
   std::vector<std::uint8_t> bytes;
   encode_delivery(5, 3, delivery, bytes);
   // Header (21) + to_index (4) + to_port (2) + tag (1) => length at 28.
   const std::size_t length_at = 28;
   ASSERT_LT(length_at + 3, bytes.size());
+  ASSERT_EQ(bytes[length_at - 1],
+            static_cast<std::uint8_t>(event::Value::Kind::kString));
   bytes[length_at + 0] = 0xff;
   bytes[length_at + 1] = 0xff;
   bytes[length_at + 2] = 0xff;
@@ -202,15 +357,102 @@ TEST(WireRejection, CorruptedLengthFieldCannotTriggerGiantAllocation) {
   Frame decoded;
   EXPECT_EQ(decode_frame(bytes, decoded), DecodeStatus::kTruncated);
 
-  // Same for a vector count.
+  // Same for a vector count (varint in v2: saturate the count bytes).
   delivery.value = event::Value(std::vector<double>{1.0, 2.0});
   encode_delivery(6, 3, delivery, bytes);
-  bytes[length_at + 0] = 0xff;
-  bytes[length_at + 1] = 0xff;
-  bytes[length_at + 2] = 0xff;
-  bytes[length_at + 3] = 0x7f;
-  Frame decoded2;
-  EXPECT_EQ(decode_frame(bytes, decoded2), DecodeStatus::kTruncated);
+  std::vector<std::uint8_t> huge_count(bytes.begin(), bytes.begin() + 28);
+  for (int i = 0; i < 9; ++i) {
+    huge_count.push_back(0xff);  // varint continuation bytes
+  }
+  huge_count.push_back(0x01);
+  EXPECT_EQ(decode_frame(huge_count, decoded), DecodeStatus::kTruncated);
+}
+
+TEST(WireRejection, CorruptedBatchCountCannotTriggerGiantAllocation) {
+  // A batch frame whose count varint is corrupted to a value the remaining
+  // bytes cannot possibly hold must be rejected before any reserve() —
+  // each delivery occupies at least 3 payload bytes.
+  std::vector<core::Delivery> deliveries(4);
+  for (std::size_t i = 0; i < deliveries.size(); ++i) {
+    deliveries[i].to_index = static_cast<std::uint32_t>(10 + i);
+    deliveries[i].to_port = 0;
+    deliveries[i].value = event::Value(static_cast<std::int64_t>(i));
+  }
+  std::vector<std::uint8_t> bytes;
+  encode_delivery_batch(1, 2, deliveries, bytes);
+  // The count varint sits immediately after the header; 4 fits one byte.
+  ASSERT_EQ(bytes[kHeaderBytes], 4);
+  // Splice in a 5-byte varint claiming ~2^31 deliveries.
+  std::vector<std::uint8_t> corrupted(bytes.begin(),
+                                      bytes.begin() + kHeaderBytes);
+  corrupted.insert(corrupted.end(), {0xff, 0xff, 0xff, 0xff, 0x07});
+  corrupted.insert(corrupted.end(), bytes.begin() + kHeaderBytes + 1,
+                   bytes.end());
+  Frame decoded;
+  EXPECT_EQ(decode_frame(corrupted, decoded), DecodeStatus::kTruncated);
+  EXPECT_EQ(validate_frame(corrupted), DecodeStatus::kTruncated);
+  BatchReader reader;
+  EXPECT_EQ(reader.open(corrupted), DecodeStatus::kTruncated);
+
+  // An explicitly empty batch is structurally invalid (the encoder never
+  // emits one), not a silent no-op.
+  std::vector<std::uint8_t> empty_batch(bytes.begin(),
+                                        bytes.begin() + kHeaderBytes);
+  empty_batch.push_back(0);
+  EXPECT_EQ(decode_frame(empty_batch, decoded), DecodeStatus::kBadPayload);
+}
+
+TEST(WireVersioning, CrossVersionFramesAreRejectedCleanly) {
+  support::Rng rng(29);
+  std::vector<std::uint8_t> v2_bytes;
+  std::vector<std::uint8_t> v1_bytes;
+  for (int i = 0; i < 200; ++i) {
+    // v1 receiver (decode_frame_v1) must reject every v2 frame.
+    const Frame frame = random_frame(rng);
+    encode(frame, v2_bytes);
+    Frame decoded;
+    EXPECT_EQ(decode_frame_v1(v2_bytes, decoded), DecodeStatus::kBadVersion);
+
+    // v2 receiver must reject every v1 frame the same way.
+    if (frame.type == FrameType::kDelivery) {
+      encode_delivery_v1(frame.seq, frame.phase, frame.delivery, v1_bytes);
+    } else {
+      encode_watermark_v1(frame.seq, frame.phase, v1_bytes);
+    }
+    EXPECT_EQ(decode_frame(v1_bytes, decoded), DecodeStatus::kBadVersion);
+    EXPECT_EQ(validate_frame(v1_bytes), DecodeStatus::kBadVersion);
+    BatchReader reader;
+    EXPECT_EQ(reader.open(v1_bytes), DecodeStatus::kBadVersion);
+  }
+}
+
+TEST(WireVersioning, V1FixtureStillRoundTripsItsOwnFrames) {
+  // The v1 path survives as a decode-compat fixture: its own frames must
+  // keep round-tripping exactly, and a batch frame type byte inside a v1
+  // frame is an unknown type to the v1 decoder.
+  support::Rng rng(37);
+  std::vector<std::uint8_t> bytes;
+  for (int i = 0; i < 500; ++i) {
+    Frame frame;
+    frame.seq = rng.next_u64();
+    frame.phase = rng.next_below(1 << 20);
+    if (rng.next_bernoulli(0.7)) {
+      frame.type = FrameType::kDelivery;
+      frame.delivery = random_delivery(rng);
+      encode_delivery_v1(frame.seq, frame.phase, frame.delivery, bytes);
+    } else {
+      frame.type = FrameType::kWatermark;
+      encode_watermark_v1(frame.seq, frame.phase, bytes);
+    }
+    Frame decoded;
+    ASSERT_EQ(decode_frame_v1(bytes, decoded), DecodeStatus::kOk);
+    expect_frames_equal(decoded, frame);
+  }
+
+  encode_watermark_v1(1, 2, bytes);
+  bytes[4] = static_cast<std::uint8_t>(FrameType::kDeliveryBatch);
+  Frame decoded;
+  EXPECT_EQ(decode_frame_v1(bytes, decoded), DecodeStatus::kBadFrameType);
 }
 
 TEST(WireRejection, WrongMagicVersionAndTypeAreDistinguished) {
@@ -238,6 +480,7 @@ TEST(WireRejection, WrongMagicVersionAndTypeAreDistinguished) {
     std::vector<std::uint8_t> oversized(kMaxFrameBytes + 1, 0);
     Frame f;
     EXPECT_EQ(decode_frame(oversized, f), DecodeStatus::kOversized);
+    EXPECT_EQ(validate_frame(oversized), DecodeStatus::kOversized);
   }
 }
 
