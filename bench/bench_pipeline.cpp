@@ -7,6 +7,7 @@
 // throughput against the lockstep baseline, whose pipeline depth is pinned
 // at 1 by construction.
 #include <cstdio>
+#include <thread>
 
 #include "baseline/lockstep.hpp"
 #include "bench_common.hpp"
@@ -64,6 +65,9 @@ int main(int argc, char** argv) {
         .config("threads", static_cast<std::uint64_t>(threads))
         .config("staged", static_cast<std::uint64_t>(staged ? 1 : 0))
         .config("shards", static_cast<std::uint64_t>(shards))
+        .config("hw_concurrency",
+                static_cast<std::uint64_t>(
+                    std::thread::hardware_concurrency()))
         .metric("wall_ms", stats.wall_seconds * 1e3)
         .metric("ns_per_op", stats.executed_pairs == 0
                                  ? 0.0
@@ -88,6 +92,9 @@ int main(int argc, char** argv) {
       .config("grain_ns", grain_ns)
       .config("threads", static_cast<std::uint64_t>(threads))
       .config("shards", static_cast<std::uint64_t>(shards))
+      .config("hw_concurrency",
+              static_cast<std::uint64_t>(
+                  std::thread::hardware_concurrency()))
       .metric("wall_ms", ls.wall_seconds * 1e3)
       .metric("pairs_per_sec", ls.pairs_per_second())
       .metric("phases_per_sec", ls.phases_per_second())

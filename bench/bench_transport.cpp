@@ -13,7 +13,13 @@
 // exits non-zero on any mismatch — registered as a ctest smoke test with
 // the `transport` label, so every CI configuration (including TSan)
 // executes real socket traffic.
+//
+// --engine-threads=K and --shards=K configure the per-block engines (two-
+// level parallelism: machines x engine_threads workers in total); both are
+// recorded in every JSON row alongside hw_concurrency so a single-core CI
+// box's rows are not mistaken for a multicore measurement.
 #include <cstdio>
+#include <thread>
 
 #include "baseline/sequential.hpp"
 #include "bench_common.hpp"
@@ -34,6 +40,15 @@ int main(int argc, char** argv) {
       flags.get("grain_ns", smoke ? std::uint64_t{0} : std::uint64_t{2000});
   const std::uint64_t layers = flags.get("layers", std::uint64_t{6});
   const std::uint64_t width = flags.get("width", std::uint64_t{4});
+  const std::size_t engine_threads =
+      flags.get("engine-threads", std::uint64_t{1});
+  const std::size_t shards = flags.get("shards", std::uint64_t{1});
+  if (engine_threads == 0 || shards == 0) {
+    std::printf("--engine-threads and --shards must be >= 1\n");
+    return 2;
+  }
+  const std::uint64_t hw_concurrency =
+      static_cast<std::uint64_t>(std::thread::hardware_concurrency());
 
   std::printf("E5: real partitioned transport (paper section 6)\n");
   std::printf("%s\n", trace::machine_summary().c_str());
@@ -51,6 +66,7 @@ int main(int argc, char** argv) {
       .config("grain_ns", grain_ns)
       .config("vertices", static_cast<std::uint64_t>(
                               program.numbering.size()))
+      .config("hw_concurrency", hw_concurrency)
       .metric("phases_per_sec", reference.stats().phases_per_second())
       .metric("pairs_per_sec", reference.stats().pairs_per_second())
       .emit();
@@ -69,6 +85,8 @@ int main(int argc, char** argv) {
       distrib::TransportOptions options;
       options.machines = machines;
       options.channel = kind;
+      options.engine_threads = engine_threads;
+      options.scheduler_shards = shards;
       distrib::TransportEngine transport(program, options);
       transport.run(phases, nullptr);
 
@@ -95,6 +113,10 @@ int main(int argc, char** argv) {
           .config("grain_ns", grain_ns)
           .config("vertices", static_cast<std::uint64_t>(
                                   program.numbering.size()))
+          .config("engine_threads",
+                  static_cast<std::uint64_t>(engine_threads))
+          .config("shards", static_cast<std::uint64_t>(shards))
+          .config("hw_concurrency", hw_concurrency)
           .metric("phases_per_sec", stats.phases_per_second())
           .metric("pairs_per_sec", stats.pairs_per_second())
           .metric("speedup_vs_sequential",

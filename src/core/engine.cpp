@@ -9,16 +9,65 @@
 
 namespace df::core {
 
+Engine::BlockPlan Engine::plan_scope(const Program& program,
+                                     const EngineOptions& options) {
+  BlockPlan plan;
+  const std::uint32_t n = static_cast<std::uint32_t>(program.numbering.size());
+  if (!options.block.has_value()) {
+    plan.m = program.numbering.m;
+    plan.signal_sources = Scheduler::kAllSources;
+    plan.offset = 0;
+    plan.block_end = n;
+    return plan;
+  }
+  const EngineOptions::BlockScope& scope = *options.block;
+  DF_CHECK(scope.egress != nullptr, "block-scoped engine needs an egress hook");
+  if (scope.begin > scope.end) {
+    // Empty block (a machine owning no vertices): zero vertices, zero
+    // signal sources, so every phase retires at start and the engine only
+    // paces phase windows / watermark forwarding.
+    plan.m = {0};
+    plan.signal_sources = 0;
+    plan.offset = scope.begin == 0 ? 0 : scope.begin - 1;
+    plan.block_end = plan.offset;
+    return plan;
+  }
+  DF_CHECK(scope.begin >= 1 && scope.end <= n, "block [", scope.begin, ", ",
+           scope.end, "] outside internal index range 1..", n);
+  plan.m = graph::block_local_m(program.dag, program.numbering, scope.begin,
+                                scope.end);
+  // The block's environment-signalled sources are exactly the global
+  // sources it owns: global indices [begin, min(end, m[0])], i.e. a local
+  // prefix. m_loc[0] may be larger (vertices whose predecessors are all
+  // remote become locally release-0) — those are fed by injected remote
+  // deliveries, never by the environment.
+  const std::uint32_t m0 = program.numbering.m[0];
+  plan.signal_sources =
+      scope.begin <= m0 ? std::min(scope.end, m0) - scope.begin + 1 : 0;
+  plan.offset = scope.begin - 1;
+  plan.block_end = scope.end;
+  return plan;
+}
+
 Engine::Engine(const Program& program, EngineOptions options)
+    : Engine(program, options, plan_scope(program, options)) {}
+
+Engine::Engine(const Program& program, EngineOptions options, BlockPlan plan)
     : instance_(program),
-      options_(options),
-      scheduler_(program.numbering.m) {
+      options_(std::move(options)),
+      scheduler_(plan.m, plan.signal_sources),
+      offset_(plan.offset),
+      block_end_(plan.block_end) {
+  sink_target_ = options_.block.has_value() && options_.block->sinks != nullptr
+                     ? options_.block->sinks
+                     : &sinks_;
   DF_CHECK(options_.threads >= 1, "engine needs at least one worker thread");
   DF_CHECK(options_.scheduler_shards >= 1,
            "engine needs at least one scheduler shard");
   // Sharded scheduler opt-in (see EngineOptions::scheduler_shards). An
   // observer needs one snapshot per transition, which only the flat
-  // per-pair path provides.
+  // per-pair path provides. In block mode the shards sub-partition the
+  // block's local index range, not the whole program.
   const std::size_t shards =
       std::min<std::size_t>(options_.scheduler_shards, scheduler_.n());
   if (shards > 1 && options_.observer == nullptr) {
@@ -26,10 +75,10 @@ Engine::Engine(const Program& program, EngineOptions options)
                           ? 64
                           : options_.max_inflight_phases;
     sharded_ = std::make_unique<ShardedScheduler>(
-        program.numbering.m,
-        graph::make_shard_map(
-            graph::partition_balanced(program.numbering, shards)),
-        sharded_window_);
+        plan.m,
+        graph::make_shard_map(graph::partition_balanced_range(
+            static_cast<std::uint32_t>(scheduler_.n()), shards)),
+        sharded_window_, plan.signal_sources);
   }
 }
 
@@ -129,7 +178,13 @@ void Engine::reserve_source_bundles(
     DF_CHECK(instance_.is_source(index),
              "external events may only target source vertices, got '",
              instance_.name(index), "'");
-    env_indices_.push_back(index);
+    // Block mode: the transport routes each event to the block owning its
+    // target, so the global index must sit in this block's source prefix;
+    // translate it to the scheduler's local indexing.
+    DF_CHECK(index > offset_ && index - offset_ <= scheduler_.source_count(),
+             "external event for '", instance_.name(index),
+             "' (index ", index, ") is outside this block's source range");
+    env_indices_.push_back(index - offset_);
   }
   env_counts_.assign(scheduler_.source_count(), 0);
   for (const std::uint32_t index : env_indices_) {
@@ -162,8 +217,40 @@ void Engine::start_phase(std::vector<event::ExternalEvent>&& events) {
   start_phase_bundles(env_bundles_);
 }
 
-void Engine::start_phase_bundles(std::vector<event::InputBundle>& bundles) {
+void Engine::start_phase(const std::vector<event::ExternalEvent>& events,
+                         std::vector<Scheduler::Delivery>& remote) {
+  DF_CHECK(started_ && !finished_, "start_phase outside start()/finish()");
+  DF_CHECK(options_.block.has_value(),
+           "remote-injection start_phase requires a block-scoped engine");
+  reserve_source_bundles(events);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    env_bundles_[env_indices_[i] - 1].push_back(
+        event::Message{events[i].port, events[i].value});
+  }
+  // Translate the reassembled cross-boundary deliveries to local indexing
+  // up front; the scheduler overload below injects them before any pair of
+  // the phase is issued, and additionally DF_CHECKs each target sits above
+  // the signal-source prefix (remote senders are lower-numbered than every
+  // in-block non-source, so a remote delivery can never target a source).
+  for (Scheduler::Delivery& d : remote) {
+    DF_CHECK(d.to_index > offset_ && d.to_index <= block_end_,
+             "remote delivery for index ", d.to_index,
+             " does not belong to block (", offset_, ", ", block_end_, "]");
+    d.to_index -= offset_;
+  }
+  start_phase_bundles(env_bundles_, std::span<Scheduler::Delivery>(remote));
+}
+
+void Engine::start_phase_bundles(std::vector<event::InputBundle>& bundles,
+                                 std::span<Scheduler::Delivery> injected) {
   env_ready_.clear();
+  // Starting a phase can also *complete* it (block mode: an empty block,
+  // or a phase whose in-block work is finished by the injected deliveries
+  // alone — e.g. sink-only blocks with no local sources). Both scheduler
+  // overloads then retire inside the start call, so this is a completion
+  // site like the apply paths: notify under the lock, fire the completion
+  // hook after releasing it.
+  event::PhaseId completed_now = 0;
   if (sharded_ != nullptr) {
     {
       std::unique_lock lock(mutex_);
@@ -174,12 +261,20 @@ void Engine::start_phase_bundles(std::vector<event::InputBundle>& bundles) {
         return sharded_->active_phase_count() < sharded_window_;
       });
       const event::PhaseId p = sharded_->pmax() + 1;
-      sharded_->start_phase(p, std::span<event::InputBundle>(bundles),
-                            env_ready_);
+      if (sharded_->start_phase(p, std::span<event::InputBundle>(bundles),
+                                injected, env_ready_)) {
+        completed_now = sharded_->completed_through();
+        progress_cv_.notify_all();
+      }
       max_inflight_ = std::max<std::uint64_t>(
           max_inflight_, sharded_->active_phase_count());
     }
+    // Feed the workers before the completion hook: the hook may block on a
+    // channel send and must not starve the pool of the pairs just issued.
     enqueue_ready(env_ready_);
+    if (completed_now != 0 && options_.on_phase_complete) {
+      options_.on_phase_complete(completed_now);
+    }
     return;
   }
   {
@@ -194,8 +289,13 @@ void Engine::start_phase_bundles(std::vector<event::InputBundle>& bundles) {
              scheduler_.active_phase_count() < options_.max_inflight_phases;
     });
     const event::PhaseId p = scheduler_.pmax() + 1;
-    scheduler_.start_phase(p, std::span<event::InputBundle>(bundles),
+    const event::PhaseId completed_before = scheduler_.completed_through();
+    scheduler_.start_phase(p, std::span<event::InputBundle>(bundles), injected,
                            env_ready_);
+    if (scheduler_.completed_through() != completed_before) {
+      completed_now = scheduler_.completed_through();
+      progress_cv_.notify_all();
+    }
     max_inflight_ = std::max<std::uint64_t>(max_inflight_,
                                             scheduler_.active_phase_count());
     if (options_.observer != nullptr) {
@@ -205,6 +305,9 @@ void Engine::start_phase_bundles(std::vector<event::InputBundle>& bundles) {
     }
   }
   enqueue_ready(env_ready_);
+  if (completed_now != 0 && options_.on_phase_complete) {
+    options_.on_phase_complete(completed_now);
+  }
 }
 
 void Engine::finish() {
@@ -269,31 +372,40 @@ void Engine::enqueue_ready(std::vector<Scheduler::ReadyPair>& ready) {
 
 void Engine::apply_finish_locked(Scheduler::StagedFinish& staged,
                                  std::vector<Scheduler::ReadyPair>& ready) {
-  std::lock_guard lock(mutex_);
-  const event::PhaseId completed_before = scheduler_.completed_through();
-  scheduler_.finish_execution(
-      staged.vertex, staged.phase,
-      std::span<Scheduler::Delivery>(staged.deliveries),
-      std::move(staged.recycled), ready);
-  if (options_.sample_inflight) {
-    const std::uint64_t active = scheduler_.active_phase_count();
-    inflight_.add(active);
-    inflight_sum_ += active;
-    ++inflight_samples_;
+  event::PhaseId completed_now = 0;
+  {
+    std::lock_guard lock(mutex_);
+    const event::PhaseId completed_before = scheduler_.completed_through();
+    scheduler_.finish_execution(
+        staged.vertex, staged.phase,
+        std::span<Scheduler::Delivery>(staged.deliveries),
+        std::move(staged.recycled), ready);
+    if (options_.sample_inflight) {
+      const std::uint64_t active = scheduler_.active_phase_count();
+      inflight_.add(active);
+      inflight_sum_ += active;
+      ++inflight_samples_;
+    }
+    if (options_.observer != nullptr) {
+      options_.observer->on_transition(
+          SchedulerObserver::Transition::kPairFinished, staged.vertex,
+          staged.phase, scheduler_.snapshot());
+    }
+    if (scheduler_.completed_through() != completed_before) {
+      // Phase retirement is the only transition that shrinks the in-flight
+      // window (retire_completed always advances completed_through when it
+      // drops a slot), so this one notify covers both waiters on
+      // progress_cv_: finish() waiting for all phases and start_phase
+      // waiting for window room — including the max_inflight_phases == 1
+      // case, where every retirement must wake the environment.
+      progress_cv_.notify_all();
+      completed_now = scheduler_.completed_through();
+    }
   }
-  if (options_.observer != nullptr) {
-    options_.observer->on_transition(
-        SchedulerObserver::Transition::kPairFinished, staged.vertex,
-        staged.phase, scheduler_.snapshot());
-  }
-  if (scheduler_.completed_through() != completed_before) {
-    // Phase retirement is the only transition that shrinks the in-flight
-    // window (retire_completed always advances completed_through when it
-    // drops a slot), so this one notify covers both waiters on
-    // progress_cv_: finish() waiting for all phases and start_phase
-    // waiting for window room — including the max_inflight_phases == 1
-    // case, where every retirement must wake the environment.
-    progress_cv_.notify_all();
+  // Completion hook outside the lock: it may block (channel send), and it
+  // must never be able to deadlock against engine-internal waiters.
+  if (completed_now != 0 && options_.on_phase_complete) {
+    options_.on_phase_complete(completed_now);
   }
 }
 
@@ -311,6 +423,7 @@ std::size_t Engine::drain_staged() {
     return 0;
   }
   drain_ready_.clear();
+  event::PhaseId completed_now = 0;
   {
     std::lock_guard lock(mutex_);
     const event::PhaseId completed_before = scheduler_.completed_through();
@@ -328,11 +441,21 @@ std::size_t Engine::drain_staged() {
     }
     if (scheduler_.completed_through() != completed_before) {
       progress_cv_.notify_all();  // window shrank and/or finish() satisfied
+      completed_now = scheduler_.completed_through();
     }
   }
   const std::size_t drained = drain_batch_.size();
   staged_pending_.fetch_sub(drained);
   enqueue_ready(drain_ready_);
+  // Completion hook after the pairs are enqueued, outside mutex_. We still
+  // hold draining_ here, so a blocking hook stalls threshold-1 drain
+  // volunteers in their yield loop — a bounded stall, not a deadlock: the
+  // hook's channel send completes once the downstream machine drains its
+  // ingress, which needs no progress from this engine (see DESIGN.md,
+  // "Two-level parallelism").
+  if (completed_now != 0 && options_.on_phase_complete) {
+    options_.on_phase_complete(completed_now);
+  }
   return drained;
 }
 
@@ -371,6 +494,33 @@ void Engine::maybe_drain(std::size_t threshold) {
   }
 }
 
+void Engine::route_deliveries(std::vector<Scheduler::Delivery>& deliveries,
+                              event::PhaseId phase) {
+  if (!options_.block.has_value()) {
+    return;  // whole-program engine: every delivery is local, untranslated
+  }
+  // Split an executed pair's output at the block boundary: deliveries for
+  // indices beyond the block leave through the egress hook with their
+  // global index intact (the transport routes them by the partition cut);
+  // in-block ones are translated to local indices and compacted to the
+  // front so the vector feeds the scheduler unchanged. Runs on worker
+  // threads outside every engine lock — the hook does its own locking.
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < deliveries.size(); ++i) {
+    Scheduler::Delivery& d = deliveries[i];
+    if (d.to_index > block_end_) {
+      options_.block->egress(std::move(d), phase);
+      continue;
+    }
+    d.to_index -= offset_;
+    if (keep != i) {
+      deliveries[keep] = std::move(d);
+    }
+    ++keep;
+  }
+  deliveries.resize(keep);
+}
+
 void Engine::worker_main(std::size_t worker_index) {
   // Listing 1: dequeue, execute outside the lock, then either stage the
   // finished pair for batched application (staged path) or update the sets
@@ -398,8 +548,12 @@ void Engine::worker_main(std::size_t worker_index) {
     support::Stopwatch compute_timer;
     ExecutionResult result;
     try {
-      result =
-          execute_vertex(instance_, item->vertex, item->phase, item->bundle);
+      // The scheduler speaks block-local indices; the instance is always
+      // the full program, so execution (module state, rng forks, routing)
+      // happens at the global index — bit-identical to the sequential
+      // reference. offset_ is 0 outside block mode.
+      result = execute_vertex(instance_, item->vertex + offset_, item->phase,
+                              item->bundle);
     } catch (...) {
       // Record the first failure and let the pair complete with no output,
       // so the remaining phases drain and finish() can rethrow cleanly.
@@ -413,11 +567,14 @@ void Engine::worker_main(std::size_t worker_index) {
 
     if (!result.sink_records.empty()) {
       sink_records_.add(result.sink_records.size());
-      sinks_.record_batch(std::move(result.sink_records));
+      sink_target_->record_batch(std::move(result.sink_records));
     }
+    // Delivered-message accounting is pre-routing: cross-boundary messages
+    // count here and are reclassified remote by the transport's stats fold.
     messages_delivered_.add(result.deliveries.size());
 
     support::Stopwatch bookkeeping_timer;
+    route_deliveries(result.deliveries, item->phase);
     // Deliveries unification: the executor's output vector moves straight
     // into the staged record — no per-message repack.
     Scheduler::StagedFinish staged{item->vertex, item->phase,
@@ -481,6 +638,8 @@ void Engine::maybe_collect(std::size_t threshold) {
     const std::size_t observed = apply_dirty_.load();
     collect_ready_.clear();
     const bool retired = sharded_->collect(collect_ready_);
+    const event::PhaseId completed_now =
+        retired ? sharded_->completed_through() : 0;
     if (options_.sample_inflight || retired) {
       std::lock_guard lock(mutex_);
       if (options_.sample_inflight) {
@@ -503,6 +662,13 @@ void Engine::maybe_collect(std::size_t threshold) {
     apply_dirty_.fetch_sub(observed);
     enqueue_ready(collect_ready_);
     collecting_.store(false);
+    // Completion hook after releasing collecting_, so a blocking hook
+    // never stalls other collect volunteers. Concurrent collectors may
+    // therefore fire out of order (the options_ doc warns consumers);
+    // completed_through itself is monotone.
+    if (completed_now != 0 && options_.on_phase_complete) {
+      options_.on_phase_complete(completed_now);
+    }
     // Loop: re-check for applies that landed after our scan whose owners
     // lost the exchange above.
   }
@@ -538,8 +704,10 @@ void Engine::worker_main_sharded(std::size_t /*worker_index*/) {
     support::Stopwatch compute_timer;
     ExecutionResult result;
     try {
-      result =
-          execute_vertex(instance_, item->vertex, item->phase, item->bundle);
+      // Global-index execution against the local-index scheduler, exactly
+      // as in worker_main above.
+      result = execute_vertex(instance_, item->vertex + offset_, item->phase,
+                              item->bundle);
     } catch (...) {
       std::lock_guard lock(mutex_);
       if (first_error_ == nullptr) {
@@ -551,11 +719,12 @@ void Engine::worker_main_sharded(std::size_t /*worker_index*/) {
 
     if (!result.sink_records.empty()) {
       sink_records_.add(result.sink_records.size());
-      sinks_.record_batch(std::move(result.sink_records));
+      sink_target_->record_batch(std::move(result.sink_records));
     }
     messages_delivered_.add(result.deliveries.size());
 
     support::Stopwatch bookkeeping_timer;
+    route_deliveries(result.deliveries, item->phase);
     local.push_back(Scheduler::StagedFinish{item->vertex, item->phase,
                                             std::move(result.deliveries),
                                             std::move(item->bundle)});

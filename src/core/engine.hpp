@@ -32,8 +32,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -91,6 +94,45 @@ struct EngineOptions {
   /// per transition). With max_inflight_phases == 0 the sharded
   /// scheduler's finite slot ring bounds the window at 64.
   std::size_t scheduler_shards = 1;
+
+  /// Restricts the engine to one contiguous block [begin, end] of the
+  /// program's satisfactory numbering (the transport's two-level mode: a
+  /// full worker pool inside every partition block). The engine still
+  /// instantiates the complete ProgramInstance — module state and rng
+  /// streams fork by *global* internal index, bit-identical to the
+  /// sequential reference — but schedules only the block: its Scheduler /
+  /// ShardedScheduler tables, bitsets and FIFOs are sized and indexed to
+  /// local indices 1..B (B = end - begin + 1) via graph::block_local_m,
+  /// and scheduler_shards sub-partition the *block*, not the program.
+  ///
+  /// Seam contracts:
+  ///  * deliveries an executed pair addresses beyond `end` are handed to
+  ///    `egress` (global index preserved) instead of entering the
+  ///    scheduler — the transport routes them onto the wire;
+  ///  * remote deliveries for a phase are injected through the
+  ///    start_phase(events, remote) overload when the phase window opens
+  ///    (the caller guarantees completeness — the watermark handshake);
+  ///  * when `sinks` is non-null, workers record sink batches there
+  ///    (shared across the block engines of one transport run) instead of
+  ///    the engine's own store.
+  /// begin > end describes an empty block (B = 0): every phase retires at
+  /// start and the engine only paces watermarks.
+  struct BlockScope {
+    std::uint32_t begin = 1;
+    std::uint32_t end = 0;
+    std::function<void(Delivery&&, event::PhaseId)> egress;
+    SinkStore* sinks = nullptr;
+  };
+  std::optional<BlockScope> block;
+
+  /// Fired (outside every engine lock, possibly concurrently from several
+  /// worker threads and the environment thread) each time
+  /// completed_phases() advances, with the new completed-through value.
+  /// Values may arrive out of order across threads; consumers needing
+  /// monotonicity (e.g. the transport's watermark flush) must impose it
+  /// themselves. The callback may block (it sends on channels); it must
+  /// not call back into the engine.
+  std::function<void(event::PhaseId)> on_phase_complete;
 };
 
 class Engine final : public Executor {
@@ -114,6 +156,15 @@ class Engine final : public Executor {
   /// copying them.
   void start_phase(const std::vector<event::ExternalEvent>& events);
   void start_phase(std::vector<event::ExternalEvent>&& events);
+  /// Block-mode phase start (requires EngineOptions::block): `remote`
+  /// carries the reassembled cross-boundary deliveries for this phase,
+  /// addressed by *global* internal index inside the block; they are
+  /// translated to local indices and injected as the phase's virtual
+  /// index-0 inputs before any in-block pair of the phase executes (the
+  /// watermark handshake makes the set complete at call time). The vector
+  /// is consumed (payloads moved out).
+  void start_phase(const std::vector<event::ExternalEvent>& events,
+                   std::vector<Scheduler::Delivery>& remote);
   /// Blocks until every started phase has completed, then stops workers.
   /// If any module threw during execution, the first exception is rethrown
   /// here (the failed pair is treated as having produced no output, so the
@@ -170,16 +221,42 @@ class Engine final : public Executor {
   /// Moves every pair into the run queue under one lock acquisition and
   /// clears `ready` so the caller can reuse the buffer.
   void enqueue_ready(std::vector<Scheduler::ReadyPair>& ready);
-  /// Shared tail of the two start_phase overloads: `bundles` holds one
-  /// pre-reserved bundle per source vertex.
-  void start_phase_bundles(std::vector<event::InputBundle>& bundles);
+  /// Shared tail of the start_phase overloads: `bundles` holds one
+  /// pre-reserved bundle per signal source; `injected` carries block-mode
+  /// remote deliveries already translated to local indices.
+  void start_phase_bundles(std::vector<event::InputBundle>& bundles,
+                           std::span<Scheduler::Delivery> injected = {});
   /// Sizes env_bundles_ and reserves per-source counts for `events`.
   void reserve_source_bundles(const std::vector<event::ExternalEvent>& events);
+  /// Block mode: splits an executed pair's deliveries into in-block ones
+  /// (translated global -> local in place, compacted to the vector front)
+  /// and egress ones (handed to the BlockScope::egress hook with their
+  /// global index). No-op pass-through when no block scope is set. Called
+  /// from both worker loops outside any engine lock.
+  void route_deliveries(std::vector<Scheduler::Delivery>& deliveries,
+                        event::PhaseId phase);
+
+  /// Scheduling geometry resolved from options before member construction:
+  /// the m-vector the schedulers index by (global or block-local), how many
+  /// leading local indices are environment-signalled sources, and the
+  /// local<->global index translation.
+  struct BlockPlan {
+    std::vector<std::uint32_t> m;
+    std::uint32_t signal_sources = Scheduler::kAllSources;
+    std::uint32_t offset = 0;     // global == local + offset
+    std::uint32_t block_end = 0;  // global index of the last block vertex
+  };
+  static BlockPlan plan_scope(const Program& program,
+                              const EngineOptions& options);
+  Engine(const Program& program, EngineOptions options, BlockPlan plan);
 
   ProgramInstance instance_;
   EngineOptions options_;
   Scheduler scheduler_;
   SinkStore sinks_;
+  std::uint32_t offset_ = 0;     // block mode: global == local + offset_
+  std::uint32_t block_end_ = 0;  // block mode: last owned global index
+  SinkStore* sink_target_ = nullptr;  // where workers record (usually own)
 
   // Sharded mode (PR 4 tentpole; DESIGN.md "Sharded scheduler"). Non-null
   // iff scheduler_shards > 1 resolved to the sharded path; the flat

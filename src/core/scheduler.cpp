@@ -7,10 +7,14 @@
 
 namespace df::core {
 
-Scheduler::Scheduler(std::vector<std::uint32_t> m)
+Scheduler::Scheduler(std::vector<std::uint32_t> m,
+                     std::uint32_t signal_sources)
     : m_(std::move(m)), n_(static_cast<std::uint32_t>(m_.size() - 1)) {
   DF_CHECK(!m_.empty(), "m vector must have at least m(0)");
   DF_CHECK(m_[n_] == n_, "m(N) != N — numbering is not satisfactory");
+  signal_sources_ = signal_sources == kAllSources ? m_[0] : signal_sources;
+  DF_CHECK(signal_sources_ <= m_[0],
+           "signal sources must be a prefix of 1..m(0)");
   words_ = (n_ + 1 + 63) / 64;
   vertices_.resize(n_ + 1);
 }
@@ -103,17 +107,26 @@ std::uint32_t Scheduler::x(event::PhaseId p) const {
 void Scheduler::start_phase(event::PhaseId p,
                             std::span<event::InputBundle> bundles,
                             std::vector<ReadyPair>& out_ready) {
+  start_phase(p, bundles, std::span<Delivery>{}, out_ready);
+}
+
+void Scheduler::start_phase(event::PhaseId p,
+                            std::span<event::InputBundle> bundles,
+                            std::span<Delivery> injected,
+                            std::vector<ReadyPair>& out_ready) {
   // Listing 2, statements 11-19.
   DF_CHECK(p == pmax_ + 1, "phases must start in order: expected ", pmax_ + 1,
            ", got ", p);
-  DF_CHECK(bundles.size() == m_[0], "need one bundle per source vertex");
+  DF_CHECK(bundles.size() == signal_sources_,
+           "need one bundle per signal-source vertex");
   pmax_ = p;
   PhaseSlot& slot = push_phase(p);
 
-  // Source vertices are exactly internal indices 1..m(0); each receives its
-  // external bundle plus the implicit phase signal, entering the full set
-  // directly (x_p = 0 and 0 < v <= m(0) = m(x_p)).
-  for (std::uint32_t s = 1; s <= m_[0]; ++s) {
+  // Signal-source vertices are a prefix 1..S of the index space (the whole
+  // 1..m(0) for a full program); each receives its external bundle plus the
+  // implicit phase signal, entering the full set directly (x_p = 0 and
+  // 0 < v <= S <= m(0) = m(x_p)).
+  for (std::uint32_t s = 1; s <= signal_sources_; ++s) {
     VertexState& vs = vertices_[s];
     DF_DCHECK(vs.full_empty() || vs.full_phases.back() < p,
               "duplicate phase start");
@@ -122,6 +135,35 @@ void Scheduler::start_phase(event::PhaseId p,
     ++slot.pending_count;
     vs.push_full(p);
     affected_.push_back(s);
+  }
+
+  // Remote deliveries enter partial exactly like apply_finish's delivery
+  // loop — as if a virtual index-0 vertex finished before any local pair.
+  for (Delivery& d : injected) {
+    DF_CHECK(d.to_index > signal_sources_ && d.to_index <= n_,
+             "injected delivery must target a non-source block vertex, got ",
+             d.to_index);
+    if (!bit_test(slot.partial_bits, d.to_index)) {
+      slot.bundle[d.to_index] = pool_.acquire();
+      bit_set(slot.partial_bits, d.to_index);
+      ++slot.partial_count;
+      bit_set(slot.pending_bits, d.to_index);
+      ++slot.pending_count;
+    }
+    pool_.at(slot.bundle[d.to_index])
+        .push_back(event::Message{d.to_port, std::move(d.value)});
+  }
+
+  if (!injected.empty() || signal_sources_ == 0) {
+    // Block-scoped start (see the header): run the full Listing 1 tail now.
+    // Injected vertices whose predecessors are all remote sit at or below
+    // m(x_p) already and must be promoted and issued here (no local finish
+    // may ever reference this phase), and a phase that started with nothing
+    // pending retires on the spot. The pass is phase-p-local: p is the
+    // newest phase, so no other slot is visited.
+    update_x_from(p);
+    promote_newly_full(p);
+    retire_completed();
   }
   collect_ready(out_ready);
 }

@@ -95,8 +95,23 @@ class Scheduler {
     friend bool operator==(const Snapshot&, const Snapshot&) = default;
   };
 
+  /// Sentinel for the `signal_sources` constructor parameter: every vertex
+  /// in 1..m(0) receives the per-phase signal (the whole-program default).
+  static constexpr std::uint32_t kAllSources = 0xffffffffu;
+
   /// `m` is the numbering's m-vector (m[0..N]); n = m.size() - 1.
-  explicit Scheduler(std::vector<std::uint32_t> m);
+  /// `signal_sources` is the number of vertices (a prefix 1..S of the
+  /// index space, S <= m(0)) that receive the implicit per-phase signal in
+  /// start_phase. The default covers all of m(0) — correct for a whole
+  /// program, where "no in-graph predecessors" and "driven by the
+  /// environment" coincide. For a *block-local* scheduler (transport
+  /// two-level mode) they diverge: m_loc(0) counts every vertex with no
+  /// in-block predecessor, but only the block's true program sources (the
+  /// global 1..m(0) range clipped to the block — a prefix of the block)
+  /// are environment-driven; the rest wake up only when remote deliveries
+  /// are injected (the start_phase `injected` span).
+  explicit Scheduler(std::vector<std::uint32_t> m,
+                     std::uint32_t signal_sources = kAllSources);
 
   /// Environment side (Listing 2 loop body): starts phase pmax+1. Source
   /// vertex i (1-based source ordinal, internal index == ordinal) receives
@@ -105,6 +120,21 @@ class Scheduler {
   /// reuses the buffer). `p` must equal pmax() + 1. The bundles are moved
   /// from; the span's backing vector can be reused by the caller.
   void start_phase(event::PhaseId p, std::span<event::InputBundle> bundles,
+                   std::vector<ReadyPair>& out_ready);
+
+  /// Block-scoped form: additionally injects `injected` (deliveries from
+  /// outside this scheduler's index space, e.g. reassembled remote frames)
+  /// into phase p as if a virtual index-0 vertex had finished first —
+  /// every target enters partial exactly like an in-graph delivery, before
+  /// any local pair of the phase executes. Targets must lie above the
+  /// signal-source prefix (remote traffic never addresses a true source).
+  /// When the phase starts with no signal sources, or when injection may
+  /// have completed vertices' bundles (all-remote-predecessor vertices),
+  /// the frontier/promotion/retire/collect pass runs immediately so such
+  /// pairs are issued — and a phase with no work at all retires on the
+  /// spot instead of waiting for a finish_execution that will never come.
+  void start_phase(event::PhaseId p, std::span<event::InputBundle> bundles,
+                   std::span<Delivery> injected,
                    std::vector<ReadyPair>& out_ready);
 
   /// Worker side (Listing 1, statements 4-31): records that (vertex, p)
@@ -142,7 +172,9 @@ class Scheduler {
   std::size_t bundle_pool_slots() const { return pool_.slot_count(); }
 
   std::uint32_t n() const { return n_; }
-  std::uint32_t source_count() const { return m_[0]; }
+  /// Number of vertices receiving the per-phase signal (== m(0) unless a
+  /// block-local signal-source prefix was configured).
+  std::uint32_t source_count() const { return signal_sources_; }
 
   /// Pre-sizes every internal structure for a run with at most
   /// `max_inflight_phases` active phases and up to `live_bundles` pairs
@@ -184,6 +216,7 @@ class Scheduler {
 
   std::vector<std::uint32_t> m_;
   std::uint32_t n_;
+  std::uint32_t signal_sources_;  // prefix 1..S gets the phase signal
   std::uint32_t words_;  // bitset words per phase slot
   event::PhaseId pmax_ = 0;
   event::PhaseId completed_through_ = 0;

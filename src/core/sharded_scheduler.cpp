@@ -9,16 +9,22 @@ namespace df::core {
 
 ShardedScheduler::ShardedScheduler(std::vector<std::uint32_t> m,
                                    graph::ShardMap shards,
-                                   std::size_t capacity)
+                                   std::size_t capacity,
+                                   std::uint32_t signal_sources)
     : m_(std::move(m)),
       shards_(std::move(shards)),
       n_(static_cast<std::uint32_t>(m_.size() - 1)),
+      signal_sources_(signal_sources == Scheduler::kAllSources
+                          ? m_[0]
+                          : signal_sources),
       capacity_(capacity),
       locks_(shards_.shard_count()),
       global_slots_(capacity),
       x_pub_(std::make_unique<conc::AtomicFrontier[]>(capacity)) {
   DF_CHECK(!m_.empty(), "m vector must have at least m(0)");
   DF_CHECK(m_[n_] == n_, "m(N) != N — numbering is not satisfactory");
+  DF_CHECK(signal_sources_ <= m_[0],
+           "signal sources must be a prefix of 1..m(0)");
   DF_CHECK(capacity_ >= 1, "need room for at least one in-flight phase");
   DF_CHECK(shards_.vertex_count() == n_,
            "shard map does not cover internal indices 1..N");
@@ -116,10 +122,18 @@ void ShardedScheduler::issue_if_ready(Shard& shard, std::uint32_t v,
 void ShardedScheduler::start_phase(event::PhaseId p,
                                    std::span<event::InputBundle> bundles,
                                    std::vector<ReadyPair>& out_ready) {
+  start_phase(p, bundles, std::span<Delivery>{}, out_ready);
+}
+
+bool ShardedScheduler::start_phase(event::PhaseId p,
+                                   std::span<event::InputBundle> bundles,
+                                   std::span<Delivery> injected,
+                                   std::vector<ReadyPair>& out_ready) {
   std::lock_guard wl(window_mutex_);
   DF_CHECK(p == pmax_ + 1, "phases must start in order: expected ", pmax_ + 1,
            ", got ", p);
-  DF_CHECK(bundles.size() == m_[0], "need one bundle per source vertex");
+  DF_CHECK(bundles.size() == signal_sources_,
+           "need one bundle per signal-source vertex");
   DF_CHECK(active_count_ < capacity_,
            "phase window exceeded the sharded scheduler's slot capacity");
   GlobalSlot& gs = global_slots_[slot_index(p)];
@@ -137,17 +151,17 @@ void ShardedScheduler::start_phase(event::PhaseId p,
   ++active_count_;
   active_atomic_.store(active_count_, std::memory_order_release);
 
-  // Sources are exactly internal indices 1..m(0); walk the shards they
-  // span in ascending order, entering pairs into full and issuing the
-  // issuable ones — ascending shards means the issue order matches the
-  // flat scheduler's ascending-vertex collect.
-  const std::uint32_t m0 = m_[0];
+  // Signal sources are the prefix 1..S (all of 1..m(0) for a full
+  // program); walk the shards they span in ascending order, entering pairs
+  // into full and issuing the issuable ones — ascending shards means the
+  // issue order matches the flat scheduler's ascending-vertex collect.
+  const std::uint32_t s_hi_v = signal_sources_;
   for (std::size_t s = 0;
-       s < shard_count() && shard_state_[s].begin <= m0; ++s) {
+       s < shard_count() && shard_state_[s].begin <= s_hi_v; ++s) {
     Shard& shard = shard_state_[s];
     std::lock_guard sl(locks_.at(s));
     ShardSeg& seg = ensure_seg(shard, slot_index(p));
-    const std::uint32_t hi = std::min(m0, shard.end);
+    const std::uint32_t hi = std::min(s_hi_v, shard.end);
     for (std::uint32_t v = shard.begin; v <= hi; ++v) {
       VertexSchedState& vs = shard.vertices[v - shard.begin];
       DF_DCHECK(vs.full_empty() || vs.full_phases.back() < p,
@@ -161,6 +175,32 @@ void ShardedScheduler::start_phase(event::PhaseId p,
       issue_if_ready(shard, v, out_ready);
     }
   }
+
+  // Remote deliveries enter partial under their target shard's lock, one
+  // contiguous run of same-shard targets per acquisition.
+  for (std::size_t i = 0; i < injected.size();) {
+    const std::uint32_t shard_idx = shards_.shard_of[injected[i].to_index];
+    Shard& shard = shard_state_[shard_idx];
+    std::lock_guard sl(locks_.at(shard_idx));
+    do {
+      Delivery& d = injected[i];
+      DF_CHECK(d.to_index > signal_sources_ && d.to_index <= n_,
+               "injected delivery must target a non-source block vertex, "
+               "got ", d.to_index);
+      deliver_locked(shard, slot_index(p), d);
+      ++i;
+    } while (i < injected.size() &&
+             shards_.shard_of[injected[i].to_index] == shard_idx);
+  }
+
+  if (!injected.empty() || signal_sources_ == 0) {
+    // Block-scoped start: the engine paces collects by applied finishes,
+    // and injection applies none — run the pass inline so injected pairs
+    // whose predecessors are all remote get promoted and issued, and an
+    // empty phase retires instead of waiting forever (see the header).
+    return collect_locked(out_ready);
+  }
+  return false;
 }
 
 void ShardedScheduler::deliver_locked(Shard& shard, std::size_t slot,
@@ -355,6 +395,10 @@ void ShardedScheduler::collect_shard_ready(std::size_t s,
 
 bool ShardedScheduler::collect(std::vector<ReadyPair>& out_ready) {
   std::lock_guard wl(window_mutex_);
+  return collect_locked(out_ready);
+}
+
+bool ShardedScheduler::collect_locked(std::vector<ReadyPair>& out_ready) {
   if (active_count_ == 0) {
     return false;
   }

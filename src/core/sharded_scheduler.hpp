@@ -71,8 +71,13 @@ class ShardedScheduler {
   /// 1..N (graph::make_shard_map over a Partitioning from the same
   /// numbering). `capacity` bounds the number of concurrently active
   /// phases; start_phase fails if the window would exceed it.
+  /// `signal_sources` has the flat scheduler's semantics: the prefix 1..S
+  /// receiving the per-phase signal, defaulting to all of m(0)
+  /// (Scheduler::kAllSources); block-local instances pass the block's true
+  /// program-source count.
   ShardedScheduler(std::vector<std::uint32_t> m, graph::ShardMap shards,
-                   std::size_t capacity);
+                   std::size_t capacity,
+                   std::uint32_t signal_sources = Scheduler::kAllSources);
 
   ShardedScheduler(const ShardedScheduler&) = delete;
   ShardedScheduler& operator=(const ShardedScheduler&) = delete;
@@ -82,6 +87,18 @@ class ShardedScheduler {
   /// Safe to call concurrently with apply_finish_batch, but phases must be
   /// started by one thread in order (p == pmax() + 1).
   void start_phase(event::PhaseId p, std::span<event::InputBundle> bundles,
+                   std::vector<ReadyPair>& out_ready);
+
+  /// Block-scoped form (mirrors Scheduler's injected overload): remote
+  /// deliveries enter partial under the target shards' locks before any
+  /// local pair of the phase runs. When injection occurred or no signal
+  /// sources exist, a full collect pass runs inline under the window lock
+  /// (injection produces no applies, so the engine's apply-paced
+  /// maybe_collect would otherwise never issue the injected pairs — and an
+  /// empty phase must retire immediately). Returns true when
+  /// completed_through() advanced during that inline collect.
+  bool start_phase(event::PhaseId p, std::span<event::InputBundle> bundles,
+                   std::span<Delivery> injected,
                    std::vector<ReadyPair>& out_ready);
 
   /// Stage 1 of the drain: records every staged finish's set updates
@@ -122,7 +139,9 @@ class ShardedScheduler {
   std::uint32_t x(event::PhaseId p) const;
 
   std::uint32_t n() const { return n_; }
-  std::uint32_t source_count() const { return m_[0]; }
+  /// Number of vertices receiving the per-phase signal (== m(0) unless a
+  /// block-local signal-source prefix was configured).
+  std::uint32_t source_count() const { return signal_sources_; }
   std::size_t shard_count() const { return shards_.shard_count(); }
   std::size_t capacity() const { return capacity_; }
 
@@ -243,9 +262,15 @@ class ShardedScheduler {
   /// Retires the oldest active phase (x == N). Window lock held.
   void retire_front();
 
+  /// Body of collect() with the window lock already held (start_phase's
+  /// inline collect shares it). Returns true when completed_through_
+  /// advanced.
+  bool collect_locked(std::vector<ReadyPair>& out_ready);
+
   std::vector<std::uint32_t> m_;
   graph::ShardMap shards_;
   std::uint32_t n_;
+  std::uint32_t signal_sources_;
   std::size_t capacity_;
 
   mutable std::mutex window_mutex_;

@@ -5,12 +5,12 @@
 #include <deque>
 #include <map>
 #include <mutex>
-#include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <utility>
 
+#include "core/engine.hpp"
 #include "distrib/wire.hpp"
 #include "support/check.hpp"
 #include "support/stopwatch.hpp"
@@ -27,53 +27,188 @@ class peer_closed_error : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// A batch flushes as soon as its payload reaches this size, so memory per
-/// egress link stays bounded no matter how chatty a phase is (multiple
-/// batch frames per phase are legal; each carries the same phase id).
+/// A batch's payload is finished (encoded into a held frame) as soon as it
+/// reaches this size, so memory per open (link, phase) stays bounded no
+/// matter how chatty a phase is (multiple batch frames per phase are legal;
+/// each carries the same phase id).
 constexpr std::size_t kBatchFlushBytes = std::size_t{48} * 1024;
 
-/// Sender side of one egress channel: assigns the per-channel sequence
-/// numbers, accumulates the current phase's deliveries into one
-/// kDeliveryBatch frame (encoded incrementally — nothing is staged as live
-/// objects), and owns the encode scratch buffer. Both buffers retain their
-/// capacity across phases, so a warmed-up sender encodes and flushes with
-/// zero allocations.
-struct EgressLink {
-  explicit EgressLink(Channel* channel) : channel(channel) {}
-
-  Channel* channel;
-  std::uint64_t next_seq = 0;
-  std::vector<std::uint8_t> buf;
-  wire::BatchEncoder batch;
-
-  void add_delivery(event::PhaseId phase, const core::Delivery& delivery,
-                    TransportStats& stats) {
-    batch.add(delivery);
-    if (batch.payload_bytes() >= kBatchFlushBytes) {
-      flush(phase, stats);
+/// Concurrent egress side of one partition: owns every egress link of the
+/// block. The block engine's workers add boundary-crossing deliveries from
+/// any thread (serialized per link by that link's mutex); the engine's
+/// phase-completion hook flushes completed phases in watermark order.
+///
+/// Because the worker pool pipelines phases, deliveries for phase q arrive
+/// while earlier phases are still open — but a frame for phase q must not
+/// reach the peer before watermark q-1 (the receiver's phase window
+/// rejects it), and the per-channel seq must reflect send order. So each
+/// link holds one in-progress batch per open phase and sends nothing until
+/// the phase completes; oversized batches are encoded early into held
+/// frames with a placeholder seq (bounding memory at ~kBatchFlushBytes per
+/// open (link, phase)) and wire::patch_seq stamps the real number at send
+/// time. Sub-threshold traffic keeps the frames-per-phase ceiling: exactly
+/// one kDeliveryBatch (if any deliveries) plus one kWatermark per channel
+/// per phase.
+///
+/// The add -> flush ordering needs no extra fence: a phase-q delivery is
+/// added while its producing pair executes, the pair's finish is applied
+/// afterwards, and only then can phase q complete and trigger the flush —
+/// with the link mutex serializing add against flush.
+class EgressHub {
+ public:
+  explicit EgressHub(const std::vector<Channel*>& channels) {
+    links_.reserve(channels.size());
+    for (Channel* channel : channels) {
+      links_.push_back(std::make_unique<Link>());
+      links_.back()->channel = channel;
     }
   }
 
-  void flush(event::PhaseId phase, TransportStats& stats) {
-    if (batch.pending() == 0) {
-      return;
+  /// Routes one boundary-crossing delivery into link `link_index`'s batch
+  /// for `phase`. Called from engine worker threads.
+  void add(std::size_t link_index, event::PhaseId phase,
+           core::Delivery&& delivery) {
+    Link& link = *links_[link_index];
+    std::lock_guard lock(link.mutex);
+    ++link.stats.remote_messages;
+    if (link.failed) {
+      return;  // peer unreachable; the run is already aborting
     }
-    stats.batched_deliveries += batch.pending();
-    batch.finish(next_seq++, phase, buf);
-    channel->send(buf);
-    ++stats.frames_sent;
-    ++stats.batch_frames_sent;
-    stats.bytes_sent += buf.size();
+    DF_CHECK(phase > link.flushed_through,
+             "egress delivery for phase ", phase,
+             " after its watermark was flushed");
+    PhaseBatch& batch = link.batches[phase];
+    batch.encoder.add(delivery);
+    if (batch.encoder.payload_bytes() >= kBatchFlushBytes) {
+      link.stats.batched_deliveries += batch.encoder.pending();
+      batch.held_frames.emplace_back();
+      // Send order (and therefore this frame's seq) is unknown until the
+      // phase completes; patch_seq fills it in inside flush_through.
+      batch.encoder.finish(/*seq=*/0, phase, batch.held_frames.back());
+    }
   }
 
-  void send_watermark(event::PhaseId phase, TransportStats& stats) {
-    flush(phase, stats);
-    wire::encode_watermark(next_seq++, phase, buf);
-    channel->send(buf);
-    ++stats.frames_sent;
-    ++stats.watermarks_sent;
-    stats.bytes_sent += buf.size();
+  /// Sends every unflushed phase <= p, in phase order, each phase's
+  /// batches followed by its watermark. Monotone and idempotent per link,
+  /// so out-of-order completion callbacks from concurrent workers are
+  /// safe. Send failures mark the link failed and record the first error
+  /// instead of throwing (callers run inside engine worker loops).
+  void flush_through(event::PhaseId p) {
+    for (std::unique_ptr<Link>& entry : links_) {
+      Link& link = *entry;
+      std::lock_guard lock(link.mutex);
+      while (!link.failed && link.flushed_through < p) {
+        const event::PhaseId q = link.flushed_through + 1;
+        try {
+          flush_phase_locked(link, q);
+        } catch (...) {
+          record_error(std::current_exception());
+          link.failed = true;
+          break;
+        }
+        link.flushed_through = q;
+      }
+    }
   }
+
+  void close_all() {
+    for (std::unique_ptr<Link>& entry : links_) {
+      Link& link = *entry;
+      std::lock_guard lock(link.mutex);
+      try {
+        link.channel->close_send();
+      } catch (...) {
+        record_error(std::current_exception());
+        link.failed = true;
+      }
+    }
+  }
+
+  std::exception_ptr error() {
+    std::lock_guard lock(error_mutex_);
+    return error_;
+  }
+
+  void fold_stats(TransportStats& total) {
+    for (std::unique_ptr<Link>& entry : links_) {
+      Link& link = *entry;
+      std::lock_guard lock(link.mutex);
+      total.frames_sent += link.stats.frames_sent;
+      total.bytes_sent += link.stats.bytes_sent;
+      total.batch_frames_sent += link.stats.batch_frames_sent;
+      total.batched_deliveries += link.stats.batched_deliveries;
+      total.watermarks_sent += link.stats.watermarks_sent;
+      total.remote_messages += link.stats.remote_messages;
+    }
+  }
+
+ private:
+  struct LinkStats {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t batch_frames_sent = 0;
+    std::uint64_t batched_deliveries = 0;
+    std::uint64_t watermarks_sent = 0;
+    std::uint64_t remote_messages = 0;
+  };
+
+  /// One (link, phase) accumulation: the in-progress incremental batch
+  /// plus any threshold-overflow frames already encoded and awaiting their
+  /// send-time seq.
+  struct PhaseBatch {
+    wire::BatchEncoder encoder;
+    std::vector<std::vector<std::uint8_t>> held_frames;
+  };
+
+  struct Link {
+    Channel* channel = nullptr;
+    std::mutex mutex;
+    std::uint64_t next_seq = 0;
+    event::PhaseId flushed_through = 0;
+    bool failed = false;
+    std::map<event::PhaseId, PhaseBatch> batches;
+    std::vector<std::uint8_t> buf;  // encode scratch, capacity retained
+    LinkStats stats;
+  };
+
+  void flush_phase_locked(Link& link, event::PhaseId q) {
+    const auto it = link.batches.find(q);
+    if (it != link.batches.end()) {
+      PhaseBatch& batch = it->second;
+      for (std::vector<std::uint8_t>& frame : batch.held_frames) {
+        wire::patch_seq(frame, link.next_seq++);
+        link.channel->send(frame);
+        ++link.stats.frames_sent;
+        ++link.stats.batch_frames_sent;
+        link.stats.bytes_sent += frame.size();
+      }
+      if (batch.encoder.pending() > 0) {
+        link.stats.batched_deliveries += batch.encoder.pending();
+        batch.encoder.finish(link.next_seq++, q, link.buf);
+        link.channel->send(link.buf);
+        ++link.stats.frames_sent;
+        ++link.stats.batch_frames_sent;
+        link.stats.bytes_sent += link.buf.size();
+      }
+      link.batches.erase(it);
+    }
+    wire::encode_watermark(link.next_seq++, q, link.buf);
+    link.channel->send(link.buf);
+    ++link.stats.frames_sent;
+    ++link.stats.watermarks_sent;
+    link.stats.bytes_sent += link.buf.size();
+  }
+
+  void record_error(std::exception_ptr error) {
+    std::lock_guard lock(error_mutex_);
+    if (!error_) {
+      error_ = std::move(error);
+    }
+  }
+
+  std::vector<std::unique_ptr<Link>> links_;
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
 };
 
 /// Recycles received-frame buffers between the engine thread (which
@@ -285,24 +420,23 @@ void reader_main(Channel* channel, std::size_t src, IngressQueue& queue,
 
 }  // namespace
 
-/// Everything one partition engine owns: its block bounds, its own
-/// ProgramInstance (constructed exactly like the sequential reference's, so
-/// per-vertex module state and rng streams agree bit-for-bit — a real
-/// deployment would ship the same program to every machine), its channel
-/// endpoints, and its pre-routed external events. `ingress_channels` and
-/// `sequencers` are parallel vectors over upstream blocks 0..block-1 in
-/// ascending order; `queue` sits between the per-channel reader threads
-/// and the engine thread.
+/// Everything one partition engine owns: its block bounds, its channel
+/// endpoints, and its pre-routed external events. The block's own
+/// core::Engine (which instantiates the full program, so per-vertex module
+/// state and rng streams agree bit-for-bit with the sequential reference)
+/// is constructed inside engine_main. `ingress_channels` and `sequencers`
+/// are parallel vectors over upstream blocks 0..block-1 in ascending
+/// order; `queue` sits between the per-channel reader threads and the
+/// coordinator thread.
 struct TransportEngine::EngineState {
   std::size_t block = 0;
   std::uint32_t begin = 1;  // inclusive internal range; begin > end if empty
   std::uint32_t end = 0;
-  std::unique_ptr<core::ProgramInstance> instance;
   std::vector<Channel*> ingress_channels;
   std::vector<IngressSequencer> sequencers;
   std::unique_ptr<IngressQueue> queue;
   BufferPool pool;  // recycles frame buffers engine -> readers
-  std::vector<EgressLink> egress;  // to blocks block+1.., ascending
+  std::vector<Channel*> egress_channels;  // to blocks block+1.., ascending
   std::vector<std::vector<event::ExternalEvent>> events;  // [phase - 1]
   core::ExecStats stats;
   TransportStats tstats;
@@ -318,6 +452,12 @@ TransportEngine::TransportEngine(const core::Program& program,
                                                     options_.machines)
                         : options_.partitioning) {
   DF_CHECK(options_.machines >= 1, "transport needs at least one machine");
+  DF_CHECK(options_.engine_threads >= 1,
+           "transport needs at least one engine thread per block");
+  DF_CHECK(options_.scheduler_shards >= 1,
+           "transport needs at least one scheduler shard per block");
+  DF_CHECK(options_.max_inflight_phases >= 1,
+           "transport block engines need a finite phase window");
   const auto n = static_cast<std::uint32_t>(program_.numbering.size());
   graph::validate_partition_cut(partitioning_, n, options_.machines);
   owner_.assign(n + 1, 0);
@@ -331,6 +471,12 @@ TransportEngine::TransportEngine(const core::Program& program,
 
 void TransportEngine::engine_main(EngineState& state,
                                   event::PhaseId num_phases) {
+  // The egress hub and the block engine outlive the try below: the catch
+  // path must capture the engine's partial stats and close the hub's
+  // channels, and the stats fold at the bottom runs on both paths.
+  EgressHub hub(state.egress_channels);
+  std::unique_ptr<core::Engine> engine;
+
   // One reader per ingress channel for the whole run; they exit at channel
   // EOF (every sender closes its egress on completion *and* on abort, so
   // EOF always arrives).
@@ -359,28 +505,50 @@ void TransportEngine::engine_main(EngineState& state,
   };
 
   try {
-    core::ProgramInstance& instance = *state.instance;
-    const std::uint32_t n = instance.n();
-    // Messages waiting per vertex within the current phase; only this
-    // block's slots are ever populated (plus the check below proves it).
-    std::vector<std::optional<event::InputBundle>> pending(n + 1);
+    const auto n = static_cast<std::uint32_t>(program_.numbering.size());
 
-    // Routes one remote delivery into its pending bundle. Batch payloads
-    // decode straight into this — one Value materialization per delivery,
-    // no intermediate collection.
-    const auto deliver_remote = [this, &state, &pending,
-                                 n](core::Delivery&& d) {
+    // The block's full worker pool: a core::Engine scoped to [begin, end].
+    // Its egress hook routes boundary-crossing deliveries into the hub's
+    // per-(channel, phase) batches, and its phase-completion hook flushes
+    // them (batches, then watermark) the moment the phase's last finish is
+    // applied — from whichever worker applied it.
+    core::EngineOptions eopts;
+    eopts.threads = options_.engine_threads;
+    eopts.scheduler_shards = options_.scheduler_shards;
+    eopts.max_inflight_phases = options_.max_inflight_phases;
+    core::EngineOptions::BlockScope scope;
+    scope.begin = state.begin;
+    scope.end = state.end;
+    scope.egress = [this, &state, &hub, n](core::Delivery&& d,
+                                           event::PhaseId phase) {
+      DF_CHECK(d.to_index >= 1 && d.to_index <= n, "egress delivery for ",
+               "out-of-range internal index ", d.to_index);
+      const std::size_t dest = owner_[d.to_index];
+      DF_CHECK(dest > state.block,
+               "backward cross-partition delivery for internal index ",
+               d.to_index);
+      hub.add(dest - state.block - 1, phase, std::move(d));
+    };
+    scope.sinks = &sinks_;  // shared store; record_batch is thread-safe
+    eopts.block = std::move(scope);
+    eopts.on_phase_complete = [&hub](event::PhaseId completed) {
+      hub.flush_through(completed);
+    };
+    engine = std::make_unique<core::Engine>(program_, std::move(eopts));
+    engine->start();
+
+    // Reassembled remote deliveries for the phase being opened, still
+    // addressed by global internal index; start_phase consumes them.
+    std::vector<core::Delivery> remote;
+    const auto deliver_remote = [this, &state, &remote, n](core::Delivery&& d) {
       DF_CHECK(d.to_index >= 1 && d.to_index <= n &&
                    owner_[d.to_index] == state.block,
                "misrouted delivery for internal index ", d.to_index);
-      if (!pending[d.to_index].has_value()) {
-        pending[d.to_index].emplace();
-      }
-      pending[d.to_index]->push_back(
-          event::Message{d.to_port, std::move(d.value)});
+      remote.push_back(std::move(d));
     };
 
     for (event::PhaseId p = 1; p <= num_phases; ++p) {
+      remote.clear();
       // Phase-advance handshake: ingest every upstream block's phase-p
       // deliveries, in ascending block order, blocking on each until its
       // watermark arrives. Ascending block order = ascending sender index
@@ -441,66 +609,35 @@ void TransportEngine::engine_main(EngineState& state,
           state.pool.release(std::move(raw.bytes));
         }
       }
-      for (const event::ExternalEvent& ev : state.events[p - 1]) {
-        const std::uint32_t index = instance.internal_index(ev.vertex);
-        if (!pending[index].has_value()) {
-          pending[index].emplace();
-        }
-        pending[index]->push_back(event::Message{ev.port, ev.value});
-      }
 
-      // Execute this block in index order — Δ-semantics identical to the
-      // sequential reference's sweep restricted to [begin, end].
-      for (std::uint32_t v = state.begin; v <= state.end; ++v) {
-        const bool is_source = instance.is_source(v);
-        if (!is_source && !pending[v].has_value()) {
-          continue;  // no input changed: execution unnecessary this phase
-        }
-        const event::InputBundle bundle =
-            pending[v].has_value() ? std::move(*pending[v])
-                                   : event::InputBundle{};
-        pending[v].reset();
-
-        support::Stopwatch compute_timer;
-        core::ExecutionResult result =
-            core::execute_vertex(instance, v, p, bundle);
-        state.stats.compute_ns += compute_timer.elapsed_ns();
-        ++state.stats.executed_pairs;
-
-        for (core::Delivery& d : result.deliveries) {
-          DF_CHECK(d.to_index > v, "delivery to an already-visited vertex");
-          const std::uint32_t dest = owner_[d.to_index];
-          if (dest == state.block) {
-            if (!pending[d.to_index].has_value()) {
-              pending[d.to_index].emplace();
-            }
-            pending[d.to_index]->push_back(
-                event::Message{d.to_port, std::move(d.value)});
-            ++state.tstats.local_messages;
-          } else {
-            state.egress[dest - state.block - 1].add_delivery(p, d,
-                                                              state.tstats);
-            ++state.tstats.remote_messages;
-          }
-          ++state.stats.messages_delivered;
-        }
-        state.stats.sink_records += result.sink_records.size();
-        sinks_.record_batch(std::move(result.sink_records));
-      }
-
-      for (EgressLink& out : state.egress) {
-        out.send_watermark(p, state.tstats);
-      }
-      ++state.stats.phases_completed;
+      // Open the phase window: external events plus the injected remote
+      // deliveries enter together, then the worker pool takes over. The
+      // call blocks while max_inflight_phases are active — the inner
+      // backpressure; meanwhile this block's readers keep draining ingress
+      // and its workers keep flushing egress, so the ensemble's
+      // no-deadlock argument is unchanged (DESIGN.md, "Two-level
+      // parallelism").
+      engine->start_phase(state.events[p - 1], remote);
     }
+
+    // Wait for every started phase to finish (rethrows the first module
+    // error after draining — watermarks for all phases were already
+    // flushed by the completion hook, so downstream is never left
+    // waiting). The flush_through below is belt-and-braces for the
+    // final callback having raced with finish(); it is idempotent.
+    engine->finish();
+    state.stats = engine->stats();
+    engine.reset();
+    if (hub.error() != nullptr) {
+      std::rethrow_exception(hub.error());
+    }
+    hub.flush_through(num_phases);
 
     // Normal teardown: tell downstream we are done first, then consume
     // trailing (necessarily duplicate) frames from upstream until every
     // reader reports EOF — see DESIGN.md, "Real transport", teardown
     // ordering.
-    for (EgressLink& out : state.egress) {
-      out.channel->close_send();
-    }
+    hub.close_all();
     while (open_channels > 0) {
       ingest_one();
     }
@@ -509,14 +646,18 @@ void TransportEngine::engine_main(EngineState& state,
     }
   } catch (...) {
     state.error = std::current_exception();
-    // Abort teardown: close egress so downstream observes the failure (a
-    // close before the expected watermark) and aborts in turn, then keep
-    // draining ingress to EOF so upstream senders never block forever on a
-    // full channel to us. Secondary reader errors are absorbed — the root
-    // cause is already recorded.
-    for (EgressLink& out : state.egress) {
-      out.channel->close_send();
+    // Abort teardown: capture whatever the block engine managed to do,
+    // then destroy it *first* (its destructor joins or abandons the
+    // workers, so no more egress traffic can be produced), close egress so
+    // downstream observes the failure (a close before the expected
+    // watermark) and aborts in turn, and keep draining ingress to EOF so
+    // upstream senders never block forever on a full channel to us.
+    // Secondary reader errors are absorbed — the root cause is recorded.
+    if (engine != nullptr) {
+      state.stats = engine->stats();
+      engine.reset();
     }
+    hub.close_all();
     while (open_channels > 0) {
       try {
         ingest_one();
@@ -532,6 +673,14 @@ void TransportEngine::engine_main(EngineState& state,
     state.tstats.bytes_received += in.bytes_received();
     state.tstats.duplicates_dropped += in.duplicates_dropped();
   }
+  hub.fold_stats(state.tstats);
+  // The engine counts every delivery (pre-routing); the hub counted the
+  // cross-boundary ones. Saturating on the abort path, where the stats
+  // snapshot may predate the hub's last add.
+  state.tstats.local_messages =
+      state.stats.messages_delivered >= state.tstats.remote_messages
+          ? state.stats.messages_delivered - state.tstats.remote_messages
+          : 0;
 }
 
 void TransportEngine::run(event::PhaseId num_phases, core::PhaseFeed* feed) {
@@ -545,7 +694,6 @@ void TransportEngine::run(event::PhaseId num_phases, core::PhaseFeed* feed) {
     states[k].block = k;
     states[k].begin = partitioning_.bounds[k] + 1;
     states[k].end = partitioning_.bounds[k + 1];
-    states[k].instance = std::make_unique<core::ProgramInstance>(program_);
     states[k].events.resize(num_phases);
     states[k].queue = std::make_unique<IngressQueue>(
         std::max<std::size_t>(8, options_.channel_capacity));
@@ -571,7 +719,7 @@ void TransportEngine::run(event::PhaseId num_phases, core::PhaseFeed* feed) {
         channel = options_.channel_wrapper(std::move(channel), j, k);
         DF_CHECK(channel != nullptr, "channel_wrapper returned null");
       }
-      states[j].egress.emplace_back(channel.get());
+      states[j].egress_channels.push_back(channel.get());
       states[k].ingress_channels.push_back(channel.get());
       states[k].sequencers.emplace_back();
       channels_.push_back(std::move(channel));
@@ -617,8 +765,11 @@ void TransportEngine::run(event::PhaseId num_phases, core::PhaseFeed* feed) {
     stats_.messages_delivered += state.stats.messages_delivered;
     stats_.sink_records += state.stats.sink_records;
     stats_.compute_ns += state.stats.compute_ns;
+    stats_.bookkeeping_ns += state.stats.bookkeeping_ns;
     stats_.phases_completed =
         std::min(stats_.phases_completed, state.stats.phases_completed);
+    stats_.max_inflight_phases =
+        std::max(stats_.max_inflight_phases, state.stats.max_inflight_phases);
     transport_stats_.frames_sent += state.tstats.frames_sent;
     transport_stats_.frames_received += state.tstats.frames_received;
     transport_stats_.bytes_sent += state.tstats.bytes_sent;
@@ -644,7 +795,6 @@ void TransportEngine::run(event::PhaseId num_phases, core::PhaseFeed* feed) {
     }
   }
   stats_.wall_seconds = wall.elapsed_s();
-  stats_.max_inflight_phases = 0;
   stats_.mean_inflight_phases = 0.0;
   if (root_error) {
     std::rethrow_exception(root_error);

@@ -8,8 +8,9 @@
 //   * the graph is cut into contiguous satisfactory-numbering blocks
 //     (graph::Partitioning, the same cuts the sharded scheduler aligns its
 //     state segments with); partition engine k owns block k and executes
-//     only its own vertices, on its own thread, against its own module
-//     state;
+//     only its own vertices — a coordinator thread paces the phase windows
+//     and a block-scoped core::Engine worker pool runs the pairs — against
+//     its own module state;
 //   * every ordered pair (j, k), j < k, gets one distrib::Channel carrying
 //     wire-encoded frames (distrib/wire.hpp) — cross-partition traffic is
 //     forward-only, the invariant the numbering guarantees, so no backward
@@ -36,12 +37,29 @@
 //     block k, bounded by channel capacity (in-process ring) or the kernel
 //     socket buffer — the transport's backpressure.
 //
-// Within a block, execution is phase-at-a-time in index order, which makes
-// the whole ensemble's sink output *byte-identical* to the sequential
-// reference (blocks are contiguous index ranges, so per-phase global index
-// order is preserved end-to-end); the differential suite in
-// test_transport.cpp asserts exactly that over the randomized program
-// corpus, both channel implementations, and fault-injected channels.
+// Within a block, execution is a full core::Engine — the paper's multicore
+// worker pool — scoped to the block (DESIGN.md, "Two-level parallelism"):
+// the engine's scheduler tables are sized to the block's contiguous index
+// range (graph::block_local_m), engine_threads workers execute in-block
+// pairs concurrently with phases pipelined up to max_inflight_phases, and
+// scheduler_shards sub-partition the block. The two seams:
+//
+//   * ingress: each phase's reassembled remote deliveries are injected as
+//     that phase's virtual index-0 inputs when its window opens (the
+//     watermark handshake guarantees the set is complete), so the block
+//     scheduler can promote remote-fed vertices exactly like locally-fed
+//     ones;
+//   * egress: boundary-crossing worker outputs land in per-(channel, phase)
+//     batches under a per-link mutex and are sent only when the engine
+//     reports the phase complete — watermark order is preserved and the
+//     sub-threshold frames-per-phase ceiling (one batch + one watermark per
+//     channel per phase) survives concurrent egress.
+//
+// The ensemble's sink output stays *byte-identical* (canonical order) to
+// the sequential reference; the differential suite in test_transport.cpp
+// asserts exactly that over the randomized program corpus, both channel
+// implementations, fault-injected channels, and the engine-threads x
+// shards matrix.
 //
 // Teardown ordering (also DESIGN.md): each engine closes its egress
 // channels immediately after its last watermark, then drains its ingress
@@ -81,6 +99,18 @@ struct TransportOptions {
   std::function<std::unique_ptr<Channel>(std::unique_ptr<Channel>,
                                          std::size_t, std::size_t)>
       channel_wrapper;
+  /// Worker threads of each per-block core::Engine (the inner level of the
+  /// two-level parallelism; the outer level is `machines`).
+  std::size_t engine_threads = 1;
+  /// Scheduler shards of each per-block engine, sub-partitioning the
+  /// block's local index range (clamped to the block size).
+  std::size_t scheduler_shards = 1;
+  /// Per-block engine phase window (EngineOptions::max_inflight_phases);
+  /// bounds how far a block's own pipeline runs ahead of its slowest
+  /// in-flight phase. Cross-block skew is bounded separately by
+  /// channel_capacity. Must be >= 1 (the per-block engines need a finite
+  /// window to pace the watermark flush).
+  std::size_t max_inflight_phases = 64;
 };
 
 /// Per-run wire accounting, summed over every engine. The differential

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <string>
 
+#include "support/check.hpp"
+
 namespace df::distrib::wire {
 
 namespace {
@@ -577,6 +579,17 @@ void encode_delivery(std::uint64_t seq, event::PhaseId phase,
 void encode_watermark(std::uint64_t seq, event::PhaseId phase,
                       std::vector<std::uint8_t>& out) {
   encode_header(FrameType::kWatermark, seq, phase, out, kVersion);
+}
+
+void patch_seq(std::span<std::uint8_t> frame, std::uint64_t seq) {
+  // Header layout: magic (3) + version (1) + type (1), then seq as u64 LE
+  // at offset 5 (see the module comment).
+  DF_CHECK(frame.size() >= kHeaderBytes,
+           "patch_seq needs a complete frame header, got ", frame.size(),
+           " bytes");
+  for (std::size_t i = 0; i < 8; ++i) {
+    frame[5 + i] = static_cast<std::uint8_t>(seq >> (8 * i));
+  }
 }
 
 void encode_delivery_batch(std::uint64_t seq, event::PhaseId phase,

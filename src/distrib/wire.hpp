@@ -118,6 +118,14 @@ void encode_delivery_batch(std::uint64_t seq, event::PhaseId phase,
                            std::span<const core::Delivery> deliveries,
                            std::vector<std::uint8_t>& out);
 
+/// Rewrites the sequence-number field of an already-encoded frame in place.
+/// The transport's two-level egress encodes batches for *future* phases
+/// while earlier phases are still open (a worker pool finishes pairs out of
+/// phase order), but the per-channel seq must reflect *send* order — so
+/// oversized batches are encoded with a placeholder seq and patched here at
+/// flush time. `frame` must hold at least a complete header.
+void patch_seq(std::span<std::uint8_t> frame, std::uint64_t seq);
+
 /// Incremental kDeliveryBatch encoder for the transport's egress hot path:
 /// deliveries append into an internal scratch payload (dense-encoded as
 /// they arrive, so nothing is staged as live Delivery objects) and

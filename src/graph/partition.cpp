@@ -25,7 +25,10 @@ void check_blocks(std::uint32_t n, std::size_t blocks) {
 
 Partitioning partition_balanced(const Numbering& numbering,
                                 std::size_t blocks) {
-  const std::uint32_t n = numbering.size();
+  return partition_balanced_range(numbering.size(), blocks);
+}
+
+Partitioning partition_balanced_range(std::uint32_t n, std::size_t blocks) {
   check_blocks(n, blocks);
   Partitioning partitioning;
   partitioning.bounds.push_back(0);
@@ -34,6 +37,41 @@ Partitioning partition_balanced(const Numbering& numbering,
         static_cast<std::uint32_t>(k * n / blocks));
   }
   return partitioning;
+}
+
+std::vector<std::uint32_t> block_local_m(const Dag& dag,
+                                         const Numbering& numbering,
+                                         std::uint32_t begin,
+                                         std::uint32_t end) {
+  if (begin > end) {
+    return {0};  // empty block: n = 0, m(0) = 0
+  }
+  DF_CHECK(begin >= 1 && end <= numbering.size(),
+           "block [", begin, ", ", end, "] outside internal index range");
+  const std::uint32_t b = end - begin + 1;
+  // Prefix-max of the block-local releases (see the header for why the raw
+  // local releases are not monotone and the prefix max is).
+  std::uint32_t running_release = 0;
+  std::vector<std::uint32_t> histogram(b + 1, 0);
+  for (std::uint32_t y = 1; y <= b; ++y) {
+    const VertexId v = numbering.vertex_at[begin + y - 1];
+    std::uint32_t r_loc = 0;
+    for (const Edge& e : dag.in_edges(v)) {
+      const std::uint32_t pred = numbering.index_of[e.from];
+      if (pred >= begin && pred <= end) {
+        r_loc = std::max(r_loc, pred - begin + 1);
+      }
+    }
+    running_release = std::max(running_release, r_loc);
+    ++histogram[running_release];
+  }
+  std::vector<std::uint32_t> m(b + 1, 0);
+  std::uint32_t running = 0;
+  for (std::uint32_t x = 0; x <= b; ++x) {
+    running += histogram[x];
+    m[x] = running;
+  }
+  return m;
 }
 
 Partitioning partition_weighted(const Numbering& numbering,

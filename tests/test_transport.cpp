@@ -116,6 +116,153 @@ TEST_P(TransportDifferential, MatchesSequentialOnBothChannelKinds) {
 INSTANTIATE_TEST_SUITE_P(Seeds, TransportDifferential,
                          ::testing::Range<std::uint64_t>(0, 22));
 
+// --- two-level parallelism: worker pool inside every partition --------------
+
+// The full matrix the tentpole promises: every partition block running a
+// multi-threaded (and optionally sharded) core::Engine must still produce
+// sink output byte-identical to the sequential reference, and concurrent
+// egress must not break the frames-per-phase ceiling — batches for a phase
+// are held until the phase completes, so the per-channel cost stays one
+// coalesced batch plus one watermark regardless of worker interleaving.
+class TransportTwoLevel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransportTwoLevel, WorkerPoolPerBlockMatchesSequential) {
+  const std::uint64_t seed = GetParam();
+  const core::Program program = testutil::random_program(seed);
+  const event::PhaseId phases = 40;
+
+  for (const std::size_t machines : {std::size_t{2}, std::size_t{3}}) {
+    if (machines > program.numbering.size()) {
+      continue;
+    }
+    for (const std::size_t engine_threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      for (const std::size_t shards : {std::size_t{1}, std::size_t{2}}) {
+        for (const ChannelKind kind : kBothKinds) {
+          TransportOptions options;
+          options.machines = machines;
+          options.channel = kind;
+          options.channel_capacity = 8;
+          options.engine_threads = engine_threads;
+          options.scheduler_shards = shards;
+          // Small window so the inner pipeline's backpressure (start_phase
+          // blocking while the egress hub holds future-phase batches) is
+          // exercised, not just theoretical.
+          options.max_inflight_phases = 4;
+          TransportEngine transport(program, options);
+          const auto report =
+              trace::check_against_sequential(program, transport, phases);
+          EXPECT_TRUE(report.equivalent)
+              << "machines=" << machines << " threads=" << engine_threads
+              << " shards=" << shards << " channel=" << kind_name(kind)
+              << " seed=" << seed << "\n"
+              << report.summary();
+          EXPECT_GT(report.reference_records, 0U)
+              << "workload produced no output";
+
+          // The ceiling and the accounting invariants must survive
+          // concurrent egress from engine_threads workers per block.
+          const auto& stats = transport.transport_stats();
+          const std::uint64_t channels = machines * (machines - 1) / 2;
+          EXPECT_LE(stats.frames_sent, 2 * phases * channels)
+              << "machines=" << machines << " threads=" << engine_threads
+              << " shards=" << shards << " seed=" << seed
+              << ": concurrent egress broke the batching ceiling ("
+              << stats.frames_sent << " frames, " << stats.remote_messages
+              << " remote deliveries)";
+          EXPECT_EQ(stats.batched_deliveries, stats.remote_messages);
+          EXPECT_EQ(stats.frames_received, stats.frames_sent);
+          EXPECT_EQ(stats.bytes_received, stats.bytes_sent);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransportTwoLevel,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+// Fault-injected channels under multi-threaded block engines: duplicates,
+// reordering, and delays must interact correctly with the hold-and-patch
+// egress (sequence numbers are assigned at send time, so the receiver's
+// reassembly contract is unchanged).
+TEST(TransportTwoLevel, FaultInjectionSurvivesWorkerPools) {
+  const core::Program program = testutil::random_program(4);
+  const event::PhaseId phases = 40;
+  std::vector<distrib::FaultInjectingChannel*> faulty;
+  TransportOptions options;
+  options.machines = 3;
+  options.channel = ChannelKind::kInProcess;
+  options.channel_capacity = 8;
+  options.engine_threads = 4;
+  options.scheduler_shards = 2;
+  options.channel_wrapper =
+      [&faulty](std::unique_ptr<distrib::Channel> inner, std::size_t from,
+                std::size_t to) -> std::unique_ptr<distrib::Channel> {
+    distrib::FaultOptions fault;
+    fault.duplicate_probability = 0.2;
+    fault.hold_probability = 0.3;
+    fault.reorder_window = 4;
+    fault.seed = 0x2fa917ULL + from * 10 + to;
+    auto channel = std::make_unique<distrib::FaultInjectingChannel>(
+        std::move(inner), fault);
+    faulty.push_back(channel.get());
+    return channel;
+  };
+  TransportEngine transport(program, options);
+  const auto report =
+      trace::check_against_sequential(program, transport, phases);
+  EXPECT_TRUE(report.equivalent) << report.summary();
+  std::uint64_t injected = 0;
+  for (const auto* channel : faulty) {
+    injected += channel->duplicates_injected();
+  }
+  EXPECT_EQ(transport.transport_stats().duplicates_dropped, injected);
+}
+
+// Cross-boundary stress for TSan (ctest label: transport): three blocks,
+// four workers and two scheduler shards each, a tiny channel bound, and a
+// deep phase pipeline — maximal concurrency between worker-pool egress,
+// the per-link flush callbacks, the coordinator's ingress loop, and the
+// reader threads.
+TEST(TransportTwoLevel, CrossBoundaryStressUnderWorkerPools) {
+  const core::Program program = testutil::random_program(11);
+  ASSERT_GE(program.numbering.size(), 3U);
+  const event::PhaseId phases = 120;
+  TransportOptions options;
+  options.machines = 3;
+  options.channel = ChannelKind::kInProcess;
+  options.channel_capacity = 4;  // senders block constantly
+  options.engine_threads = 4;
+  options.scheduler_shards = 2;
+  options.max_inflight_phases = 16;
+  TransportEngine transport(program, options);
+  const auto report =
+      trace::check_against_sequential(program, transport, phases);
+  EXPECT_TRUE(report.equivalent) << report.summary();
+  EXPECT_GT(transport.transport_stats().remote_messages, 0U);
+}
+
+// Degenerate knobs are rejected loudly instead of silently falling back.
+TEST(TransportTwoLevel, RejectsZeroThreadsShardsAndWindow) {
+  const core::Program program = testutil::random_program(2);
+  {
+    TransportOptions options;
+    options.engine_threads = 0;
+    EXPECT_THROW(TransportEngine(program, options), support::check_error);
+  }
+  {
+    TransportOptions options;
+    options.scheduler_shards = 0;
+    EXPECT_THROW(TransportEngine(program, options), support::check_error);
+  }
+  {
+    TransportOptions options;
+    options.max_inflight_phases = 0;
+    EXPECT_THROW(TransportEngine(program, options), support::check_error);
+  }
+}
+
 // External events must route to whichever partition owns each source — with
 // enough sources and four blocks, sources land in non-zero blocks too.
 TEST(TransportFeed, ExternalEventsReachSourcesInEveryBlock) {
