@@ -32,16 +32,20 @@
 //     forever — a genuine lost wakeup. Consumers therefore notify_all when
 //     any producer is waiting; each woken producer re-evaluates its own
 //     predicate.
+//
+// Lock discipline is machine-checked: every field below is
+// DF_GUARDED_BY(mutex_) and the ring helpers are DF_REQUIRES(mutex_), so a
+// clang -Wthread-safety build fails on any unguarded access (see
+// concurrency/annotations.hpp for the conventions).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <limits>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "concurrency/annotations.hpp"
 #include "support/check.hpp"
 
 namespace df::conc {
@@ -62,9 +66,11 @@ class BlockingQueue {
   bool push(T item) {
     std::size_t wake = 0;
     {
-      std::unique_lock lock(mutex_);
+      UniqueLock lock(mutex_);
       ++waiting_pushers_;
-      not_full_.wait(lock, [this] { return closed_ || count_ < capacity_; });
+      while (!(closed_ || count_ < capacity_)) {
+        not_full_.wait(lock);
+      }
       --waiting_pushers_;
       if (closed_) {
         return false;
@@ -90,11 +96,11 @@ class BlockingQueue {
              "batch larger than the queue capacity would never fit");
     std::size_t wake = 0;
     {
-      std::unique_lock lock(mutex_);
+      UniqueLock lock(mutex_);
       ++waiting_pushers_;
-      not_full_.wait(lock, [this, &items] {
-        return closed_ || count_ + items.size() <= capacity_;
-      });
+      while (!(closed_ || count_ + items.size() <= capacity_)) {
+        not_full_.wait(lock);
+      }
       --waiting_pushers_;
       if (closed_) {
         return false;
@@ -115,7 +121,7 @@ class BlockingQueue {
   bool try_push(T item) {
     std::size_t wake = 0;
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_ || count_ >= capacity_) {
         return false;
       }
@@ -129,9 +135,11 @@ class BlockingQueue {
   /// Blocks until an item is available or the queue is closed and drained.
   /// nullopt signals "closed and empty" — the worker-thread exit condition.
   std::optional<T> pop() {
-    std::unique_lock lock(mutex_);
+    UniqueLock lock(mutex_);
     ++waiting_poppers_;
-    not_empty_.wait(lock, [this] { return closed_ || count_ != 0; });
+    while (!(closed_ || count_ != 0)) {
+      not_empty_.wait(lock);
+    }
     --waiting_poppers_;
     if (count_ == 0) {
       return std::nullopt;  // closed and drained
@@ -150,7 +158,7 @@ class BlockingQueue {
 
   /// Non-blocking dequeue.
   std::optional<T> try_pop() {
-    std::unique_lock lock(mutex_);
+    UniqueLock lock(mutex_);
     if (count_ == 0) {
       return std::nullopt;
     }
@@ -167,7 +175,7 @@ class BlockingQueue {
   /// and drain the remaining items before receiving nullopt.
   void close() {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -175,12 +183,12 @@ class BlockingQueue {
   }
 
   bool closed() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return count_;
   }
 
@@ -202,7 +210,7 @@ class BlockingQueue {
 
   /// Appends one item, growing the ring if needed. Caller holds the lock
   /// and has already checked capacity/closed.
-  void place(T item) {
+  void place(T item) DF_REQUIRES(mutex_) {
     if (count_ == ring_.size()) {
       grow();
     }
@@ -210,14 +218,14 @@ class BlockingQueue {
     ++count_;
   }
 
-  T take() {
+  T take() DF_REQUIRES(mutex_) {
     T item = std::move(ring_[head_]);
     head_ = (head_ + 1) & (ring_.size() - 1);
     --count_;
     return item;
   }
 
-  void grow() {
+  void grow() DF_REQUIRES(mutex_) {
     std::size_t size = ring_.empty() ? 16 : ring_.size() * 2;
     std::vector<T> grown(size);
     for (std::size_t i = 0; i < count_; ++i) {
@@ -227,19 +235,19 @@ class BlockingQueue {
     head_ = 0;
   }
 
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::vector<T> ring_;  // circular; size is a power of two (or empty)
-  std::size_t head_ = 0;
-  std::size_t count_ = 0;
-  std::size_t capacity_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::vector<T> ring_ DF_GUARDED_BY(mutex_);  // circular; power-of-two size
+  std::size_t head_ DF_GUARDED_BY(mutex_) = 0;
+  std::size_t count_ DF_GUARDED_BY(mutex_) = 0;
+  std::size_t capacity_;  // immutable after construction
+  bool closed_ DF_GUARDED_BY(mutex_) = false;
   // Waiter counts, guarded by mutex_. A thread is counted from just before
   // its predicate wait to just after, so any thread actually blocked on a
   // condvar is always visible to the peer deciding whether to signal.
-  std::size_t waiting_poppers_ = 0;
-  std::size_t waiting_pushers_ = 0;
+  std::size_t waiting_poppers_ DF_GUARDED_BY(mutex_) = 0;
+  std::size_t waiting_pushers_ DF_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace df::conc

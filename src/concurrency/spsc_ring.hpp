@@ -10,14 +10,33 @@
 // the handoff happens through an acquire/release (or stronger) edge — the
 // engine's `draining` flag exchange is exactly that. The same applies to
 // the producer role.
+//
+// Debug builds enforce that contract: each side's operations assert they
+// run on the role's owning thread (DF_ASSERT_PRODUCER / DF_ASSERT_CONSUMER
+// below). The first use claims the role; a legal migration must be
+// announced with adopt_producer()/adopt_consumer() *after* the
+// synchronizing handoff, so an unannounced thread switch — exactly the bug
+// class the SPSC memory orderings cannot survive — fails a DF_CHECK
+// instead of corrupting the ring. Release builds compile all of it away.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "support/check.hpp"
+
+// Owner-thread assertions for the SPSC contract; no-ops under NDEBUG. Kept
+// as macros so the owner fields and checks vanish from release builds.
+#ifndef NDEBUG
+#define DF_ASSERT_PRODUCER(ring) (ring).assert_producer()
+#define DF_ASSERT_CONSUMER(ring) (ring).assert_consumer()
+#else
+#define DF_ASSERT_PRODUCER(ring) ((void)0)
+#define DF_ASSERT_CONSUMER(ring) ((void)0)
+#endif
 
 namespace df::conc {
 
@@ -42,6 +61,7 @@ class SpscRing {
   /// vector) keeps it intact when the ring is full and can fall back to a
   /// direct path.
   bool try_push(T& item) {
+    DF_ASSERT_PRODUCER(*this);
     const std::size_t head = head_.load(std::memory_order_relaxed);
     const std::size_t tail = tail_.load(std::memory_order_acquire);
     if (head - tail == buffer_.size()) {
@@ -54,6 +74,7 @@ class SpscRing {
 
   /// Consumer side.
   std::optional<T> pop() {
+    DF_ASSERT_CONSUMER(*this);
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     const std::size_t head = head_.load(std::memory_order_acquire);
     if (head == tail) {
@@ -70,6 +91,7 @@ class SpscRing {
   /// one. Returns the number of items consumed.
   template <typename F>
   std::size_t drain(F&& fn) {
+    DF_ASSERT_CONSUMER(*this);
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     const std::size_t head = head_.load(std::memory_order_acquire);
     for (std::size_t i = tail; i != head; ++i) {
@@ -89,11 +111,54 @@ class SpscRing {
   bool empty() const { return size() == 0; }
   std::size_t capacity() const { return buffer_.size(); }
 
+  /// Transfers the producer role to the calling thread. Legal only after
+  /// a synchronizing handoff (an acquire/release or stronger edge) with
+  /// the previous producer — e.g. under the egress link mutex.
+  void adopt_producer() {
+#ifndef NDEBUG
+    producer_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+#endif
+  }
+
+  /// Transfers the consumer role to the calling thread. Legal only after
+  /// a synchronizing handoff with the previous consumer — e.g. winning
+  /// the engine's draining_ exchange.
+  void adopt_consumer() {
+#ifndef NDEBUG
+    consumer_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+#endif
+  }
+
+#ifndef NDEBUG
+  void assert_producer() { assert_role(producer_, "producer"); }
+  void assert_consumer() { assert_role(consumer_, "consumer"); }
+#endif
+
  private:
+#ifndef NDEBUG
+  // The relaxed order is deliberate: the owner slot is bookkeeping about
+  // the handoff, not the handoff itself — a migration that relies on this
+  // atomic for synchronization is already a contract violation.
+  void assert_role(std::atomic<std::thread::id>& owner, const char* role) {
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id seen{};
+    if (owner.compare_exchange_strong(seen, self,
+                                      std::memory_order_relaxed)) {
+      return;  // first use claims the role
+    }
+    DF_CHECK(seen == self, "SPSC contract violation: ", role,
+             " used from a second thread without adopt_", role, "()");
+  }
+#endif
+
   std::vector<T> buffer_;
   std::size_t mask_;
   alignas(64) std::atomic<std::size_t> head_{0};
   alignas(64) std::atomic<std::size_t> tail_{0};
+#ifndef NDEBUG
+  std::atomic<std::thread::id> producer_{};
+  std::atomic<std::thread::id> consumer_{};
+#endif
 };
 
 }  // namespace df::conc

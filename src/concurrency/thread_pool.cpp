@@ -39,7 +39,8 @@ void ThreadPool::run_on_all(const std::function<void(std::size_t)>& task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(idle_mutex_);
+  UniqueLock lock(idle_mutex_);
+  // Predicate reads only the atomic, so the lambda form is analysis-safe.
   idle_cv_.wait(lock, [this] {
     return in_flight_.load(std::memory_order_acquire) == 0;
   });
@@ -49,7 +50,7 @@ void ThreadPool::worker_main() {
   while (auto task = tasks_.pop()) {
     (*task)();
     if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard lock(idle_mutex_);
+      MutexLock lock(idle_mutex_);
       idle_cv_.notify_all();
     }
   }

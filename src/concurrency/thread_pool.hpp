@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "concurrency/annotations.hpp"
 #include "concurrency/blocking_queue.hpp"
 
 namespace df::conc {
@@ -45,8 +46,11 @@ class ThreadPool {
   BlockingQueue<std::function<void()>> tasks_;
   std::vector<std::thread> workers_;
   std::atomic<std::size_t> in_flight_{0};
-  std::mutex idle_mutex_;
-  std::condition_variable idle_cv_;
+  // idle_mutex_ guards no fields (in_flight_ is atomic); it only serializes
+  // the wait/notify handshake so the last worker's notify cannot slip
+  // between wait_idle's predicate check and its sleep.
+  Mutex idle_mutex_;
+  CondVar idle_cv_;
 };
 
 /// Spawns `count` threads each running `body(index)`, joins them all before

@@ -134,9 +134,14 @@ void Engine::start() {
   const std::size_t window = options_.max_inflight_phases == 0
                                  ? 64
                                  : options_.max_inflight_phases;
-  scheduler_.reserve_steady_state(
-      std::min<std::size_t>(window, 64),
-      std::min<std::size_t>(2 * scheduler_.n(), 65536));
+  {
+    // No worker exists yet; taking the lock here is free and keeps the
+    // scheduler_-under-mutex_ contract unconditional for the analysis.
+    conc::MutexLock lock(mutex_);
+    scheduler_.reserve_steady_state(
+        std::min<std::size_t>(window, 64),
+        std::min<std::size_t>(2 * scheduler_.n(), 65536));
+  }
   // Staging pays off by amortizing lock traffic across workers; with a
   // single worker there is nothing to contend with, and a per-transition
   // observer needs the per-pair path for its snapshots.
@@ -253,10 +258,11 @@ void Engine::start_phase_bundles(std::vector<event::InputBundle>& bundles,
   event::PhaseId completed_now = 0;
   if (sharded_ != nullptr) {
     {
-      std::unique_lock lock(mutex_);
+      conc::UniqueLock lock(mutex_);
       // Backpressure: collectors notify progress_cv_ under mutex_ whenever
       // a retirement shrinks the window (active_phase_count is an atomic
-      // updated before that notify, so the predicate cannot miss it).
+      // updated before that notify, so the predicate cannot miss it). The
+      // lambda reads no mutex_-guarded fields, so it is analysis-safe.
       progress_cv_.wait(lock, [this] {
         return sharded_->active_phase_count() < sharded_window_;
       });
@@ -278,16 +284,18 @@ void Engine::start_phase_bundles(std::vector<event::InputBundle>& bundles,
     return;
   }
   {
-    std::unique_lock lock(mutex_);
+    conc::UniqueLock lock(mutex_);
     // Backpressure wait. Every transition that shrinks the window is a
     // phase retirement inside retire_completed(), which always advances
     // completed_through — and both apply paths (per-pair and batched
     // drain) notify progress_cv_ exactly when that happens, so this wait
-    // cannot miss a shrink even with max_inflight_phases == 1.
-    progress_cv_.wait(lock, [this] {
-      return options_.max_inflight_phases == 0 ||
-             scheduler_.active_phase_count() < options_.max_inflight_phases;
-    });
+    // cannot miss a shrink even with max_inflight_phases == 1. Written as
+    // an explicit loop (not a wait-with-predicate lambda) because the
+    // predicate reads the mutex_-guarded scheduler_.
+    while (!(options_.max_inflight_phases == 0 ||
+             scheduler_.active_phase_count() < options_.max_inflight_phases)) {
+      progress_cv_.wait(lock);
+    }
     const event::PhaseId p = scheduler_.pmax() + 1;
     const event::PhaseId completed_before = scheduler_.completed_through();
     scheduler_.start_phase(p, std::span<event::InputBundle>(bundles), injected,
@@ -316,11 +324,12 @@ void Engine::finish() {
     return;
   }
   {
-    std::unique_lock lock(mutex_);
-    progress_cv_.wait(lock, [this] {
-      return sharded_ != nullptr ? sharded_->all_started_phases_complete()
-                                 : scheduler_.all_started_phases_complete();
-    });
+    conc::UniqueLock lock(mutex_);
+    // Explicit loop: the flat-path predicate reads the guarded scheduler_.
+    while (!(sharded_ != nullptr ? sharded_->all_started_phases_complete()
+                                 : scheduler_.all_started_phases_complete())) {
+      progress_cv_.wait(lock);
+    }
   }
   run_queue_.close();
   for (auto& worker : workers_) {
@@ -330,7 +339,7 @@ void Engine::finish() {
   finished_ = true;
   std::exception_ptr error;
   {
-    std::lock_guard lock(mutex_);
+    conc::MutexLock lock(mutex_);
     error = first_error_;
   }
   if (error != nullptr) {
@@ -354,7 +363,7 @@ event::PhaseId Engine::completed_phases() const {
   if (sharded_ != nullptr) {
     return sharded_->completed_through();
   }
-  std::lock_guard lock(mutex_);
+  conc::MutexLock lock(mutex_);
   return scheduler_.completed_through();
 }
 
@@ -374,7 +383,7 @@ void Engine::apply_finish_locked(Scheduler::StagedFinish& staged,
                                  std::vector<Scheduler::ReadyPair>& ready) {
   event::PhaseId completed_now = 0;
   {
-    std::lock_guard lock(mutex_);
+    conc::MutexLock lock(mutex_);
     const event::PhaseId completed_before = scheduler_.completed_through();
     scheduler_.finish_execution(
         staged.vertex, staged.phase,
@@ -415,6 +424,9 @@ std::size_t Engine::drain_staged() {
   // takes it, and the moved-from staged shells are destroyed after release.
   drain_batch_.clear();
   for (auto& ring : staging_) {
+    // Winning the draining_ exchange was the consumer-role handoff; claim
+    // the role before touching the rings (debug-only SPSC owner check).
+    ring->adopt_consumer();
     ring->drain([this](Scheduler::StagedFinish&& staged) {
       drain_batch_.push_back(std::move(staged));
     });
@@ -425,7 +437,7 @@ std::size_t Engine::drain_staged() {
   drain_ready_.clear();
   event::PhaseId completed_now = 0;
   {
-    std::lock_guard lock(mutex_);
+    conc::MutexLock lock(mutex_);
     const event::PhaseId completed_before = scheduler_.completed_through();
     scheduler_.finish_execution_batch(
         std::span<Scheduler::StagedFinish>(drain_batch_), drain_ready_);
@@ -557,7 +569,7 @@ void Engine::worker_main(std::size_t worker_index) {
     } catch (...) {
       // Record the first failure and let the pair complete with no output,
       // so the remaining phases drain and finish() can rethrow cleanly.
-      std::lock_guard lock(mutex_);
+      conc::MutexLock lock(mutex_);
       if (first_error_ == nullptr) {
         first_error_ = std::current_exception();
       }
@@ -641,7 +653,7 @@ void Engine::maybe_collect(std::size_t threshold) {
     const event::PhaseId completed_now =
         retired ? sharded_->completed_through() : 0;
     if (options_.sample_inflight || retired) {
-      std::lock_guard lock(mutex_);
+      conc::MutexLock lock(mutex_);
       if (options_.sample_inflight) {
         // One sample per covered finish, at the post-collect state (same
         // weighting as the staged drain path).
@@ -709,7 +721,7 @@ void Engine::worker_main_sharded(std::size_t /*worker_index*/) {
       result = execute_vertex(instance_, item->vertex + offset_, item->phase,
                               item->bundle);
     } catch (...) {
-      std::lock_guard lock(mutex_);
+      conc::MutexLock lock(mutex_);
       if (first_error_ == nullptr) {
         first_error_ = std::current_exception();
       }
@@ -746,7 +758,7 @@ ExecStats Engine::stats() const {
   stats.bookkeeping_ns = bookkeeping_ns_.value();
   stats.wall_seconds = wall_seconds_;
   {
-    std::lock_guard lock(mutex_);
+    conc::MutexLock lock(mutex_);
     stats.phases_completed = sharded_ != nullptr
                                  ? sharded_->completed_through()
                                  : scheduler_.completed_through();

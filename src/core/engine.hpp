@@ -30,16 +30,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "concurrency/annotations.hpp"
 #include "concurrency/blocking_queue.hpp"
 #include "concurrency/sharded_counter.hpp"
 #include "concurrency/spsc_ring.hpp"
@@ -252,7 +251,9 @@ class Engine final : public Executor {
 
   ProgramInstance instance_;
   EngineOptions options_;
-  Scheduler scheduler_;
+  /// The flat scheduler is passive: every call happens under mutex_ (the
+  /// paper's single global lock), which the annotation now enforces.
+  Scheduler scheduler_ DF_GUARDED_BY(mutex_);
   SinkStore sinks_;
   std::uint32_t offset_ = 0;     // block mode: global == local + offset_
   std::uint32_t block_end_ = 0;  // block mode: last owned global index
@@ -278,8 +279,8 @@ class Engine final : public Executor {
   std::vector<std::size_t> env_counts_;
   std::vector<Scheduler::ReadyPair> env_ready_;
 
-  mutable std::mutex mutex_;  // the paper's single global lock
-  std::condition_variable progress_cv_;
+  mutable conc::Mutex mutex_;  // the paper's single global lock
+  conc::CondVar progress_cv_;
   conc::BlockingQueue<Scheduler::ReadyPair> run_queue_;
   std::vector<std::thread> workers_;
   bool started_ = false;
@@ -291,7 +292,7 @@ class Engine final : public Executor {
   /// queue mutex's release/acquire edge makes the store visible — a late
   /// rejected push can never see abandoning_ == false (see ~Engine).
   std::atomic<bool> abandoning_{false};
-  std::exception_ptr first_error_;  // guarded by mutex_
+  std::exception_ptr first_error_ DF_GUARDED_BY(mutex_);
 
   // Staged delivery rings (tentpole of PR 3; DESIGN.md "Staged delivery
   // rings"). Worker i is the only producer of staging_[i]; the consumer
@@ -318,10 +319,12 @@ class Engine final : public Executor {
   conc::ShardedCounter sink_records_;
   conc::ShardedCounter compute_ns_;
   conc::ShardedCounter bookkeeping_ns_;
-  std::uint64_t max_inflight_ = 0;         // guarded by mutex_
-  std::uint64_t inflight_samples_ = 0;     // guarded by mutex_
-  std::uint64_t inflight_sum_ = 0;         // guarded by mutex_
-  support::CountHistogram inflight_{256};  // guarded by mutex_
+  std::uint64_t max_inflight_ DF_GUARDED_BY(mutex_) = 0;
+  std::uint64_t inflight_samples_ DF_GUARDED_BY(mutex_) = 0;
+  std::uint64_t inflight_sum_ DF_GUARDED_BY(mutex_) = 0;
+  // Written under mutex_; inflight_histogram() hands out a const reference
+  // for post-run inspection, so this stays outside the static annotation.
+  support::CountHistogram inflight_{256};
   double wall_seconds_ = 0.0;
 };
 

@@ -57,12 +57,12 @@ ShardedScheduler::ShardSeg& ShardedScheduler::ensure_seg(Shard& shard,
 
 void ShardedScheduler::reserve_steady_state(std::size_t live_bundles,
                                             std::size_t bundle_capacity) {
-  std::lock_guard wl(window_mutex_);
+  conc::MutexLock wl(window_mutex_);
   DF_CHECK(pmax_ == 0,
            "reserve_steady_state must precede the first start_phase");
   for (std::size_t s = 0; s < shard_count(); ++s) {
     Shard& shard = shard_state_[s];
-    std::lock_guard sl(locks_.at(s));
+    conc::MutexLock sl(locks_.at(s));
     for (std::size_t slot = 0; slot < capacity_; ++slot) {
       ensure_seg(shard, slot);
     }
@@ -92,7 +92,7 @@ std::uint32_t ShardedScheduler::x(event::PhaseId p) const {
 std::size_t ShardedScheduler::bundle_pool_slots() {
   std::size_t total = 0;
   for (std::size_t s = 0; s < shard_count(); ++s) {
-    std::lock_guard sl(locks_.at(s));
+    conc::MutexLock sl(locks_.at(s));
     total += shard_state_[s].pool.slot_count();
   }
   return total;
@@ -129,7 +129,7 @@ bool ShardedScheduler::start_phase(event::PhaseId p,
                                    std::span<event::InputBundle> bundles,
                                    std::span<Delivery> injected,
                                    std::vector<ReadyPair>& out_ready) {
-  std::lock_guard wl(window_mutex_);
+  conc::MutexLock wl(window_mutex_);
   DF_CHECK(p == pmax_ + 1, "phases must start in order: expected ", pmax_ + 1,
            ", got ", p);
   DF_CHECK(bundles.size() == signal_sources_,
@@ -159,7 +159,7 @@ bool ShardedScheduler::start_phase(event::PhaseId p,
   for (std::size_t s = 0;
        s < shard_count() && shard_state_[s].begin <= s_hi_v; ++s) {
     Shard& shard = shard_state_[s];
-    std::lock_guard sl(locks_.at(s));
+    conc::MutexLock sl(locks_.at(s));
     ShardSeg& seg = ensure_seg(shard, slot_index(p));
     const std::uint32_t hi = std::min(s_hi_v, shard.end);
     for (std::uint32_t v = shard.begin; v <= hi; ++v) {
@@ -181,7 +181,7 @@ bool ShardedScheduler::start_phase(event::PhaseId p,
   for (std::size_t i = 0; i < injected.size();) {
     const std::uint32_t shard_idx = shards_.shard_of[injected[i].to_index];
     Shard& shard = shard_state_[shard_idx];
-    std::lock_guard sl(locks_.at(shard_idx));
+    conc::MutexLock sl(locks_.at(shard_idx));
     do {
       Delivery& d = injected[i];
       DF_CHECK(d.to_index > signal_sources_ && d.to_index <= n_,
@@ -270,7 +270,7 @@ void ShardedScheduler::apply_finish_batch(std::span<StagedFinish> batch) {
       continue;
     }
     Shard& shard = shard_state_[s];
-    std::lock_guard sl(locks_.at(s));
+    conc::MutexLock sl(locks_.at(s));
     for (StagedFinish& f : batch) {
       const std::uint32_t fs = shards_.shard_of[f.vertex];
       if (fs > sv) {
@@ -326,7 +326,7 @@ void ShardedScheduler::promote_range(event::PhaseId p, std::uint32_t lo,
   const std::size_t s_hi = shards_.shard_of[hi];
   for (std::size_t s = s_lo; s <= s_hi; ++s) {
     Shard& shard = shard_state_[s];
-    std::lock_guard sl(locks_.at(s));
+    conc::MutexLock sl(locks_.at(s));
     ShardSeg& seg = shard.slots[slot_index(p)];
     if (!seg.allocated()) {
       continue;  // no traffic ever reached this shard for p
@@ -394,7 +394,7 @@ void ShardedScheduler::collect_shard_ready(std::size_t s,
 }
 
 bool ShardedScheduler::collect(std::vector<ReadyPair>& out_ready) {
-  std::lock_guard wl(window_mutex_);
+  conc::MutexLock wl(window_mutex_);
   return collect_locked(out_ready);
 }
 
@@ -418,7 +418,7 @@ bool ShardedScheduler::collect_locked(std::vector<ReadyPair>& out_ready) {
     std::size_t s = gs.first_live_shard;
     for (; s < shard_count(); ++s) {
       Shard& shard = shard_state_[s];
-      std::lock_guard sl(locks_.at(s));
+      conc::MutexLock sl(locks_.at(s));
       ShardSeg& seg = shard.slots[slot_index(p)];
       if (seg.allocated() && seg.pending_count > 0) {
         candidate = seg_min_pending(shard, seg) - 1;
@@ -446,7 +446,7 @@ bool ShardedScheduler::collect_locked(std::vector<ReadyPair>& out_ready) {
   // Stage B (statements 1.27-1.30): issue newly ready pairs, ascending
   // shard order == ascending vertex order.
   for (std::size_t s = 0; s < shard_count(); ++s) {
-    std::lock_guard sl(locks_.at(s));
+    conc::MutexLock sl(locks_.at(s));
     collect_shard_ready(s, out_ready);
   }
   // Retire complete phases from the front of the window.
@@ -463,7 +463,7 @@ void ShardedScheduler::retire_front() {
   DF_CHECK(gs.x == n_, "retiring an incomplete phase");
   for (std::size_t s = 0; s < shard_count(); ++s) {
     Shard& shard = shard_state_[s];
-    std::lock_guard sl(locks_.at(s));
+    conc::MutexLock sl(locks_.at(s));
     ShardSeg& seg = shard.slots[slot_index(p)];
     if (!seg.allocated()) {
       continue;
@@ -487,11 +487,11 @@ void ShardedScheduler::retire_front() {
 }
 
 ShardedScheduler::Snapshot ShardedScheduler::snapshot() {
-  std::lock_guard wl(window_mutex_);
+  conc::MutexLock wl(window_mutex_);
   // Hold every shard lock for one consistent cut. Appliers take at most
   // one shard lock at a time and acquire no other lock while holding it,
   // so grabbing all of them in ascending order cannot deadlock.
-  std::vector<std::unique_lock<std::mutex>> shard_locks;
+  std::vector<std::unique_lock<conc::Mutex>> shard_locks;
   shard_locks.reserve(shard_count());
   for (std::size_t s = 0; s < shard_count(); ++s) {
     shard_locks.emplace_back(locks_.at(s));

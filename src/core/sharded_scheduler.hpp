@@ -188,7 +188,10 @@ class ShardedScheduler {
 
   /// Everything one shard owns. Guarded by locks_.at(shard index); plain
   /// aggregate so the vector of shards stays regular (the mutexes live in
-  /// the striped set).
+  /// the striped set). This index-addressed association is a *dynamic*
+  /// lock discipline clang's thread-safety analysis cannot express, so
+  /// shard fields carry no DF_GUARDED_BY — TSan covers them (see
+  /// concurrency/annotations.hpp conventions).
   struct Shard {
     std::uint32_t begin = 0;  // first owned internal index
     std::uint32_t end = 0;    // last owned internal index
@@ -247,7 +250,8 @@ class ShardedScheduler {
   /// Moves partial pairs with vertex in [lo, hi] into full for phase p,
   /// appending promoted vertices to each shard's affected list. Window
   /// lock held; takes shard locks one at a time.
-  void promote_range(event::PhaseId p, std::uint32_t lo, std::uint32_t hi);
+  void promote_range(event::PhaseId p, std::uint32_t lo, std::uint32_t hi)
+      DF_REQUIRES(window_mutex_);
 
   /// Issues (v, min full phase) if v has no issued pair and a non-empty
   /// full set — the flat scheduler's collect_ready body for one vertex.
@@ -260,12 +264,13 @@ class ShardedScheduler {
   void collect_shard_ready(std::size_t s, std::vector<ReadyPair>& out_ready);
 
   /// Retires the oldest active phase (x == N). Window lock held.
-  void retire_front();
+  void retire_front() DF_REQUIRES(window_mutex_);
 
   /// Body of collect() with the window lock already held (start_phase's
   /// inline collect shares it). Returns true when completed_through_
   /// advanced.
-  bool collect_locked(std::vector<ReadyPair>& out_ready);
+  bool collect_locked(std::vector<ReadyPair>& out_ready)
+      DF_REQUIRES(window_mutex_);
 
   std::vector<std::uint32_t> m_;
   graph::ShardMap shards_;
@@ -273,18 +278,21 @@ class ShardedScheduler {
   std::uint32_t signal_sources_;
   std::size_t capacity_;
 
-  mutable std::mutex window_mutex_;
+  mutable conc::Mutex window_mutex_;
   conc::StripedMutexSet locks_;
   std::vector<Shard> shard_state_;
   std::vector<GlobalSlot> global_slots_;           // [capacity], never moved
   std::unique_ptr<conc::AtomicFrontier[]> x_pub_;  // [capacity]
 
   // Window state: plain fields under window_mutex_, with atomic mirrors
-  // for the engine's lock-free backpressure/termination predicates.
+  // for the engine's lock-free backpressure/termination predicates. pmax_
+  // stays outside the static annotation: pmax() reads it lock-free under
+  // the documented single-starter sequencing (only the environment thread
+  // starts phases, and it reads its own writes).
   event::PhaseId pmax_ = 0;
-  event::PhaseId first_active_ = 1;
-  event::PhaseId completed_through_ = 0;
-  std::size_t active_count_ = 0;
+  event::PhaseId first_active_ DF_GUARDED_BY(window_mutex_) = 1;
+  event::PhaseId completed_through_ DF_GUARDED_BY(window_mutex_) = 0;
+  std::size_t active_count_ DF_GUARDED_BY(window_mutex_) = 0;
   std::atomic<event::PhaseId> completed_atomic_{0};
   std::atomic<std::size_t> active_atomic_{0};
 };

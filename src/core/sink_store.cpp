@@ -9,20 +9,20 @@ void SinkStore::record_batch(std::vector<SinkRecord> batch) {
   if (batch.empty()) {
     return;
   }
-  std::lock_guard lock(mutex_);
+  conc::MutexLock lock(mutex_);
   records_.insert(records_.end(), std::make_move_iterator(batch.begin()),
                   std::make_move_iterator(batch.end()));
 }
 
 std::size_t SinkStore::size() const {
-  std::lock_guard lock(mutex_);
+  conc::MutexLock lock(mutex_);
   return records_.size();
 }
 
 std::vector<SinkRecord> SinkStore::canonical() const {
   std::vector<SinkRecord> out;
   {
-    std::lock_guard lock(mutex_);
+    conc::MutexLock lock(mutex_);
     out = records_;
   }
   std::stable_sort(out.begin(), out.end(),
@@ -49,7 +49,7 @@ std::vector<SinkRecord> SinkStore::for_vertex(graph::VertexId vertex) const {
 }
 
 void SinkStore::clear() {
-  std::lock_guard lock(mutex_);
+  conc::MutexLock lock(mutex_);
   records_.clear();
 }
 

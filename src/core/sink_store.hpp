@@ -8,10 +8,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "concurrency/annotations.hpp"
 #include "event/phase.hpp"
 #include "event/value.hpp"
 #include "graph/dag.hpp"
@@ -46,8 +46,8 @@ class SinkStore {
   void clear();
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<SinkRecord> records_;
+  mutable conc::Mutex mutex_;
+  std::vector<SinkRecord> records_ DF_GUARDED_BY(mutex_);
 };
 
 /// Human-readable one-line rendering, for diagnostics and examples.

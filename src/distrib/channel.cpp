@@ -32,6 +32,10 @@ InProcessChannel::InProcessChannel(std::size_t capacity_frames)
     : ring_(round_up_pow2(capacity_frames)) {}
 
 void InProcessChannel::send(std::span<const std::uint8_t> frame) {
+  // The sender role migrates between engine workers (whichever completes a
+  // phase flushes), serialized by the egress link mutex — announce the
+  // handoff to the ring's debug-only SPSC owner check.
+  ring_.adopt_producer();
   std::vector<std::uint8_t> buffer(frame.begin(), frame.end());
   for (;;) {
     if (recv_closed_.load(std::memory_order_acquire)) {
@@ -40,14 +44,14 @@ void InProcessChannel::send(std::span<const std::uint8_t> frame) {
     if (ring_.try_push(buffer)) {
       break;
     }
-    std::unique_lock lock(mutex_);
+    conc::UniqueLock lock(mutex_);
     can_send_.wait(lock, [&] {
       return ring_.size() < ring_.capacity() ||
              recv_closed_.load(std::memory_order_acquire);
     });
   }
   {
-    std::lock_guard lock(mutex_);
+    conc::MutexLock lock(mutex_);
   }
   can_recv_.notify_one();
 }
@@ -55,7 +59,7 @@ void InProcessChannel::send(std::span<const std::uint8_t> frame) {
 void InProcessChannel::close_send() {
   send_closed_.store(true, std::memory_order_release);
   {
-    std::lock_guard lock(mutex_);
+    conc::MutexLock lock(mutex_);
   }
   can_recv_.notify_all();
 }
@@ -65,7 +69,7 @@ bool InProcessChannel::recv(std::vector<std::uint8_t>& frame) {
     if (auto item = ring_.pop()) {
       frame = std::move(*item);
       {
-        std::lock_guard lock(mutex_);
+        conc::MutexLock lock(mutex_);
       }
       can_send_.notify_one();
       return true;
@@ -79,7 +83,7 @@ bool InProcessChannel::recv(std::vector<std::uint8_t>& frame) {
       }
       return false;
     }
-    std::unique_lock lock(mutex_);
+    conc::UniqueLock lock(mutex_);
     can_recv_.wait(lock, [&] {
       return !ring_.empty() || send_closed_.load(std::memory_order_acquire);
     });
@@ -89,7 +93,7 @@ bool InProcessChannel::recv(std::vector<std::uint8_t>& frame) {
 void InProcessChannel::close_recv() {
   recv_closed_.store(true, std::memory_order_release);
   {
-    std::lock_guard lock(mutex_);
+    conc::MutexLock lock(mutex_);
   }
   can_send_.notify_all();
 }

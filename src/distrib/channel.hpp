@@ -25,13 +25,12 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "concurrency/annotations.hpp"
 #include "concurrency/spsc_ring.hpp"
 #include "support/rng.hpp"
 
@@ -74,9 +73,12 @@ class InProcessChannel final : public Channel {
 
  private:
   conc::SpscRing<std::vector<std::uint8_t>> ring_;
-  std::mutex mutex_;
-  std::condition_variable can_send_;
-  std::condition_variable can_recv_;
+  // Pure parking lot: guards no fields (the wait predicates read the ring's
+  // atomics and the closed flags), it only pairs waits with notifies so a
+  // wakeup cannot be lost between predicate check and sleep.
+  conc::Mutex mutex_;
+  conc::CondVar can_send_;
+  conc::CondVar can_recv_;
   std::atomic<bool> send_closed_{false};
   std::atomic<bool> recv_closed_{false};
 };

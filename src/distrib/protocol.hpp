@@ -1,0 +1,385 @@
+// The transport run/teardown protocol as an explicit, machine-checked state
+// machine (DESIGN.md, "Static analysis & protocol verification").
+//
+// PR 5's teardown ordering and PR 7's per-link flush discipline lived as
+// prose plus scattered booleans (`failed`, `closed_`). This header makes the
+// lifecycle declarative: three small machines with enum states, a
+// transition-table *data structure* the live code must step through a
+// checked advance() (an illegal edge is a DF_CHECK failure, in every build
+// type), and which tools/verify_protocol.cpp explores exhaustively in CI —
+// the product of sender x receiver x engine machines over a bounded channel,
+// asserting no send-after-close, no exit from terminal states, and that
+// every reachable non-terminal composite state can still reach the
+// all-terminal one (no hang).
+//
+// The three machines and how the live code drives them:
+//
+//   Sender — one per egress link (EgressHub::Link, under the link mutex):
+//
+//         kFlush (phase batches + watermark sent)
+//          v--.
+//       [kOpen] --kSendError--> [kFailed]
+//          |                        |
+//          +------kClose------------+--> [[kClosed]]
+//
+//   Receiver — one per ingress sequencer (engine thread only):
+//
+//         kFrame/kWatermark/kDuplicate
+//          v--.
+//     [kStreaming] --kFinalWatermark--> [kDrained] --.kDuplicate
+//          |    \--kError-->[[kFailed]]<--kError-- | ^--/
+//          |                                       +--kEof--> [[kEof]]
+//          +--kEof--> [[kPeerClosed]]   (close before the final watermark:
+//                                        the peer aborted; secondary error)
+//
+//   Engine — one per partition engine_main:
+//
+//     [kCreated] -kStart-> [kRunning] -kLocalComplete-> [kLocalDone]
+//         |                    |                            |
+//         |                    |            kCloseEgress    v
+//         |                    |                      [kEgressClosed]
+//         |                    v    kError                  |
+//         +----kError----> [kAborting] <---------------+    | kIngressEof
+//                              | kCloseEgress           \   v
+//                              v                         [[kDone]]
+//                    [kAbortingEgressClosed] (kCloseEgress/kError self-loop)
+//                              | kIngressEof
+//                              v
+//                         [[kAborted]]
+//
+// ([[x]] = terminal.) The teardown ordering invariant — close egress first,
+// then drain ingress to EOF — is exactly the edge structure: kIngressEof is
+// only reachable from the two egress-closed states.
+//
+// Error precedence: a root-cause failure (module exception, protocol
+// violation, send failure) outranks the peer_closed_error aborts it sets
+// off in neighbouring engines; ErrorRank/classify make the coordinator's
+// fold explicit and testable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <span>
+#include <stdexcept>
+
+#include "support/check.hpp"
+
+namespace df::distrib::protocol {
+
+// --- Transition-table machinery ---------------------------------------------
+
+/// One legal transition. Tables below are the single source of truth: the
+/// live code, the unit tests, and the exhaustive verifier all read them.
+template <typename State, typename Event>
+struct Edge {
+  State from;
+  Event event;
+  State to;
+};
+
+/// The edge for (from, event), or nullptr if the transition is illegal.
+template <typename State, typename Event>
+constexpr const Edge<State, Event>* find_edge(
+    std::span<const Edge<State, Event>> table, State from, Event event) {
+  for (const Edge<State, Event>& edge : table) {
+    if (edge.from == from && edge.event == event) {
+      return &edge;
+    }
+  }
+  return nullptr;
+}
+
+/// A state is terminal iff it has no outgoing edges.
+template <typename State, typename Event>
+constexpr bool is_terminal(std::span<const Edge<State, Event>> table,
+                           State state) {
+  for (const Edge<State, Event>& edge : table) {
+    if (edge.from == state) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Process-wide count of successful checked advances, across every machine
+/// instance. Always on (relaxed increments on cold control-flow paths), so
+/// tests in any build type can assert that TransportEngine really drives
+/// its lifecycle through the checked path rather than around it.
+inline std::atomic<std::uint64_t>& advance_count() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
+/// A live machine: current state plus the table that constrains it.
+/// advance() on an edge the table does not contain is a DF_CHECK failure
+/// (thrown df::support::check_error) in all build types.
+template <typename State, typename Event>
+class Machine {
+ public:
+  constexpr Machine(std::span<const Edge<State, Event>> table, State initial,
+                    const char* name)
+      : table_(table), state_(initial), name_(name) {}
+
+  State state() const { return state_; }
+  bool is(State s) const { return state_ == s; }
+  bool terminal() const { return is_terminal(table_, state_); }
+  const char* name() const { return name_; }
+
+  void advance(Event event) {
+    const Edge<State, Event>* edge = find_edge(table_, state_, event);
+    DF_CHECK(edge != nullptr, "illegal protocol transition: machine '", name_,
+             "' in state ", to_string(state_), " received event ",
+             to_string(event));
+    state_ = edge->to;
+    advance_count().fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::span<const Edge<State, Event>> table_;
+  State state_;
+  const char* name_;
+};
+
+// --- Sender (one per egress link) -------------------------------------------
+
+enum class SenderState : std::uint8_t { kOpen, kFailed, kClosed };
+enum class SenderEvent : std::uint8_t { kFlush, kSendError, kClose };
+
+constexpr const char* to_string(SenderState s) {
+  switch (s) {
+    case SenderState::kOpen: return "Open";
+    case SenderState::kFailed: return "Failed";
+    case SenderState::kClosed: return "Closed";
+  }
+  return "?";
+}
+constexpr const char* to_string(SenderEvent e) {
+  switch (e) {
+    case SenderEvent::kFlush: return "Flush";
+    case SenderEvent::kSendError: return "SendError";
+    case SenderEvent::kClose: return "Close";
+  }
+  return "?";
+}
+
+/// No kFlush edge exists from kFailed or kClosed: send-after-close (or
+/// send-after-failure) is structurally impossible, not merely unexercised.
+inline constexpr Edge<SenderState, SenderEvent> kSenderEdges[] = {
+    {SenderState::kOpen, SenderEvent::kFlush, SenderState::kOpen},
+    {SenderState::kOpen, SenderEvent::kSendError, SenderState::kFailed},
+    {SenderState::kOpen, SenderEvent::kClose, SenderState::kClosed},
+    {SenderState::kFailed, SenderEvent::kClose, SenderState::kClosed},
+};
+inline constexpr std::span<const Edge<SenderState, SenderEvent>> kSenderTable{
+    kSenderEdges};
+inline constexpr SenderState kSenderStates[] = {
+    SenderState::kOpen, SenderState::kFailed, SenderState::kClosed};
+inline constexpr SenderEvent kSenderEvents[] = {
+    SenderEvent::kFlush, SenderEvent::kSendError, SenderEvent::kClose};
+
+class SenderMachine : public Machine<SenderState, SenderEvent> {
+ public:
+  SenderMachine() : Machine(kSenderTable, SenderState::kOpen, "sender") {}
+};
+
+// --- Receiver (one per ingress sequencer) -----------------------------------
+
+enum class ReceiverState : std::uint8_t {
+  kStreaming,   // inside the phase-window handshake
+  kDrained,     // final watermark consumed; only duplicates may trail
+  kEof,         // terminal: clean end-of-stream after drain
+  kFailed,      // terminal: reader/validation error on this channel
+  kPeerClosed,  // terminal: EOF before the final watermark (peer aborted)
+};
+enum class ReceiverEvent : std::uint8_t {
+  kFrame,           // in-order delivery/batch frame consumed
+  kWatermark,       // non-final watermark consumed
+  kFinalWatermark,  // watermark for the last phase consumed
+  kDuplicate,       // sequencer dropped a duplicate
+  kEof,             // channel end-of-stream observed
+  kError,           // reader error surfaced for this channel
+};
+
+constexpr const char* to_string(ReceiverState s) {
+  switch (s) {
+    case ReceiverState::kStreaming: return "Streaming";
+    case ReceiverState::kDrained: return "Drained";
+    case ReceiverState::kEof: return "Eof";
+    case ReceiverState::kFailed: return "Failed";
+    case ReceiverState::kPeerClosed: return "PeerClosed";
+  }
+  return "?";
+}
+constexpr const char* to_string(ReceiverEvent e) {
+  switch (e) {
+    case ReceiverEvent::kFrame: return "Frame";
+    case ReceiverEvent::kWatermark: return "Watermark";
+    case ReceiverEvent::kFinalWatermark: return "FinalWatermark";
+    case ReceiverEvent::kDuplicate: return "Duplicate";
+    case ReceiverEvent::kEof: return "Eof";
+    case ReceiverEvent::kError: return "Error";
+  }
+  return "?";
+}
+
+/// kEof from kStreaming lands in kPeerClosed (the peer closed before its
+/// final watermark — it aborted; classify() ranks the resulting error below
+/// any root cause). No kFrame/kWatermark edge exists from kDrained: a
+/// non-duplicate frame after the final watermark is a protocol violation
+/// and fails the checked advance.
+inline constexpr Edge<ReceiverState, ReceiverEvent> kReceiverEdges[] = {
+    {ReceiverState::kStreaming, ReceiverEvent::kFrame,
+     ReceiverState::kStreaming},
+    {ReceiverState::kStreaming, ReceiverEvent::kWatermark,
+     ReceiverState::kStreaming},
+    {ReceiverState::kStreaming, ReceiverEvent::kDuplicate,
+     ReceiverState::kStreaming},
+    {ReceiverState::kStreaming, ReceiverEvent::kFinalWatermark,
+     ReceiverState::kDrained},
+    {ReceiverState::kStreaming, ReceiverEvent::kEof,
+     ReceiverState::kPeerClosed},
+    {ReceiverState::kStreaming, ReceiverEvent::kError, ReceiverState::kFailed},
+    {ReceiverState::kDrained, ReceiverEvent::kDuplicate,
+     ReceiverState::kDrained},
+    {ReceiverState::kDrained, ReceiverEvent::kEof, ReceiverState::kEof},
+    {ReceiverState::kDrained, ReceiverEvent::kError, ReceiverState::kFailed},
+};
+inline constexpr std::span<const Edge<ReceiverState, ReceiverEvent>>
+    kReceiverTable{kReceiverEdges};
+inline constexpr ReceiverState kReceiverStates[] = {
+    ReceiverState::kStreaming, ReceiverState::kDrained, ReceiverState::kEof,
+    ReceiverState::kFailed, ReceiverState::kPeerClosed};
+inline constexpr ReceiverEvent kReceiverEvents[] = {
+    ReceiverEvent::kFrame,     ReceiverEvent::kWatermark,
+    ReceiverEvent::kFinalWatermark, ReceiverEvent::kDuplicate,
+    ReceiverEvent::kEof,       ReceiverEvent::kError};
+
+class ReceiverMachine : public Machine<ReceiverState, ReceiverEvent> {
+ public:
+  ReceiverMachine()
+      : Machine(kReceiverTable, ReceiverState::kStreaming, "receiver") {}
+};
+
+// --- Engine (one per partition engine_main) ---------------------------------
+
+enum class EngineState : std::uint8_t {
+  kCreated,
+  kRunning,
+  kLocalDone,             // every started phase completed, error re-checked
+  kEgressClosed,          // close-egress-first half of normal teardown
+  kDone,                  // terminal: ingress drained to EOF
+  kAborting,              // error captured; egress not yet closed
+  kAbortingEgressClosed,  // error captured; draining ingress to EOF
+  kAborted,               // terminal
+};
+enum class EngineEvent : std::uint8_t {
+  kStart,
+  kLocalComplete,
+  kCloseEgress,
+  kIngressEof,
+  kError,
+};
+
+constexpr const char* to_string(EngineState s) {
+  switch (s) {
+    case EngineState::kCreated: return "Created";
+    case EngineState::kRunning: return "Running";
+    case EngineState::kLocalDone: return "LocalDone";
+    case EngineState::kEgressClosed: return "EgressClosed";
+    case EngineState::kDone: return "Done";
+    case EngineState::kAborting: return "Aborting";
+    case EngineState::kAbortingEgressClosed: return "AbortingEgressClosed";
+    case EngineState::kAborted: return "Aborted";
+  }
+  return "?";
+}
+constexpr const char* to_string(EngineEvent e) {
+  switch (e) {
+    case EngineEvent::kStart: return "Start";
+    case EngineEvent::kLocalComplete: return "LocalComplete";
+    case EngineEvent::kCloseEgress: return "CloseEgress";
+    case EngineEvent::kIngressEof: return "IngressEof";
+    case EngineEvent::kError: return "Error";
+  }
+  return "?";
+}
+
+/// kIngressEof only leaves the two egress-closed states: the table *is* the
+/// "close egress first, then drain ingress to EOF" teardown ordering. The
+/// self-loops on kAbortingEgressClosed absorb the idempotent re-close and
+/// secondary errors of the abort drain.
+inline constexpr Edge<EngineState, EngineEvent> kEngineEdges[] = {
+    {EngineState::kCreated, EngineEvent::kStart, EngineState::kRunning},
+    {EngineState::kRunning, EngineEvent::kLocalComplete,
+     EngineState::kLocalDone},
+    {EngineState::kLocalDone, EngineEvent::kCloseEgress,
+     EngineState::kEgressClosed},
+    {EngineState::kEgressClosed, EngineEvent::kIngressEof, EngineState::kDone},
+    {EngineState::kCreated, EngineEvent::kError, EngineState::kAborting},
+    {EngineState::kRunning, EngineEvent::kError, EngineState::kAborting},
+    {EngineState::kLocalDone, EngineEvent::kError, EngineState::kAborting},
+    {EngineState::kEgressClosed, EngineEvent::kError,
+     EngineState::kAbortingEgressClosed},
+    {EngineState::kAborting, EngineEvent::kError, EngineState::kAborting},
+    {EngineState::kAborting, EngineEvent::kCloseEgress,
+     EngineState::kAbortingEgressClosed},
+    {EngineState::kAbortingEgressClosed, EngineEvent::kCloseEgress,
+     EngineState::kAbortingEgressClosed},
+    {EngineState::kAbortingEgressClosed, EngineEvent::kError,
+     EngineState::kAbortingEgressClosed},
+    {EngineState::kAbortingEgressClosed, EngineEvent::kIngressEof,
+     EngineState::kAborted},
+};
+inline constexpr std::span<const Edge<EngineState, EngineEvent>> kEngineTable{
+    kEngineEdges};
+inline constexpr EngineState kEngineStates[] = {
+    EngineState::kCreated,  EngineState::kRunning,
+    EngineState::kLocalDone, EngineState::kEgressClosed,
+    EngineState::kDone,     EngineState::kAborting,
+    EngineState::kAbortingEgressClosed, EngineState::kAborted};
+inline constexpr EngineEvent kEngineEvents[] = {
+    EngineEvent::kStart, EngineEvent::kLocalComplete, EngineEvent::kCloseEgress,
+    EngineEvent::kIngressEof, EngineEvent::kError};
+
+class EngineMachine : public Machine<EngineState, EngineEvent> {
+ public:
+  EngineMachine() : Machine(kEngineTable, EngineState::kCreated, "engine") {}
+};
+
+// --- Error precedence --------------------------------------------------------
+
+/// Thrown when a neighbour closed its channel before the protocol allowed
+/// it (ReceiverState::kPeerClosed) — the sign that *another* engine failed
+/// and the run is tearing down. The coordinator reports the root cause, not
+/// these secondary aborts.
+class peer_closed_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Severity order for the coordinator's fold: a root cause (module
+/// exception, protocol violation, send failure) outranks the
+/// peer_closed_error aborts it set off in the neighbours. Within a rank the
+/// first error in block order wins (deterministic reporting).
+enum class ErrorRank : std::uint8_t { kNone = 0, kPeerClosed = 1,
+                                      kRootCause = 2 };
+
+constexpr bool outranks(ErrorRank a, ErrorRank b) {
+  return static_cast<std::uint8_t>(a) > static_cast<std::uint8_t>(b);
+}
+
+inline ErrorRank classify(const std::exception_ptr& error) {
+  if (error == nullptr) {
+    return ErrorRank::kNone;
+  }
+  try {
+    std::rethrow_exception(error);
+  } catch (const peer_closed_error&) {
+    return ErrorRank::kPeerClosed;
+  } catch (...) {
+    return ErrorRank::kRootCause;
+  }
+}
+
+}  // namespace df::distrib::protocol

@@ -1,16 +1,15 @@
 #include "distrib/transport.hpp"
 
 #include <algorithm>
-#include <condition_variable>
 #include <deque>
 #include <map>
-#include <mutex>
-#include <stdexcept>
 #include <string>
 #include <thread>
 #include <utility>
 
+#include "concurrency/annotations.hpp"
 #include "core/engine.hpp"
+#include "distrib/protocol.hpp"
 #include "distrib/wire.hpp"
 #include "support/check.hpp"
 #include "support/stopwatch.hpp"
@@ -19,13 +18,11 @@ namespace df::distrib {
 
 namespace {
 
-/// Thrown when a neighbour closed its channel before the protocol allowed
-/// it — the sign that *another* engine failed and the run is tearing down.
-/// The coordinator reports the root cause, not these secondary aborts.
-class peer_closed_error : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
+using protocol::EngineEvent;
+using protocol::peer_closed_error;
+using protocol::ReceiverEvent;
+using protocol::SenderEvent;
+using protocol::SenderState;
 
 /// A batch's payload is finished (encoded into a held frame) as soon as it
 /// reaches this size, so memory per open (link, phase) stays bounded no
@@ -69,9 +66,14 @@ class EgressHub {
   void add(std::size_t link_index, event::PhaseId phase,
            core::Delivery&& delivery) {
     Link& link = *links_[link_index];
-    std::lock_guard lock(link.mutex);
+    conc::MutexLock lock(link.mutex);
     ++link.stats.remote_messages;
-    if (link.failed) {
+    // Workers only produce deliveries while the block engine is alive, and
+    // close_all runs strictly after its destruction — an add after close is
+    // a protocol violation, not a race to tolerate.
+    DF_CHECK(!link.machine.is(SenderState::kClosed),
+             "egress delivery for phase ", phase, " after close_send");
+    if (link.machine.is(SenderState::kFailed)) {
       return;  // peer unreachable; the run is already aborting
     }
     DF_CHECK(phase > link.flushed_through,
@@ -91,48 +93,55 @@ class EgressHub {
   /// Sends every unflushed phase <= p, in phase order, each phase's
   /// batches followed by its watermark. Monotone and idempotent per link,
   /// so out-of-order completion callbacks from concurrent workers are
-  /// safe. Send failures mark the link failed and record the first error
-  /// instead of throwing (callers run inside engine worker loops).
+  /// safe. Send failures take the link's sender machine to kFailed and
+  /// record the first error instead of throwing (callers run inside engine
+  /// worker loops).
   void flush_through(event::PhaseId p) {
     for (std::unique_ptr<Link>& entry : links_) {
       Link& link = *entry;
-      std::lock_guard lock(link.mutex);
-      while (!link.failed && link.flushed_through < p) {
+      conc::MutexLock lock(link.mutex);
+      while (link.machine.is(SenderState::kOpen) && link.flushed_through < p) {
         const event::PhaseId q = link.flushed_through + 1;
         try {
           flush_phase_locked(link, q);
         } catch (...) {
           record_error(std::current_exception());
-          link.failed = true;
+          link.machine.advance(SenderEvent::kSendError);
           break;
         }
+        link.machine.advance(SenderEvent::kFlush);
         link.flushed_through = q;
       }
     }
   }
 
+  /// Idempotent: the sender machine's kClose edge fires at most once per
+  /// link (kFailed also closes — the abort path still signals EOF so the
+  /// peer can finish draining).
   void close_all() {
     for (std::unique_ptr<Link>& entry : links_) {
       Link& link = *entry;
-      std::lock_guard lock(link.mutex);
+      conc::MutexLock lock(link.mutex);
+      if (!link.machine.is(SenderState::kClosed)) {
+        link.machine.advance(SenderEvent::kClose);
+      }
       try {
         link.channel->close_send();
       } catch (...) {
         record_error(std::current_exception());
-        link.failed = true;
       }
     }
   }
 
   std::exception_ptr error() {
-    std::lock_guard lock(error_mutex_);
+    conc::MutexLock lock(error_mutex_);
     return error_;
   }
 
   void fold_stats(TransportStats& total) {
     for (std::unique_ptr<Link>& entry : links_) {
       Link& link = *entry;
-      std::lock_guard lock(link.mutex);
+      conc::MutexLock lock(link.mutex);
       total.frames_sent += link.stats.frames_sent;
       total.bytes_sent += link.stats.bytes_sent;
       total.batch_frames_sent += link.stats.batch_frames_sent;
@@ -161,17 +170,21 @@ class EgressHub {
   };
 
   struct Link {
-    Channel* channel = nullptr;
-    std::mutex mutex;
-    std::uint64_t next_seq = 0;
-    event::PhaseId flushed_through = 0;
-    bool failed = false;
-    std::map<event::PhaseId, PhaseBatch> batches;
-    std::vector<std::uint8_t> buf;  // encode scratch, capacity retained
-    LinkStats stats;
+    Channel* channel = nullptr;  // set once at construction, then immutable
+    conc::Mutex mutex;
+    /// Lifecycle per protocol.hpp's sender machine: one kFlush per flushed
+    /// phase, kSendError on the first failure, kClose exactly once.
+    protocol::SenderMachine machine DF_GUARDED_BY(mutex);
+    std::uint64_t next_seq DF_GUARDED_BY(mutex) = 0;
+    event::PhaseId flushed_through DF_GUARDED_BY(mutex) = 0;
+    std::map<event::PhaseId, PhaseBatch> batches DF_GUARDED_BY(mutex);
+    // encode scratch, capacity retained
+    std::vector<std::uint8_t> buf DF_GUARDED_BY(mutex);
+    LinkStats stats DF_GUARDED_BY(mutex);
   };
 
-  void flush_phase_locked(Link& link, event::PhaseId q) {
+  void flush_phase_locked(Link& link, event::PhaseId q)
+      DF_REQUIRES(link.mutex) {
     const auto it = link.batches.find(q);
     if (it != link.batches.end()) {
       PhaseBatch& batch = it->second;
@@ -200,15 +213,15 @@ class EgressHub {
   }
 
   void record_error(std::exception_ptr error) {
-    std::lock_guard lock(error_mutex_);
+    conc::MutexLock lock(error_mutex_);
     if (!error_) {
       error_ = std::move(error);
     }
   }
 
   std::vector<std::unique_ptr<Link>> links_;
-  std::mutex error_mutex_;
-  std::exception_ptr error_;
+  conc::Mutex error_mutex_;
+  std::exception_ptr error_ DF_GUARDED_BY(error_mutex_);
 };
 
 /// Recycles received-frame buffers between the engine thread (which
@@ -220,7 +233,7 @@ class EgressHub {
 class BufferPool {
  public:
   std::vector<std::uint8_t> acquire() {
-    std::lock_guard lock(mutex_);
+    conc::MutexLock lock(mutex_);
     if (pool_.empty()) {
       return {};
     }
@@ -231,7 +244,7 @@ class BufferPool {
 
   void release(std::vector<std::uint8_t>&& buf) {
     buf.clear();
-    std::lock_guard lock(mutex_);
+    conc::MutexLock lock(mutex_);
     if (pool_.size() < kMaxPooled) {
       pool_.push_back(std::move(buf));
     }
@@ -239,8 +252,8 @@ class BufferPool {
 
  private:
   static constexpr std::size_t kMaxPooled = 64;
-  std::mutex mutex_;
-  std::vector<std::vector<std::uint8_t>> pool_;
+  conc::Mutex mutex_;
+  std::vector<std::vector<std::uint8_t>> pool_ DF_GUARDED_BY(mutex_);
 };
 
 /// One received frame travelling from a reader to the engine: the decoded
@@ -281,16 +294,23 @@ class IngressQueue {
   explicit IngressQueue(std::size_t capacity) : capacity_(capacity) {}
 
   void push(IngressItem item) {
-    std::unique_lock lock(mutex_);
-    not_full_.wait(lock, [&] { return items_.size() < capacity_; });
+    conc::UniqueLock lock(mutex_);
+    // Explicit predicate loops (not the lambda-predicate overload): the
+    // predicates read items_, which is guarded, and the analysis cannot
+    // see through a lambda's closure.
+    while (items_.size() >= capacity_) {
+      not_full_.wait(lock);
+    }
     items_.push_back(std::move(item));
     lock.unlock();
     not_empty_.notify_one();
   }
 
   IngressItem pop() {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [&] { return !items_.empty(); });
+    conc::UniqueLock lock(mutex_);
+    while (items_.empty()) {
+      not_empty_.wait(lock);
+    }
     IngressItem item = std::move(items_.front());
     items_.pop_front();
     lock.unlock();
@@ -299,11 +319,11 @@ class IngressQueue {
   }
 
  private:
-  std::size_t capacity_;
-  std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<IngressItem> items_;
+  const std::size_t capacity_;
+  conc::Mutex mutex_;
+  conc::CondVar not_full_;
+  conc::CondVar not_empty_;
+  std::deque<IngressItem> items_ DF_GUARDED_BY(mutex_);
 };
 
 /// Engine-side reassembly state for one ingress channel: restores the
@@ -323,6 +343,11 @@ class IngressSequencer {
     if (frame.header.seq < next_seq_ ||
         out_of_order_.contains(frame.header.seq)) {
       ++duplicates_dropped_;
+      // Legal while streaming or drained; after a failure the trailing
+      // stream is garbage and no longer a protocol event.
+      if (!machine_.terminal()) {
+        machine_.advance(ReceiverEvent::kDuplicate);
+      }
       pool.release(std::move(frame.bytes));
       return;
     }
@@ -350,6 +375,13 @@ class IngressSequencer {
   void mark_closed() { closed_ = true; }
   bool closed() const { return closed_; }
 
+  /// The stream's receiver machine (protocol.hpp). The sequencer advances
+  /// kDuplicate itself (drops never reach the consumer); the engine thread
+  /// advances kFrame/kWatermark/kFinalWatermark at consumption, and
+  /// kEof/kError where it observes the close — the machine must not reach
+  /// a terminal state before the frames ahead of the close are consumed.
+  protocol::ReceiverMachine& machine() { return machine_; }
+
   /// After the final watermark, nothing new may remain: trailing frames
   /// reaching feed() must all have been duplicates, and no gap may be left
   /// in the sequence.
@@ -367,6 +399,7 @@ class IngressSequencer {
   std::uint64_t next_seq_ = 0;
   std::map<std::uint64_t, RawFrame> out_of_order_;
   std::deque<RawFrame> ready_;
+  protocol::ReceiverMachine machine_;
   bool closed_ = false;
   std::uint64_t frames_received_ = 0;
   std::uint64_t bytes_received_ = 0;
@@ -477,6 +510,13 @@ void TransportEngine::engine_main(EngineState& state,
   EgressHub hub(state.egress_channels);
   std::unique_ptr<core::Engine> engine;
 
+  // This partition's lifecycle machine. Every control-flow milestone below
+  // steps it through a checked advance; an out-of-order milestone (e.g.
+  // draining ingress before closing egress) is a DF_CHECK failure in every
+  // build type, and tools/verify_protocol explores the same table
+  // exhaustively in CI.
+  protocol::EngineMachine machine;
+
   // One reader per ingress channel for the whole run; they exit at channel
   // EOF (every sender closes its egress on completion *and* on abort, so
   // EOF always arrives).
@@ -497,6 +537,7 @@ void TransportEngine::engine_main(EngineState& state,
       --open_channels;
       state.sequencers[item.src].mark_closed();
       if (item.error) {
+        state.sequencers[item.src].machine().advance(ReceiverEvent::kError);
         std::rethrow_exception(item.error);
       }
       return;
@@ -536,6 +577,7 @@ void TransportEngine::engine_main(EngineState& state,
     };
     engine = std::make_unique<core::Engine>(program_, std::move(eopts));
     engine->start();
+    machine.advance(EngineEvent::kStart);
 
     // Reassembled remote deliveries for the phase being opened, still
     // addressed by global internal index; start_phase consumes them.
@@ -563,6 +605,10 @@ void TransportEngine::engine_main(EngineState& state,
           RawFrame raw;
           if (!in.next_ready(raw)) {
             if (in.closed()) {
+              // EOF before this phase's watermark: the peer aborted. The
+              // receiver machine lands in kPeerClosed and classify() ranks
+              // the resulting error below any root cause.
+              in.machine().advance(ReceiverEvent::kEof);
               throw peer_closed_error(
                   "upstream partition closed its channel before phase " +
                   std::to_string(p) + " completed");
@@ -575,9 +621,13 @@ void TransportEngine::engine_main(EngineState& state,
                    "'s window (protocol violation)");
           switch (raw.header.type) {
             case wire::FrameType::kWatermark:
+              in.machine().advance(p == num_phases
+                                       ? ReceiverEvent::kFinalWatermark
+                                       : ReceiverEvent::kWatermark);
               watermark = true;
               break;
             case wire::FrameType::kDeliveryBatch: {
+              in.machine().advance(ReceiverEvent::kFrame);
               // The reader already validated the frame; these statuses are
               // protocol assertions, not reachable decode paths.
               wire::BatchReader batch;
@@ -596,6 +646,7 @@ void TransportEngine::engine_main(EngineState& state,
               break;
             }
             case wire::FrameType::kDelivery: {
+              in.machine().advance(ReceiverEvent::kFrame);
               wire::Frame frame;
               const wire::DecodeStatus status =
                   wire::decode_frame(raw.bytes, frame);
@@ -632,20 +683,37 @@ void TransportEngine::engine_main(EngineState& state,
       std::rethrow_exception(hub.error());
     }
     hub.flush_through(num_phases);
+    // Re-check after the belt-and-braces flush: a send failure *inside* it
+    // is recorded, not thrown, and used to vanish here — downstream would
+    // abort on the missing watermark and the run reported its secondary
+    // peer_closed_error instead of this root cause.
+    if (hub.error() != nullptr) {
+      std::rethrow_exception(hub.error());
+    }
+    machine.advance(EngineEvent::kLocalComplete);
 
     // Normal teardown: tell downstream we are done first, then consume
     // trailing (necessarily duplicate) frames from upstream until every
     // reader reports EOF — see DESIGN.md, "Real transport", teardown
-    // ordering.
+    // ordering. The machine enforces it: kIngressEof has no edge out of
+    // kLocalDone, only out of kEgressClosed.
     hub.close_all();
+    machine.advance(EngineEvent::kCloseEgress);
     while (open_channels > 0) {
       ingest_one();
     }
-    for (const IngressSequencer& in : state.sequencers) {
+    for (IngressSequencer& in : state.sequencers) {
+      // Each receiver consumed its final watermark in the phase loop
+      // (kDrained), so the observed EOF is clean. With zero phases the
+      // machine is still kStreaming and the same edge lands in
+      // kPeerClosed — with nothing expected, that close is also clean.
+      in.machine().advance(ReceiverEvent::kEof);
       in.check_drained();
     }
+    machine.advance(EngineEvent::kIngressEof);
   } catch (...) {
     state.error = std::current_exception();
+    machine.advance(EngineEvent::kError);
     // Abort teardown: capture whatever the block engine managed to do,
     // then destroy it *first* (its destructor joins or abandons the
     // workers, so no more egress traffic can be produced), close egress so
@@ -658,13 +726,17 @@ void TransportEngine::engine_main(EngineState& state,
       engine.reset();
     }
     hub.close_all();
+    machine.advance(EngineEvent::kCloseEgress);
     while (open_channels > 0) {
       try {
         ingest_one();
       } catch (...) {
       }
     }
+    machine.advance(EngineEvent::kIngressEof);
   }
+  DF_CHECK(machine.terminal(), "engine teardown ended in non-terminal state ",
+           protocol::to_string(machine.state()));
   for (std::thread& reader : readers) {
     reader.join();
   }
@@ -754,11 +826,13 @@ void TransportEngine::run(event::PhaseId num_phases, core::PhaseFeed* feed) {
     t.join();
   }
 
-  // Aggregate, then rethrow the first root-cause error (a module exception
-  // or protocol violation beats the secondary peer-closed aborts it set
-  // off in the neighbours).
-  std::exception_ptr root_error;
-  std::exception_ptr peer_error;
+  // Aggregate, then rethrow the highest-ranked error under the protocol's
+  // explicit precedence (protocol::ErrorRank): a root cause — module
+  // exception, protocol violation, send failure — beats the secondary
+  // peer-closed aborts it set off in the neighbours; within a rank the
+  // first block wins, keeping reports deterministic.
+  std::exception_ptr first_error;
+  protocol::ErrorRank first_rank = protocol::ErrorRank::kNone;
   stats_.phases_completed = num_phases;
   for (EngineState& state : states) {
     stats_.executed_pairs += state.stats.executed_pairs;
@@ -780,27 +854,16 @@ void TransportEngine::run(event::PhaseId num_phases, core::PhaseFeed* feed) {
     transport_stats_.duplicates_dropped += state.tstats.duplicates_dropped;
     transport_stats_.remote_messages += state.tstats.remote_messages;
     transport_stats_.local_messages += state.tstats.local_messages;
-    if (state.error) {
-      try {
-        std::rethrow_exception(state.error);
-      } catch (const peer_closed_error&) {
-        if (!peer_error) {
-          peer_error = state.error;
-        }
-      } catch (...) {
-        if (!root_error) {
-          root_error = state.error;
-        }
-      }
+    const protocol::ErrorRank rank = protocol::classify(state.error);
+    if (protocol::outranks(rank, first_rank)) {
+      first_rank = rank;
+      first_error = state.error;
     }
   }
   stats_.wall_seconds = wall.elapsed_s();
   stats_.mean_inflight_phases = 0.0;
-  if (root_error) {
-    std::rethrow_exception(root_error);
-  }
-  if (peer_error) {
-    std::rethrow_exception(peer_error);
+  if (first_error) {
+    std::rethrow_exception(first_error);
   }
 }
 

@@ -11,7 +11,7 @@ Tracer::Tracer(std::size_t max_steps) : max_steps_(max_steps) {}
 void Tracer::on_transition(Transition transition, std::uint32_t vertex,
                            event::PhaseId phase,
                            const core::Scheduler::Snapshot& snapshot) {
-  std::lock_guard lock(mutex_);
+  conc::MutexLock lock(mutex_);
   if (steps_.size() >= max_steps_) {
     steps_.erase(steps_.begin());
     ++dropped_;
@@ -20,12 +20,12 @@ void Tracer::on_transition(Transition transition, std::uint32_t vertex,
 }
 
 std::vector<Tracer::Step> Tracer::steps() const {
-  std::lock_guard lock(mutex_);
+  conc::MutexLock lock(mutex_);
   return steps_;
 }
 
 std::size_t Tracer::step_count() const {
-  std::lock_guard lock(mutex_);
+  conc::MutexLock lock(mutex_);
   return steps_.size();
 }
 

@@ -8,10 +8,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "concurrency/annotations.hpp"
 #include "core/observer.hpp"
 
 namespace df::trace {
@@ -40,10 +40,10 @@ class Tracer final : public core::SchedulerObserver {
   static std::string render_step(const Step& step, std::uint32_t n);
 
  private:
-  mutable std::mutex mutex_;
-  std::size_t max_steps_;
-  std::vector<Step> steps_;
-  std::size_t dropped_ = 0;
+  mutable conc::Mutex mutex_;
+  std::size_t max_steps_;  // immutable after construction
+  std::vector<Step> steps_ DF_GUARDED_BY(mutex_);
+  std::size_t dropped_ DF_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace df::trace

@@ -315,6 +315,9 @@ TEST(SpscRing, ConsumerRoleMigratesAcrossThreadsWithHandoff) {
         std::this_thread::yield();  // other side holds the drain
         continue;
       }
+      // Winning the exchange is the handoff; announce it to the debug-only
+      // owner check before consuming (mirrors Engine::drain_staged).
+      ring.adopt_consumer();
       const std::size_t n = ring.drain([&](int&& v) {
         seen[static_cast<std::size_t>(v)].fetch_add(1);
       });

@@ -995,6 +995,10 @@ TEST(StagedRings, MultiWorkerDrainProtocolCompletesEveryPhase) {
   const auto drain_once = [&]() -> std::size_t {
     drain_batch.clear();
     for (auto& ring : rings) {
+      // Winning the draining exchange was the consumer handoff; announce
+      // it to the debug-only SPSC owner check (as Engine::drain_staged
+      // does).
+      ring->adopt_consumer();
       ring->drain([&](Scheduler::StagedFinish&& staged) {
         drain_batch.push_back(std::move(staged));
       });

@@ -34,6 +34,7 @@
 #include "distrib/channel.hpp"
 #include "distrib/cluster.hpp"
 #include "distrib/transport.hpp"
+#include "distrib/wire.hpp"
 #include "model/sources.hpp"
 #include "model/synthetic.hpp"
 #include "random_program.hpp"
@@ -551,6 +552,69 @@ TEST(TransportTeardown, CorruptedFrameAbortsTheRunInsteadOfHanging) {
       EXPECT_NE(std::string(error.what()).find("rejected ingress frame"),
                 std::string::npos)
           << "channel=" << kind_name(kind) << ": " << error.what();
+    }
+  }
+}
+
+// Throws from send() on the final watermark (the frame whose phase field
+// equals the run's last phase), i.e. at the very end of the sender's
+// lifecycle — the last moment an egress error can occur.
+class FinalWatermarkFailingChannel final : public distrib::Channel {
+ public:
+  FinalWatermarkFailingChannel(std::unique_ptr<distrib::Channel> inner,
+                               event::PhaseId final_phase)
+      : inner_(std::move(inner)), final_phase_(final_phase) {}
+
+  void send(std::span<const std::uint8_t> frame) override {
+    distrib::wire::FrameHeader header;
+    if (distrib::wire::decode_header(frame, header) ==
+            distrib::wire::DecodeStatus::kOk &&
+        header.type == distrib::wire::FrameType::kWatermark &&
+        header.phase == final_phase_) {
+      throw std::runtime_error("send exploded");
+    }
+    inner_->send(frame);
+  }
+  void close_send() override { inner_->close_send(); }
+  bool recv(std::vector<std::uint8_t>& frame) override {
+    return inner_->recv(frame);
+  }
+  void close_recv() override { inner_->close_recv(); }
+
+ private:
+  std::unique_ptr<distrib::Channel> inner_;
+  event::PhaseId final_phase_;
+};
+
+// Regression: a send failure recorded *inside* the teardown-side
+// belt-and-braces flush_through(num_phases) used to vanish — the hub noted
+// it, nothing rethrew it, and the run surfaced the downstream's secondary
+// peer_closed_error (missing final watermark) instead of the root cause.
+// Whether that flush or the phase-completion callback performs the failing
+// send is a race; both paths must now surface the same root cause, so this
+// test is deterministic only with the post-flush re-check in place.
+TEST(TransportTeardown, SendFailureOnFinalWatermarkSurfacesAsRootCause) {
+  const core::Program program = testutil::random_program(1);
+  const event::PhaseId phases = 30;
+  for (const ChannelKind kind : kBothKinds) {
+    TransportOptions options;
+    options.machines = 2;
+    options.channel = kind;
+    options.channel_wrapper =
+        [phases](std::unique_ptr<distrib::Channel> inner, std::size_t,
+                 std::size_t) -> std::unique_ptr<distrib::Channel> {
+      return std::make_unique<FinalWatermarkFailingChannel>(std::move(inner),
+                                                            phases);
+    };
+    TransportEngine transport(program, options);
+    try {
+      transport.run(phases, nullptr);
+      FAIL() << "expected the send failure to propagate (channel="
+             << kind_name(kind) << ")";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "send exploded")
+          << "secondary teardown error masked the egress root cause "
+          << "(channel=" << kind_name(kind) << ")";
     }
   }
 }

@@ -1,0 +1,469 @@
+// Exhaustive verifier for the transport lifecycle protocol (protocol.hpp).
+//
+// Two layers, both over the *same* transition tables the live code steps
+// through checked advance() calls — there is no second specification to
+// drift from:
+//
+//  1. Structural checks per table: transitions are deterministic, terminal
+//     states are exactly the expected ones (and have no outgoing edges),
+//     every non-terminal state can still reach a terminal one, and the
+//     sender table contains no kFlush edge outside kOpen (send-after-close
+//     and send-after-failure are unrepresentable).
+//
+//  2. Exhaustive exploration of the composed system: one egress link
+//     between two partitions, modelled as the product of the upstream
+//     engine machine, its sender machine, the channel occupancy (bounded),
+//     the downstream receiver machine, and the downstream engine machine,
+//     with the coupling guards the implementation enforces (flushes only
+//     happen while the upstream engine runs; close-egress closes the
+//     sender with the engine's kCloseEgress edge; EOF is observed only
+//     after the sender closed and the channel drained; the downstream
+//     engine finishes locally only once the receiver drained; ...). Every
+//     reachable composite state must (a) satisfy the close-ordering
+//     invariants, (b) have at least one enabled action unless it is fully
+//     terminal (no hang), and (c) still be able to reach the fully
+//     terminal state (no livelock).
+//
+// The model assumes num_phases >= 1. (With zero phases the receiver never
+// sees a final watermark, so a clean close is indistinguishable from a
+// peer abort; the degenerate case is exercised by the regular test suite.)
+//
+// Runs as a ctest (label "static") and in the static-analysis CI job.
+// Exits non-zero with a message on the first violation.
+
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "distrib/protocol.hpp"
+
+namespace proto = df::distrib::protocol;
+
+namespace {
+
+int checks_run = 0;
+
+[[noreturn]] void fail(const std::string& message) {
+  std::fprintf(stderr, "verify_protocol: FAIL: %s\n", message.c_str());
+  std::exit(1);
+}
+
+void expect(bool ok, const std::string& message) {
+  ++checks_run;
+  if (!ok) {
+    fail(message);
+  }
+}
+
+// --- Layer 1: per-table structural checks -----------------------------------
+
+template <typename S, typename E>
+void check_table(const char* name, std::span<const proto::Edge<S, E>> table,
+                 std::span<const S> states, std::span<const E> events,
+                 std::initializer_list<S> expected_terminals) {
+  const auto is_expected_terminal = [&](S s) {
+    for (S t : expected_terminals) {
+      if (t == s) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Deterministic: at most one edge per (from, event).
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    for (std::size_t j = i + 1; j < table.size(); ++j) {
+      expect(!(table[i].from == table[j].from &&
+               table[i].event == table[j].event),
+             std::string(name) + ": duplicate edge from " +
+                 to_string(table[i].from) + " on " +
+                 to_string(table[i].event));
+    }
+  }
+
+  // Terminal states are exactly the expected ones; terminality is defined
+  // as "no outgoing edge", so this doubles as the no-transition-out-of-
+  // terminal check.
+  for (S s : states) {
+    expect(proto::is_terminal(table, s) == is_expected_terminal(s),
+           std::string(name) + ": state " + to_string(s) +
+               " has the wrong terminality");
+  }
+
+  // Every state reaches a terminal state (BFS over the table graph).
+  for (S start : states) {
+    std::vector<S> frontier{start};
+    std::vector<S> seen{start};
+    bool reached = proto::is_terminal(table, start);
+    while (!frontier.empty() && !reached) {
+      S cur = frontier.back();
+      frontier.pop_back();
+      for (E e : events) {
+        const auto* edge = proto::find_edge(table, cur, e);
+        if (edge == nullptr) {
+          continue;
+        }
+        bool new_state = true;
+        for (S s : seen) {
+          if (s == edge->to) {
+            new_state = false;
+          }
+        }
+        if (new_state) {
+          seen.push_back(edge->to);
+          frontier.push_back(edge->to);
+          if (proto::is_terminal(table, edge->to)) {
+            reached = true;
+          }
+        }
+      }
+    }
+    expect(reached, std::string(name) + ": state " + to_string(start) +
+                        " cannot reach any terminal state");
+  }
+}
+
+// --- Layer 2: composed exploration ------------------------------------------
+
+using proto::EngineEvent;
+using proto::EngineState;
+using proto::ReceiverEvent;
+using proto::ReceiverState;
+using proto::SenderEvent;
+using proto::SenderState;
+
+/// Frames in flight on the one modelled channel. Two is enough to exercise
+/// ordering (a frame can sit behind another); a larger bound only grows
+/// the state count without adding behaviours.
+constexpr int kChannelCap = 2;
+
+struct Composite {
+  EngineState up = EngineState::kCreated;
+  SenderState sender = SenderState::kOpen;
+  ReceiverState recv = ReceiverState::kStreaming;
+  EngineState down = EngineState::kCreated;
+  int chan = 0;
+
+  bool operator==(const Composite&) const = default;
+};
+
+constexpr int kStateCount = 8 * 3 * 5 * 8 * (kChannelCap + 1);
+
+int pack(const Composite& c) {
+  return (((static_cast<int>(c.up) * 3 + static_cast<int>(c.sender)) * 5 +
+           static_cast<int>(c.recv)) *
+              8 +
+          static_cast<int>(c.down)) *
+             (kChannelCap + 1) +
+         c.chan;
+}
+
+std::string describe(const Composite& c) {
+  return std::string("{up=") + to_string(c.up) +
+         ", sender=" + to_string(c.sender) + ", recv=" + to_string(c.recv) +
+         ", down=" + to_string(c.down) + ", chan=" + std::to_string(c.chan) +
+         "}";
+}
+
+bool engine_can(EngineState s, EngineEvent e) {
+  return proto::find_edge(proto::kEngineTable, s, e) != nullptr;
+}
+EngineState engine_next(EngineState s, EngineEvent e) {
+  return proto::find_edge(proto::kEngineTable, s, e)->to;
+}
+bool recv_can(ReceiverState s, ReceiverEvent e) {
+  return proto::find_edge(proto::kReceiverTable, s, e) != nullptr;
+}
+ReceiverState recv_next(ReceiverState s, ReceiverEvent e) {
+  return proto::find_edge(proto::kReceiverTable, s, e)->to;
+}
+
+bool recv_terminal(ReceiverState s) {
+  return proto::is_terminal(proto::kReceiverTable, s);
+}
+
+bool fully_terminal(const Composite& c) {
+  return proto::is_terminal(proto::kEngineTable, c.up) &&
+         proto::is_terminal(proto::kEngineTable, c.down) &&
+         c.sender == SenderState::kClosed && recv_terminal(c.recv) &&
+         c.chan == 0;
+}
+
+/// Every composite action the implementation can take from `c`, with the
+/// coupling guards engine_main/EgressHub enforce. Uses the live tables via
+/// find_edge — an action is only emitted along a legal edge.
+std::vector<Composite> successors(const Composite& c) {
+  std::vector<Composite> next;
+  const auto add = [&](Composite n) { next.push_back(n); };
+
+  // Upstream engine: start, finish local work, fail (a module exception or
+  // protocol violation can strike in any live state that has the edge).
+  if (engine_can(c.up, EngineEvent::kStart)) {
+    Composite n = c;
+    n.up = engine_next(c.up, EngineEvent::kStart);
+    add(n);
+  }
+  if (engine_can(c.up, EngineEvent::kLocalComplete)) {
+    Composite n = c;
+    n.up = engine_next(c.up, EngineEvent::kLocalComplete);
+    add(n);
+  }
+  if (engine_can(c.up, EngineEvent::kError) &&
+      engine_next(c.up, EngineEvent::kError) != c.up) {
+    Composite n = c;
+    n.up = engine_next(c.up, EngineEvent::kError);
+    add(n);
+  }
+
+  // Close egress: the engine's kCloseEgress edge and the sender's kClose
+  // fire together (EgressHub::close_all runs between the two machine
+  // advances; the sender close is idempotent via the is-kClosed guard).
+  if (engine_can(c.up, EngineEvent::kCloseEgress)) {
+    Composite n = c;
+    n.up = engine_next(c.up, EngineEvent::kCloseEgress);
+    if (n.sender != SenderState::kClosed) {
+      expect(proto::find_edge(proto::kSenderTable, n.sender,
+                              SenderEvent::kClose) != nullptr,
+             "sender cannot close from " + std::string(to_string(n.sender)));
+      n.sender = SenderState::kClosed;
+    }
+    if (c.up != n.up || c.sender != n.sender) {
+      add(n);
+    }
+  }
+
+  // Upstream ingress EOF (its own upstreams are unmodelled): only the two
+  // egress-closed states have the edge — teardown ordering by structure.
+  if (engine_can(c.up, EngineEvent::kIngressEof)) {
+    Composite n = c;
+    n.up = engine_next(c.up, EngineEvent::kIngressEof);
+    add(n);
+  }
+
+  // Sender flush / send failure: only while the upstream engine is live
+  // (workers and the completion hook exist between kStart and close_all)
+  // and there is channel room. The sender table has no kFlush edge outside
+  // kOpen, so a closed or failed link structurally cannot send.
+  const bool up_live =
+      c.up == EngineState::kRunning || c.up == EngineState::kLocalDone;
+  if (c.sender == SenderState::kOpen && up_live && c.chan < kChannelCap) {
+    Composite flushed = c;
+    flushed.chan = c.chan + 1;
+    add(flushed);  // SenderEvent::kFlush self-loop
+    Composite failed = c;
+    failed.sender = SenderState::kFailed;
+    add(failed);  // SenderEvent::kSendError
+  }
+
+  // Receiver consuming one frame. Which event a frame carries is resolved
+  // nondeterministically: an in-order delivery (kFrame), a non-final or
+  // final watermark, a duplicate, or a frame whose validation fails
+  // (kError). Trailing frames after the receiver reached a terminal state
+  // are discarded by the reader's drain-to-EOF loop without touching the
+  // machine.
+  if (c.chan > 0) {
+    for (ReceiverEvent e :
+         {ReceiverEvent::kFrame, ReceiverEvent::kWatermark,
+          ReceiverEvent::kFinalWatermark, ReceiverEvent::kDuplicate,
+          ReceiverEvent::kError}) {
+      if (recv_can(c.recv, e)) {
+        Composite n = c;
+        n.recv = recv_next(c.recv, e);
+        n.chan = c.chan - 1;
+        add(n);
+      }
+    }
+    if (recv_terminal(c.recv)) {
+      Composite n = c;
+      n.chan = c.chan - 1;
+      add(n);
+    }
+  }
+
+  // Receiver observing EOF: only after the sender closed and every frame
+  // ahead of the close was consumed (channels deliver in order). From
+  // kStreaming this is a peer abort (kPeerClosed); from kDrained a clean
+  // end of stream.
+  if (c.sender == SenderState::kClosed && c.chan == 0 &&
+      recv_can(c.recv, ReceiverEvent::kEof)) {
+    Composite n = c;
+    n.recv = recv_next(c.recv, ReceiverEvent::kEof);
+    add(n);
+  }
+
+  // Downstream engine. Local completion needs the ingress drained (the
+  // phase loop consumed the final watermark); kIngressEof into kDone
+  // additionally needs the clean EOF, while the abort drain accepts any
+  // terminal receiver. Errors (module exceptions, the peer_closed_error
+  // thrown on kPeerClosed, reader errors on kFailed) can strike anywhere
+  // the edge exists.
+  if (engine_can(c.down, EngineEvent::kStart)) {
+    Composite n = c;
+    n.down = engine_next(c.down, EngineEvent::kStart);
+    add(n);
+  }
+  if (engine_can(c.down, EngineEvent::kLocalComplete) &&
+      (c.recv == ReceiverState::kDrained || c.recv == ReceiverState::kEof)) {
+    Composite n = c;
+    n.down = engine_next(c.down, EngineEvent::kLocalComplete);
+    add(n);
+  }
+  if (engine_can(c.down, EngineEvent::kError) &&
+      engine_next(c.down, EngineEvent::kError) != c.down) {
+    Composite n = c;
+    n.down = engine_next(c.down, EngineEvent::kError);
+    add(n);
+  }
+  if (engine_can(c.down, EngineEvent::kCloseEgress)) {
+    Composite n = c;
+    n.down = engine_next(c.down, EngineEvent::kCloseEgress);
+    if (c.down != n.down) {  // its own sender is unmodelled; skip self-loops
+      add(n);
+    }
+  }
+  if (engine_can(c.down, EngineEvent::kIngressEof)) {
+    const bool clean = c.down == EngineState::kEgressClosed;
+    if ((clean && c.recv == ReceiverState::kEof) ||
+        (!clean && recv_terminal(c.recv))) {
+      Composite n = c;
+      n.down = engine_next(c.down, EngineEvent::kIngressEof);
+      add(n);
+    }
+  }
+
+  return next;
+}
+
+void check_invariants(const Composite& c) {
+  // Close ordering: the sender is closed exactly in (and after) the
+  // engine's egress-closed states — never while the engine could still
+  // produce egress traffic, and never still open once the engine started
+  // draining ingress.
+  const bool egress_closed_state = c.up == EngineState::kEgressClosed ||
+                                   c.up == EngineState::kAbortingEgressClosed ||
+                                   c.up == EngineState::kDone ||
+                                   c.up == EngineState::kAborted;
+  expect((c.sender == SenderState::kClosed) == egress_closed_state,
+         "close-ordering violation in " + describe(c));
+
+  // No send after close, composed form: a closed sender never coexists
+  // with a channel the upstream engine could still be filling.
+  if (c.sender == SenderState::kClosed) {
+    expect(!(c.up == EngineState::kCreated || c.up == EngineState::kRunning),
+           "sender closed while upstream engine live in " + describe(c));
+  }
+
+  // A drained-to-EOF receiver implies the channel really drained.
+  if (c.recv == ReceiverState::kEof || c.recv == ReceiverState::kPeerClosed) {
+    expect(c.sender == SenderState::kClosed,
+           "receiver saw EOF before the sender closed in " + describe(c));
+  }
+}
+
+void explore() {
+  const Composite initial{};
+
+  // Forward reachability from the initial state.
+  std::vector<bool> reachable(kStateCount, false);
+  std::vector<Composite> reachable_states;
+  std::deque<Composite> frontier{initial};
+  reachable[pack(initial)] = true;
+  std::size_t transitions = 0;
+  while (!frontier.empty()) {
+    const Composite c = frontier.front();
+    frontier.pop_front();
+    reachable_states.push_back(c);
+    check_invariants(c);
+    const std::vector<Composite> next = successors(c);
+    expect(!next.empty() || fully_terminal(c),
+           "stuck non-terminal state (hang): " + describe(c));
+    expect(next.empty() || !fully_terminal(c),
+           "transition out of fully terminal state: " + describe(c));
+    for (const Composite& n : next) {
+      ++transitions;
+      if (!reachable[pack(n)]) {
+        reachable[pack(n)] = true;
+        frontier.push_back(n);
+      }
+    }
+  }
+
+  // Backward reachability from every fully terminal state, over the whole
+  // (reachable or not) state space; every reachable state must be able to
+  // finish — the no-livelock half of the no-hang guarantee.
+  std::vector<std::vector<int>> reverse(kStateCount);
+  std::deque<int> back_frontier;
+  std::vector<bool> can_finish(kStateCount, false);
+  for (int up = 0; up < 8; ++up) {
+    for (int s = 0; s < 3; ++s) {
+      for (int r = 0; r < 5; ++r) {
+        for (int down = 0; down < 8; ++down) {
+          for (int chan = 0; chan <= kChannelCap; ++chan) {
+            const Composite c{static_cast<EngineState>(up),
+                              static_cast<SenderState>(s),
+                              static_cast<ReceiverState>(r),
+                              static_cast<EngineState>(down), chan};
+            for (const Composite& n : successors(c)) {
+              reverse[pack(n)].push_back(pack(c));
+            }
+            if (fully_terminal(c)) {
+              can_finish[pack(c)] = true;
+              back_frontier.push_back(pack(c));
+            }
+          }
+        }
+      }
+    }
+  }
+  while (!back_frontier.empty()) {
+    const int id = back_frontier.front();
+    back_frontier.pop_front();
+    for (int pred : reverse[id]) {
+      if (!can_finish[pred]) {
+        can_finish[pred] = true;
+        back_frontier.push_back(pred);
+      }
+    }
+  }
+  for (const Composite& c : reachable_states) {
+    expect(can_finish[pack(c)],
+           "livelock: no path to full termination from " + describe(c));
+  }
+
+  std::printf(
+      "verify_protocol: composed exploration OK "
+      "(%zu reachable states, %zu transitions)\n",
+      reachable_states.size(), transitions);
+}
+
+}  // namespace
+
+int main() {
+  check_table<SenderState, SenderEvent>(
+      "sender", proto::kSenderTable, proto::kSenderStates,
+      proto::kSenderEvents, {SenderState::kClosed});
+  check_table<ReceiverState, ReceiverEvent>(
+      "receiver", proto::kReceiverTable, proto::kReceiverStates,
+      proto::kReceiverEvents,
+      {ReceiverState::kEof, ReceiverState::kFailed,
+       ReceiverState::kPeerClosed});
+  check_table<EngineState, EngineEvent>(
+      "engine", proto::kEngineTable, proto::kEngineStates,
+      proto::kEngineEvents, {EngineState::kDone, EngineState::kAborted});
+
+  // Send-after-close / send-after-failure are unrepresentable: the only
+  // kFlush edge in the sender table leaves kOpen.
+  for (SenderState s : proto::kSenderStates) {
+    expect((proto::find_edge(proto::kSenderTable, s, SenderEvent::kFlush) !=
+            nullptr) == (s == SenderState::kOpen),
+           std::string("sender: unexpected kFlush edge from ") + to_string(s));
+  }
+
+  explore();
+  std::printf("verify_protocol: all checks passed (%d assertions)\n",
+              checks_run);
+  return 0;
+}
