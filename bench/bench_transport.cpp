@@ -47,6 +47,17 @@ int main(int argc, char** argv) {
     std::printf("--engine-threads and --shards must be >= 1\n");
     return 2;
   }
+  // Third axis of the per-block engine knob matrix: ready-pair dispatch.
+  const std::string dispatch_name =
+      flags.get("dispatch", std::string{"central"});
+  if (dispatch_name != "central" && dispatch_name != "steal") {
+    std::printf("--dispatch must be 'central' or 'steal', got %s\n",
+                dispatch_name.c_str());
+    return 2;
+  }
+  const auto dispatch = dispatch_name == "steal"
+                            ? core::EngineOptions::Dispatch::kWorkStealing
+                            : core::EngineOptions::Dispatch::kCentral;
   const std::uint64_t hw_concurrency =
       static_cast<std::uint64_t>(std::thread::hardware_concurrency());
 
@@ -87,6 +98,7 @@ int main(int argc, char** argv) {
       options.channel = kind;
       options.engine_threads = engine_threads;
       options.scheduler_shards = shards;
+      options.dispatch = dispatch;
       distrib::TransportEngine transport(program, options);
       transport.run(phases, nullptr);
 
@@ -116,6 +128,7 @@ int main(int argc, char** argv) {
           .config("engine_threads",
                   static_cast<std::uint64_t>(engine_threads))
           .config("shards", static_cast<std::uint64_t>(shards))
+          .config("dispatch", dispatch_name)
           .config("hw_concurrency", hw_concurrency)
           .metric("phases_per_sec", stats.phases_per_second())
           .metric("pairs_per_sec", stats.pairs_per_second())
@@ -133,6 +146,9 @@ int main(int argc, char** argv) {
                       static_cast<double>(phases))
           .metric("remote_messages", tstats.remote_messages)
           .metric("remote_frac", remote_frac)
+          .metric("steals_ok", stats.steals_ok)
+          .metric("steals_empty", stats.steals_empty)
+          .metric("parks", stats.parks)
           .emit();
 
       const auto report =

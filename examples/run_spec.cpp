@@ -5,8 +5,8 @@
 // Usage:
 //   run_spec <spec.xml> [--executor=engine|sequential|lockstep|eager|
 //            transport] [--phases=N] [--threads=K] [--shards=K]
-//            [--machines=K] [--channel=inproc|socket] [--verify]
-//            [--events=file.csv]
+//            [--dispatch=central|steal] [--machines=K]
+//            [--channel=inproc|socket] [--verify] [--events=file.csv]
 //
 // --threads and --shards configure the worker pool: for --executor=engine
 // the single engine's thread count and scheduler shards, for
@@ -39,8 +39,8 @@ int main(int argc, char** argv) {
   if (flags.positional().empty()) {
     std::printf("usage: run_spec <spec.xml> [--executor=engine|sequential|"
                 "lockstep|eager|transport] [--phases=N] [--threads=K] "
-                "[--shards=K] [--machines=K] [--channel=inproc|socket] "
-                "[--verify]\n");
+                "[--shards=K] [--dispatch=central|steal] [--machines=K] "
+                "[--channel=inproc|socket] [--verify]\n");
     return 2;
   }
 
@@ -74,12 +74,23 @@ int main(int argc, char** argv) {
     std::printf("--shards must be >= 1\n");
     return 2;
   }
+  const std::string dispatch_name =
+      flags.get("dispatch", std::string("central"));
+  if (dispatch_name != "central" && dispatch_name != "steal") {
+    std::printf("unknown dispatch '%s' (expected central|steal)\n",
+                dispatch_name.c_str());
+    return 2;
+  }
+  const auto dispatch = dispatch_name == "steal"
+                            ? core::EngineOptions::Dispatch::kWorkStealing
+                            : core::EngineOptions::Dispatch::kCentral;
 
   std::unique_ptr<core::Executor> executor;
   if (executor_name == "engine") {
     core::EngineOptions options;
     options.threads = threads;
     options.scheduler_shards = shards;
+    options.dispatch = dispatch;
     options.max_inflight_phases = computation.simulation.max_inflight_phases;
     executor = std::make_unique<core::Engine>(program, options);
   } else if (executor_name == "sequential") {
@@ -97,6 +108,7 @@ int main(int argc, char** argv) {
     // pool, so --threads/--shards configure each per-block engine.
     options.engine_threads = threads;
     options.scheduler_shards = shards;
+    options.dispatch = dispatch;
     options.max_inflight_phases = computation.simulation.max_inflight_phases;
     const std::string channel = flags.get("channel", std::string("inproc"));
     if (channel == "socket") {

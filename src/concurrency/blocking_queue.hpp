@@ -156,6 +156,49 @@ class BlockingQueue {
     return item;
   }
 
+  /// Blocking dequeue with a pre-block hook: like pop(), but runs `pre`
+  /// (with the lock released) every time the queue is observed empty and
+  /// open, before committing to sleep. The hook may push into this very
+  /// queue — the engine drains its staged finish rings there, which can
+  /// enqueue the pairs the caller is about to wait for — so the post-hook
+  /// re-check under the lock is what makes the sleep safe. Replaces the
+  /// old try_pop-then-pop retry: a hit costs one lock acquisition instead
+  /// of two, and the hook is skipped entirely once the queue is closed and
+  /// drained (nothing a drain produces can matter after close — see
+  /// Engine::finish()/~Engine for why both closers guarantee that).
+  template <typename PreBlock>
+  std::optional<T> pop_with_preblock(PreBlock&& pre) {
+    UniqueLock lock(mutex_);
+    for (;;) {
+      if (count_ != 0) {
+        T item = take();
+        const bool producers_waiting = waiting_pushers_ != 0;
+        lock.unlock();
+        if (producers_waiting) {
+          not_full_.notify_all();  // heterogeneous batch predicates, see pop()
+        }
+        return item;
+      }
+      if (closed_) {
+        return std::nullopt;  // closed and drained
+      }
+      lock.unlock();
+      pre();
+      lock.lock();
+      if (count_ != 0 || closed_) {
+        continue;  // the hook produced work (or the queue closed meanwhile)
+      }
+      ++waiting_poppers_;
+      while (!(closed_ || count_ != 0)) {
+        not_empty_.wait(lock);
+      }
+      --waiting_poppers_;
+      // Loop: the hit/closed checks at the top consume whatever woke us. A
+      // spurious pass re-runs the hook, which is cheap when idle (a single
+      // atomic threshold check on the engine side).
+    }
+  }
+
   /// Non-blocking dequeue.
   std::optional<T> try_pop() {
     UniqueLock lock(mutex_);

@@ -1,0 +1,140 @@
+// Per-worker parker: a one-permit binary semaphore with an adaptive
+// spin-then-park policy (DESIGN.md, "Work-stealing dispatch").
+//
+// The work-stealing dispatch layer wakes workers *individually*: a
+// producer that hands worker i a chunk calls exactly lane i's unpark(),
+// instead of notify_all on a condvar every worker shares. The parker's
+// one-permit ("sticky") semantics is what makes that race-free without a
+// producer-side handshake:
+//
+//   * unpark() deposits a permit with one atomic exchange. If the target
+//     is parked it is woken; if it is running, the permit is banked and
+//     the target's *next* park() returns immediately.
+//   * park() consumes a pending permit without blocking, else sleeps
+//     until one arrives.
+//
+// So the classic lost-wakeup interleaving — consumer checks queues
+// (empty), producer pushes + signals, consumer sleeps forever — cannot
+// happen: the signal is the permit, the permit cannot be lost, and the
+// woken worker re-checks its queues in its acquire loop. The cost is a
+// possible spurious wakeup (a banked permit from work that was already
+// consumed), which costs one extra sweep, never correctness.
+//
+// SpinBudget implements the adaptive spin-then-park policy: a worker
+// spins (cpu_relax polls of its work sources) for a budget of iterations
+// before parking. The budget doubles whenever spinning found work (work
+// arrives quickly here — parking would pay two context switches per
+// item) and halves whenever a spin round went to sleep anyway (the queue
+// is genuinely idle — spinning just burns the core), clamped to
+// [kMinSpins, kMaxSpins].
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "concurrency/annotations.hpp"
+#include "support/check.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace df::conc {
+
+/// One CPU-friendly busy-wait pulse (PAUSE / YIELD / nothing).
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+class Parker {
+ public:
+  Parker() = default;
+  Parker(const Parker&) = delete;
+  Parker& operator=(const Parker&) = delete;
+
+  /// Blocks the calling thread until a permit is available, then consumes
+  /// it. Returns immediately if unpark() already banked one. Only the
+  /// owning worker calls park(); any thread may unpark().
+  void park() {
+    // Fast path: consume a banked permit without touching the mutex.
+    std::uint32_t expected = kNotified;
+    if (state_.compare_exchange_strong(expected, kEmpty,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+      return;
+    }
+    UniqueLock lock(mutex_);
+    expected = kEmpty;
+    if (!state_.compare_exchange_strong(expected, kParked,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+      // A permit landed between the fast path and the lock; consume it.
+      DF_CHECK(expected == kNotified,
+               "second thread parked on the same Parker");
+      state_.store(kEmpty, std::memory_order_release);
+      return;
+    }
+    // Explicit predicate loop over the (unguarded, atomic) state; the
+    // unparker flips it to kNotified under this mutex, so the wait cannot
+    // miss the transition.
+    while (state_.load(std::memory_order_acquire) == kParked) {
+      cv_.wait(lock);
+    }
+    state_.store(kEmpty, std::memory_order_release);  // consume the permit
+  }
+
+  /// Deposits one permit (idempotent while one is already banked) and
+  /// wakes the owner if it is parked. Cheap when the owner is running:
+  /// one uncontended exchange, no mutex, no syscall.
+  void unpark() {
+    const std::uint32_t prev =
+        state_.exchange(kNotified, std::memory_order_acq_rel);
+    if (prev == kParked) {
+      // The owner is (or is about to be) in cv_.wait. Taking the mutex
+      // before notifying closes the window where it has set kParked but
+      // not yet entered wait(): once we hold the mutex the owner is
+      // either inside wait() (the notify reaches it) or has re-checked
+      // state_ under the mutex and seen kNotified (no notify owed).
+      { MutexLock lock(mutex_); }
+      cv_.notify_one();
+    }
+  }
+
+ private:
+  enum : std::uint32_t { kEmpty = 0, kNotified = 1, kParked = 2 };
+
+  std::atomic<std::uint32_t> state_{kEmpty};
+  Mutex mutex_;
+  CondVar cv_;
+};
+
+/// Adaptive spin budget for the spin-then-park policy. Owner-thread only.
+class SpinBudget {
+ public:
+  static constexpr std::uint32_t kMinSpins = 8;
+  static constexpr std::uint32_t kMaxSpins = 512;
+
+  /// Iterations to spend polling before parking this round.
+  std::uint32_t budget() const { return budget_; }
+
+  /// Spinning found work: arrivals are bursty-fast, spin longer next time.
+  void spin_succeeded() {
+    budget_ = budget_ * 2 > kMaxSpins ? kMaxSpins : budget_ * 2;
+  }
+
+  /// Spin exhausted and the worker parked: back off the wasted polling.
+  void spin_failed() {
+    budget_ = budget_ / 2 < kMinSpins ? kMinSpins : budget_ / 2;
+  }
+
+ private:
+  std::uint32_t budget_ = 64;
+};
+
+}  // namespace df::conc

@@ -1,0 +1,326 @@
+// Bounded Chase–Lev work-stealing deque + the global overflow injector
+// (DESIGN.md, "Work-stealing dispatch").
+//
+// WsDeque<T> is the per-worker run queue of the engine's work-stealing
+// dispatch mode: the owning worker pushes and pops at the *bottom* (LIFO —
+// the most recently issued pair is the cache-warmest), while any number of
+// thieves steal() concurrently from the *top* (FIFO — thieves take the
+// oldest work, the least likely to be in the owner's cache anyway). The
+// top/bottom index protocol is Chase & Lev's (SPAA'05) as corrected for
+// weak memory models by Lê, Pop, Cohen & Zappa Nardelli (PPoPP'13): the
+// owner's pop decrements bottom, fences, re-reads top, and resolves the
+// size-one race against thieves with a seq_cst CAS on top; a thief reads
+// top, fences, reads bottom, and claims an element with the same CAS.
+//
+// One deliberate deviation from the textbook algorithm, forced by the
+// element type: the classic deque lets a thief *read the element before
+// its CAS* and discard the value if the CAS fails. That is only sound for
+// trivially copyable elements — a failed-CAS read may race with the owner
+// overwriting the slot one lap later, which for a Scheduler::ReadyPair
+// (an InputBundle holding vectors) would be a genuine use-after-move, not
+// a benign torn read. Each slot therefore carries a lap-tagged sequence
+// number (Vyukov-style): producers publish an element with a release store
+// of seq = index + 1 *after* constructing it, and every consumer — owner
+// pop or winning thief — moves the element out only after it owns the
+// index, then frees the slot with a release store of seq = index +
+// capacity. The seq handshake gives move-construction a proper
+// happens-before edge in both directions (publish -> consume, consume ->
+// next-lap overwrite), so the deque is TSan-clean with arbitrary movable
+// payloads while keeping the Chase–Lev owner/thief index protocol intact.
+//
+// Boundedness: the buffer never grows. When the owner's push finds the
+// deque full — or finds the slot's previous consumer still moving its
+// element out (seq lag; same observable state) — push() returns false and
+// the caller spills the batch to the mutex-protected Injector, the shared
+// overflow pool every worker sweeps after an empty steal pass. Overflow is
+// thus loss-free and the common path stays lock-free.
+//
+// Thread-safety annotation note: top_/bottom_/slot seqs form a lock-free
+// protocol that clang's lock-based analysis cannot express — like
+// SpscRing, the contract is documented here and enforced by the TSan
+// stress suite (tests/test_ws_deque.cpp, ctest -L concurrency). The
+// Injector below is an ordinary mutex-guarded structure and is fully
+// annotated.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "concurrency/annotations.hpp"
+#include "support/check.hpp"
+
+namespace df::conc {
+
+template <typename T>
+class WsDeque {
+ public:
+  /// capacity must be a power of two >= 2 (indices are masked, and the
+  /// lap-tag arithmetic below relies on it).
+  explicit WsDeque(std::size_t capacity)
+      : slots_(capacity), mask_(capacity - 1) {
+    DF_CHECK(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+             "work-stealing deque capacity must be a power of two >= 2");
+    for (std::size_t i = 0; i < capacity; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  WsDeque(const WsDeque&) = delete;
+  WsDeque& operator=(const WsDeque&) = delete;
+
+  /// Owner side: pushes at the bottom. Returns false — leaving `item`
+  /// intact — when the deque is full (size == capacity, or the slot's
+  /// previous consumer has not finished vacating it yet); the caller
+  /// spills to the Injector.
+  bool push(T& item) {
+    const std::uint64_t b = bottom_.load(std::memory_order_relaxed);
+    Slot& slot = slots_[b & mask_];
+    // seq == b marks the slot free *for this lap*: the index-(b - capacity)
+    // consumer has moved its element out and release-stored b. Acquire
+    // pairs with that store, ordering our overwrite after its move-out.
+    if (slot.seq.load(std::memory_order_acquire) != b) {
+      return false;
+    }
+    slot.item = std::move(item);
+    // Publish element-then-index: a thief claims index b only after its
+    // fenced bottom read observes b+1, which this release store precedes.
+    slot.seq.store(b + 1, std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Owner side: pops at the bottom (LIFO). The size-one race against a
+  /// concurrent thief is resolved by the seq_cst CAS on top_, exactly as
+  /// in Chase–Lev take().
+  std::optional<T> pop() {
+    const std::uint64_t b = bottom_.load(std::memory_order_relaxed);
+    std::uint64_t t = top_.load(std::memory_order_relaxed);
+    if (t >= b) {
+      return std::nullopt;  // empty — no reservation to undo
+    }
+    // Reserve index b-1: publish the decremented bottom before re-reading
+    // top. The seq_cst fence pairs with the thief's fence (see steal());
+    // the classic argument applies: once a thief could observe
+    // bottom == b-1 it can claim at most indices < b-1, so after the
+    // re-read below shows t < b-1 the element is exclusively ours.
+    bottom_.store(b - 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    t = top_.load(std::memory_order_relaxed);
+    if (t > b - 1) {
+      // Thieves emptied it between the two reads; undo the reservation.
+      bottom_.store(b, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    if (t == b - 1) {
+      // Last element: race the thieves with the same CAS they use. Win or
+      // lose, the deque ends empty with top == bottom == b — so the slot's
+      // next producer writes absolute index (b-1) + capacity, a full lap
+      // ahead, and the free marker must say so (kNextLap).
+      const bool won = top_.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+      bottom_.store(b, std::memory_order_relaxed);
+      if (!won) {
+        return std::nullopt;
+      }
+      return take_slot(b - 1, kNextLap);
+    }
+    // t < b-1: interior element, no thief can reach index b-1 (see the
+    // fence argument above). bottom stays at b-1, so the very next push
+    // reuses absolute index b-1 — free the slot for the *same* index.
+    return take_slot(b - 1, kSameIndex);
+  }
+
+  /// Thief side: steals from the top (FIFO). Any thread. Returns nullopt
+  /// when empty or when it lost a race (callers sweep victims in a loop,
+  /// so a lost race is just "try the next victim").
+  std::optional<T> steal() {
+    std::uint64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::uint64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) {
+      return std::nullopt;  // observed empty
+    }
+    Slot& slot = slots_[t & mask_];
+    // The element at index t must be published (seq == t+1) before we race
+    // for it. seq == t + capacity means another thief already consumed it
+    // and the slot is a lap ahead — our CAS below would fail anyway, so
+    // treat it as a lost race. (Reading seq first also keeps us from
+    // CASing ownership of an index whose element a slow producer has not
+    // finished constructing — impossible here because bottom is published
+    // after seq, but cheap belt-and-braces.)
+    if (slot.seq.load(std::memory_order_acquire) != t + 1) {
+      return std::nullopt;
+    }
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return std::nullopt;  // lost to another thief or the owner's pop
+    }
+    // We own index t exclusively: move the element out, then free the
+    // slot. top is now t+1 and bottom >= t+1, so the slot's next producer
+    // writes absolute index t + capacity (a lap ahead); the release store
+    // pairs with that producer's acquire load, ordering our move-out
+    // before its overwrite.
+    T item = std::move(slot.item);
+    slot.seq.store(t + mask_ + 1, std::memory_order_release);
+    return item;
+  }
+
+  /// Approximate size (exact when quiescent). Owner or any thread.
+  std::size_t size() const {
+    const std::uint64_t b = bottom_.load(std::memory_order_acquire);
+    const std::uint64_t t = top_.load(std::memory_order_acquire);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  bool empty() const { return size() == 0; }
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq;
+    T item;
+  };
+
+  /// Which absolute index writes this slot next after the owner vacates
+  /// it. The free marker must equal that index exactly — push's fullness
+  /// check is `seq == b` — and it differs by pop path: an interior pop
+  /// leaves bottom at the popped index (same index is pushed next), while
+  /// a CAS-won last-element pop leaves top == bottom one past it (the
+  /// slot's next write is a whole lap ahead). Getting this wrong is not a
+  /// race but a livelock: push would see a permanently-stale seq and
+  /// spill every subsequent item to the injector.
+  enum FreeFor : std::uint64_t { kSameIndex = 0, kNextLap };
+
+  /// Moves the element at absolute index `index` out and frees its slot.
+  /// Caller has exclusive ownership of the index.
+  std::optional<T> take_slot(std::uint64_t index, FreeFor next) {
+    Slot& slot = slots_[index & mask_];
+    T item = std::move(slot.item);
+    slot.seq.store(next == kSameIndex ? index : index + mask_ + 1,
+                   std::memory_order_release);
+    return item;
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_;
+  // Owner-written (push/pop), thief-read. Separate cache lines so steals
+  // do not bounce the owner's line.
+  alignas(64) std::atomic<std::uint64_t> bottom_{0};
+  alignas(64) std::atomic<std::uint64_t> top_{0};
+};
+
+/// The mutex-protected global overflow pool behind every WsDeque: owner
+/// pushes that find their deque full spill whole batches here, and workers
+/// sweep it after an empty steal pass (before parking). Also the dispatch
+/// target for producers that own no deque (the environment thread).
+///
+/// Deliberately simple — one mutex, one ring — because it is off the hot
+/// path by construction: traffic lands here only on deque overflow or
+/// cross-thread handoff, both batch-granular, so the lock is amortized
+/// over whole chunks.
+template <typename T>
+class Injector {
+ public:
+  Injector() = default;
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  /// Moves every element of `items` in under one lock acquisition; the
+  /// source is left with moved-from shells (callers clear() and reuse).
+  /// Returns false — consuming nothing — once closed.
+  bool push_batch(std::span<T> items) {
+    MutexLock lock(mutex_);
+    if (closed_) {
+      return false;
+    }
+    for (T& item : items) {
+      place(std::move(item));
+    }
+    return true;
+  }
+
+  /// Single-element spill (the owner-pop path never uses this; deque
+  /// overflow spills batches). Returns false once closed.
+  bool push(T item) {
+    MutexLock lock(mutex_);
+    if (closed_) {
+      return false;
+    }
+    place(std::move(item));
+    return true;
+  }
+
+  /// Pops one element, FIFO. Never blocks.
+  std::optional<T> try_pop() {
+    MutexLock lock(mutex_);
+    if (count_ == 0) {
+      return std::nullopt;
+    }
+    return take();
+  }
+
+  /// Pops up to `limit` elements into `out` under one lock acquisition.
+  /// Returns the number taken.
+  std::size_t try_pop_batch(std::vector<T>& out, std::size_t limit) {
+    MutexLock lock(mutex_);
+    const std::size_t take_n = count_ < limit ? count_ : limit;
+    for (std::size_t i = 0; i < take_n; ++i) {
+      out.push_back(take());
+    }
+    return take_n;
+  }
+
+  /// Marks the injector closed: future pushes are rejected (the caller
+  /// checks the engine's abandoning flag, mirroring BlockingQueue), pops
+  /// keep draining what is left.
+  void close() {
+    MutexLock lock(mutex_);
+    closed_ = true;
+  }
+
+  std::size_t size() const {
+    MutexLock lock(mutex_);
+    return count_;
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  void place(T item) DF_REQUIRES(mutex_) {
+    if (count_ == ring_.size()) {
+      grow();
+    }
+    ring_[(head_ + count_) & (ring_.size() - 1)] = std::move(item);
+    ++count_;
+  }
+
+  T take() DF_REQUIRES(mutex_) {
+    T item = std::move(ring_[head_]);
+    head_ = (head_ + 1) & (ring_.size() - 1);
+    --count_;
+    return item;
+  }
+
+  void grow() DF_REQUIRES(mutex_) {
+    const std::size_t size = ring_.empty() ? 16 : ring_.size() * 2;
+    std::vector<T> grown(size);
+    for (std::size_t i = 0; i < count_; ++i) {
+      grown[i] = std::move(ring_[(head_ + i) & (ring_.size() - 1)]);
+    }
+    ring_ = std::move(grown);
+    head_ = 0;
+  }
+
+  mutable Mutex mutex_;
+  std::vector<T> ring_ DF_GUARDED_BY(mutex_);  // circular; power-of-two size
+  std::size_t head_ DF_GUARDED_BY(mutex_) = 0;
+  std::size_t count_ DF_GUARDED_BY(mutex_) = 0;
+  bool closed_ DF_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace df::conc

@@ -101,6 +101,14 @@ Engine::~Engine() {
     // finishes left in the rings are simply destroyed with the engine.
     abandoning_.store(true, std::memory_order_release);
     run_queue_.close();
+    if (steal_ != nullptr) {
+      // Same ordering contract as the central close: the abandoning_ store
+      // above precedes the dispatch's closed/inbox-closed stores, so any
+      // worker that observes a rejected push also observes abandoning_.
+      // Ready pairs stranded in inboxes are destroyed with the engine,
+      // like the staged finishes left in the rings.
+      steal_->close();
+    }
     for (auto& worker : workers_) {
       worker.join();
     }
@@ -112,6 +120,15 @@ void Engine::start() {
     return;
   }
   started_ = true;
+  if (options_.dispatch == EngineOptions::Dispatch::kWorkStealing) {
+    // Work-stealing dispatch (PR 9): per-worker deques replace the central
+    // run queue for both scheduler paths (flat staged rings and sharded).
+    // Constructed before any worker exists, so workers only ever see a
+    // fully-built lane array.
+    steal_ = std::make_unique<StealDispatch<Scheduler::ReadyPair>>(
+        options_.threads, options_.steal_deque_capacity,
+        options_.dispatch_chunk);
+  }
   if (sharded_ != nullptr) {
     // Sharded mode: per-shard locks replace the global-lock staging
     // protocol, so the flat scheduler and the staging rings stay unused.
@@ -277,7 +294,7 @@ void Engine::start_phase_bundles(std::vector<event::InputBundle>& bundles,
     }
     // Feed the workers before the completion hook: the hook may block on a
     // channel send and must not starve the pool of the pairs just issued.
-    enqueue_ready(env_ready_);
+    enqueue_ready(env_ready_, kEnvProducer);
     if (completed_now != 0 && options_.on_phase_complete) {
       options_.on_phase_complete(completed_now);
     }
@@ -312,7 +329,7 @@ void Engine::start_phase_bundles(std::vector<event::InputBundle>& bundles,
           scheduler_.snapshot());
     }
   }
-  enqueue_ready(env_ready_);
+  enqueue_ready(env_ready_, kEnvProducer);
   if (completed_now != 0 && options_.on_phase_complete) {
     options_.on_phase_complete(completed_now);
   }
@@ -332,6 +349,12 @@ void Engine::finish() {
     }
   }
   run_queue_.close();
+  if (steal_ != nullptr) {
+    // Every started phase has completed, so no ready pair exists anywhere
+    // (an issued-but-unfinished pair keeps its phase active) and no worker
+    // can be mid-push — closing cannot reject live work here.
+    steal_->close();
+  }
   for (auto& worker : workers_) {
     worker.join();
   }
@@ -367,13 +390,19 @@ event::PhaseId Engine::completed_phases() const {
   return scheduler_.completed_through();
 }
 
-void Engine::enqueue_ready(std::vector<Scheduler::ReadyPair>& ready) {
+void Engine::enqueue_ready(std::vector<Scheduler::ReadyPair>& ready,
+                           std::size_t producer) {
   if (ready.empty()) {
     return;
   }
-  // One lock acquisition and one wakeup for the whole batch, instead of a
-  // push per pair.
-  const bool accepted = run_queue_.push_all(ready);
+  // Central: one lock acquisition and a bounded number of wakeups for the
+  // whole batch, instead of a push per pair. Stealing: the producing
+  // worker keeps its first chunk in its own deque (no lock, cache-warm)
+  // and the rest goes round-robin into other lanes, one targeted unpark
+  // per chunk.
+  const bool accepted = steal_ != nullptr
+                            ? steal_->push_batch(ready, producer)
+                            : run_queue_.push_all(ready);
   DF_CHECK(accepted || abandoning_.load(std::memory_order_acquire),
            "run queue closed while work was outstanding");
   ready.clear();
@@ -418,7 +447,7 @@ void Engine::apply_finish_locked(Scheduler::StagedFinish& staged,
   }
 }
 
-std::size_t Engine::drain_staged() {
+std::size_t Engine::drain_staged(std::size_t worker) {
   // Ring consumption happens outside the global lock (we are the exclusive
   // consumer while holding draining_); only the batch application below
   // takes it, and the moved-from staged shells are destroyed after release.
@@ -458,7 +487,7 @@ std::size_t Engine::drain_staged() {
   }
   const std::size_t drained = drain_batch_.size();
   staged_pending_.fetch_sub(drained);
-  enqueue_ready(drain_ready_);
+  enqueue_ready(drain_ready_, worker);
   // Completion hook after the pairs are enqueued, outside mutex_. We still
   // hold draining_ here, so a blocking hook stalls threshold-1 drain
   // volunteers in their yield loop — a bounded stall, not a deadlock: the
@@ -471,7 +500,7 @@ std::size_t Engine::drain_staged() {
   return drained;
 }
 
-void Engine::maybe_drain(std::size_t threshold) {
+void Engine::maybe_drain(std::size_t threshold, std::size_t worker) {
   for (;;) {
     if (staged_pending_.load() < threshold) {
       return;
@@ -494,7 +523,7 @@ void Engine::maybe_drain(std::size_t threshold) {
     // We hold the drain. An entry counted in staged_pending_ may not be
     // ring-visible for a moment (the producer increments before pushing);
     // the outer loop simply tries again until the counter agrees.
-    const std::size_t drained = drain_staged();
+    const std::size_t drained = drain_staged(worker);
     draining_.store(false);
     // Re-check after release: an entry staged after our ring sweep whose
     // owner lost the exchange above must not be stranded.
@@ -542,20 +571,23 @@ void Engine::worker_main(std::size_t worker_index) {
   std::vector<Scheduler::ReadyPair> ready;
   conc::SpscRing<Scheduler::StagedFinish>* ring =
       use_staging_ ? staging_[worker_index].get() : nullptr;
+  // Pre-block hook, shared by both dispatch modes: about to block (or
+  // park), apply everything pending first (threshold 1), so no staged
+  // finish — possibly the one that completes a phase or readies the only
+  // runnable pair — waits on a batch that will never fill. This is what
+  // makes the lazy batch target below safe. The drain may enqueue fresh
+  // ready pairs; both dispatchers re-check for work after the hook.
+  const auto pre_block = [this, ring, worker_index] {
+    if (ring != nullptr) {
+      maybe_drain(1, worker_index);
+    }
+  };
   for (;;) {
-    std::optional<Scheduler::ReadyPair> item = run_queue_.try_pop();
+    std::optional<Scheduler::ReadyPair> item =
+        steal_ != nullptr ? steal_->acquire(worker_index, pre_block)
+                          : run_queue_.pop_with_preblock(pre_block);
     if (!item.has_value()) {
-      // About to block: apply everything pending first (threshold 1), so
-      // no staged finish — possibly the one that completes a phase or
-      // readies the only runnable pair — waits on a batch that will never
-      // fill. This is what makes the lazy batch target below safe.
-      if (ring != nullptr) {
-        maybe_drain(1);
-      }
-      item = run_queue_.pop();
-      if (!item.has_value()) {
-        break;  // closed and drained
-      }
+      break;  // closed and drained
     }
     support::Stopwatch compute_timer;
     ExecutionResult result;
@@ -598,18 +630,18 @@ void Engine::worker_main(std::size_t worker_index) {
       // consume an uncounted entry and underflow the counter.
       staged_pending_.fetch_add(1);
       if (ring->try_push(staged)) {
-        maybe_drain(drain_batch_target_);
+        maybe_drain(drain_batch_target_, worker_index);
       } else {
         // Ring full: roll the count back and apply this one directly.
         staged_pending_.fetch_sub(1);
         ready.clear();
         apply_finish_locked(staged, ready);
-        enqueue_ready(ready);
+        enqueue_ready(ready, worker_index);
       }
     } else {
       ready.clear();
       apply_finish_locked(staged, ready);
-      enqueue_ready(ready);
+      enqueue_ready(ready, worker_index);
     }
     bookkeeping_ns_.add(bookkeeping_timer.elapsed_ns());
     executed_pairs_.add(1);
@@ -629,7 +661,8 @@ void Engine::flush_applies(std::vector<Scheduler::StagedFinish>& local) {
   apply_dirty_.fetch_add(applied);
 }
 
-void Engine::maybe_collect(std::size_t threshold) {
+void Engine::maybe_collect(std::size_t threshold,
+                           std::size_t worker) {
   for (;;) {
     if (apply_dirty_.load() < threshold) {
       return;
@@ -672,7 +705,7 @@ void Engine::maybe_collect(std::size_t threshold) {
       }
     }
     apply_dirty_.fetch_sub(observed);
-    enqueue_ready(collect_ready_);
+    enqueue_ready(collect_ready_, worker);
     collecting_.store(false);
     // Completion hook after releasing collecting_, so a blocking hook
     // never stalls other collect volunteers. Concurrent collectors may
@@ -686,7 +719,7 @@ void Engine::maybe_collect(std::size_t threshold) {
   }
 }
 
-void Engine::worker_main_sharded(std::size_t /*worker_index*/) {
+void Engine::worker_main_sharded(std::size_t worker_index) {
   // Sharded drain protocol (DESIGN.md, "Sharded scheduler"): execute
   // outside every lock, batch the finish records locally, apply them
   // under per-shard locks (stage 1 — parallel across disjoint graph
@@ -703,15 +736,20 @@ void Engine::worker_main_sharded(std::size_t /*worker_index*/) {
   // loops knowingly.
   std::vector<Scheduler::StagedFinish> local;
   local.reserve(drain_batch_target_);
+  // Pre-block hook (see worker_main): flush the private batch and run a
+  // threshold-1 collect before the dispatcher may put this worker to
+  // sleep; the collect can enqueue fresh ready pairs, which both
+  // dispatchers re-check for after the hook.
+  const auto pre_block = [this, &local, worker_index] {
+    flush_applies(local);
+    maybe_collect(1, worker_index);
+  };
   for (;;) {
-    std::optional<Scheduler::ReadyPair> item = run_queue_.try_pop();
+    std::optional<Scheduler::ReadyPair> item =
+        steal_ != nullptr ? steal_->acquire(worker_index, pre_block)
+                          : run_queue_.pop_with_preblock(pre_block);
     if (!item.has_value()) {
-      flush_applies(local);
-      maybe_collect(1);
-      item = run_queue_.pop();
-      if (!item.has_value()) {
-        break;  // closed and drained
-      }
+      break;  // closed and drained
     }
     support::Stopwatch compute_timer;
     ExecutionResult result;
@@ -742,7 +780,7 @@ void Engine::worker_main_sharded(std::size_t /*worker_index*/) {
                                             std::move(item->bundle)});
     if (local.size() >= drain_batch_target_) {
       flush_applies(local);
-      maybe_collect(drain_batch_target_);
+      maybe_collect(drain_batch_target_, worker_index);
     }
     bookkeeping_ns_.add(bookkeeping_timer.elapsed_ns());
     executed_pairs_.add(1);
@@ -757,6 +795,12 @@ ExecStats Engine::stats() const {
   stats.compute_ns = compute_ns_.value();
   stats.bookkeeping_ns = bookkeeping_ns_.value();
   stats.wall_seconds = wall_seconds_;
+  if (steal_ != nullptr) {
+    const auto counters = steal_->counters();
+    stats.steals_ok = counters.steals_ok;
+    stats.steals_empty = counters.steals_empty;
+    stats.parks = counters.parks;
+  }
   {
     conc::MutexLock lock(mutex_);
     stats.phases_completed = sharded_ != nullptr

@@ -42,6 +42,7 @@
 #include "concurrency/blocking_queue.hpp"
 #include "concurrency/sharded_counter.hpp"
 #include "concurrency/spsc_ring.hpp"
+#include "core/dispatch.hpp"
 #include "core/executor.hpp"
 #include "core/observer.hpp"
 #include "core/program.hpp"
@@ -93,6 +94,31 @@ struct EngineOptions {
   /// per transition). With max_inflight_phases == 0 the sharded
   /// scheduler's finite slot ring bounds the window at 64.
   std::size_t scheduler_shards = 1;
+
+  /// Run-queue dispatch mode. kCentral (default) keeps the single blocking
+  /// MPMC run queue — one mutex+condvar shared by every worker.
+  /// kWorkStealing replaces it with per-worker bounded Chase–Lev deques:
+  /// ready batches are distributed round-robin in chunks (the producing
+  /// worker keeps its first chunk — cache-warm pairs stay local), idle
+  /// workers steal from the top of other workers' deques, overflow spills
+  /// to a shared injector, and an idle worker spins adaptively before
+  /// parking on a per-worker parker that producers wake individually
+  /// (DESIGN.md, "Work-stealing dispatch"). Central stays the default
+  /// until the multicore crossover is recorded — the same opt-in playbook
+  /// as scheduler_shards. Composes with both the flat (staged rings) and
+  /// sharded scheduler paths; the observer and threads=1 configurations
+  /// are unaffected by the default.
+  enum class Dispatch { kCentral, kWorkStealing };
+  Dispatch dispatch = Dispatch::kCentral;
+  /// Stealing mode: per-worker deque capacity, rounded up to a power of
+  /// two. A full deque never blocks or drops — the remainder of the batch
+  /// spills to the mutex-protected global injector.
+  std::size_t steal_deque_capacity = 256;
+  /// Stealing mode: chunk size for distributing one ready batch over the
+  /// worker deques. 0 (default) picks ceil(batch / threads), so one batch
+  /// wakes at most min(batch, threads) workers — never more wakeups than
+  /// items.
+  std::size_t dispatch_chunk = 0;
 
   /// Restricts the engine to one contiguous block [begin, end] of the
   /// program's satisfactory numbering (the transport's two-level mode: a
@@ -196,8 +222,9 @@ class Engine final : public Executor {
   /// flag. Same liveness/stranding discipline as maybe_drain: threshold 1
   /// callers (about to block) wait for the flag and mop up the residue;
   /// the post-release re-check covers applies that landed after the
-  /// collector's pass.
-  void maybe_collect(std::size_t threshold);
+  /// collector's pass. `worker` is the calling worker's dispatch lane
+  /// (ready pairs a collect issues are enqueued on its behalf).
+  void maybe_collect(std::size_t threshold, std::size_t worker);
   /// Applies one finished pair under the global lock — the paper's
   /// Listing 1 tail and the PR 1 hot path; still used when staging is off,
   /// when a staging ring overflows, and for per-transition observers.
@@ -210,16 +237,22 @@ class Engine final : public Executor {
   /// its ring and then lost the flag race is covered by the drainer's next
   /// staged_pending_ check. Threshold 1 = drain everything (the mandatory
   /// pre-block call); the batch target trades a little latency for one
-  /// frontier pass per batch.
-  void maybe_drain(std::size_t threshold);
+  /// frontier pass per batch. `worker` is the calling worker's dispatch
+  /// lane.
+  void maybe_drain(std::size_t threshold, std::size_t worker);
   /// One drain pass: pops every visible staged finish (ring consumer side,
   /// exclusive via draining_), applies the whole batch to the scheduler
   /// under one short lock acquisition, then enqueues the issued pairs.
   /// Returns the number of entries applied. Caller holds draining_.
-  std::size_t drain_staged();
-  /// Moves every pair into the run queue under one lock acquisition and
-  /// clears `ready` so the caller can reuse the buffer.
-  void enqueue_ready(std::vector<Scheduler::ReadyPair>& ready);
+  std::size_t drain_staged(std::size_t worker);
+  /// Hands every pair to the dispatch layer and clears `ready` so the
+  /// caller can reuse the buffer. Central: one run-queue lock acquisition
+  /// for the whole batch. Stealing: chunks go round-robin into worker
+  /// lanes with one targeted unpark each, and the producing worker
+  /// (`producer` — kEnvProducer for the environment thread) keeps its
+  /// first chunk in its own deque.
+  void enqueue_ready(std::vector<Scheduler::ReadyPair>& ready,
+                     std::size_t producer);
   /// Shared tail of the start_phase overloads: `bundles` holds one
   /// pre-reserved bundle per signal source; `injected` carries block-mode
   /// remote deliveries already translated to local indices.
@@ -282,6 +315,19 @@ class Engine final : public Executor {
   mutable conc::Mutex mutex_;  // the paper's single global lock
   conc::CondVar progress_cv_;
   conc::BlockingQueue<Scheduler::ReadyPair> run_queue_;
+  /// Work-stealing dispatch (PR 9 tentpole; DESIGN.md "Work-stealing
+  /// dispatch"). Non-null iff options_.dispatch == kWorkStealing, resolved
+  /// in start(); run_queue_ then carries no traffic. Closed at exactly the
+  /// two sites that close run_queue_ (finish() and the abandoning
+  /// destructor), after the abandoning_ store — the same release/acquire
+  /// teardown argument applies: a worker observes a rejected push only
+  /// after an acquire of the dispatch's closed flag (or the inbox mutex),
+  /// which the closer's preceding abandoning_ store is ordered before.
+  std::unique_ptr<StealDispatch<Scheduler::ReadyPair>> steal_;
+  /// Producer id for enqueue_ready calls from the environment thread (it
+  /// owns no dispatch lane; every chunk it issues goes through inboxes).
+  static constexpr std::size_t kEnvProducer =
+      StealDispatch<Scheduler::ReadyPair>::kExternalProducer;
   std::vector<std::thread> workers_;
   bool started_ = false;
   bool finished_ = false;

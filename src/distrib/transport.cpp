@@ -556,6 +556,7 @@ void TransportEngine::engine_main(EngineState& state,
     core::EngineOptions eopts;
     eopts.threads = options_.engine_threads;
     eopts.scheduler_shards = options_.scheduler_shards;
+    eopts.dispatch = options_.dispatch;
     eopts.max_inflight_phases = options_.max_inflight_phases;
     core::EngineOptions::BlockScope scope;
     scope.begin = state.begin;
@@ -844,6 +845,9 @@ void TransportEngine::run(event::PhaseId num_phases, core::PhaseFeed* feed) {
         std::min(stats_.phases_completed, state.stats.phases_completed);
     stats_.max_inflight_phases =
         std::max(stats_.max_inflight_phases, state.stats.max_inflight_phases);
+    stats_.steals_ok += state.stats.steals_ok;
+    stats_.steals_empty += state.stats.steals_empty;
+    stats_.parks += state.stats.parks;
     transport_stats_.frames_sent += state.tstats.frames_sent;
     transport_stats_.frames_received += state.tstats.frames_received;
     transport_stats_.bytes_sent += state.tstats.bytes_sent;

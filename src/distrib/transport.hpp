@@ -74,6 +74,7 @@
 #include <functional>
 #include <memory>
 
+#include "core/engine.hpp"
 #include "core/executor.hpp"
 #include "distrib/channel.hpp"
 #include "graph/partition.hpp"
@@ -105,6 +106,12 @@ struct TransportOptions {
   /// Scheduler shards of each per-block engine, sub-partitioning the
   /// block's local index range (clamped to the block size).
   std::size_t scheduler_shards = 1;
+  /// Run-queue dispatch of each per-block engine: central blocking queue
+  /// (default) or per-worker work-stealing deques (see
+  /// core::EngineOptions::dispatch). Orthogonal to engine_threads and
+  /// scheduler_shards — the third axis of the per-block knob matrix.
+  core::EngineOptions::Dispatch dispatch =
+      core::EngineOptions::Dispatch::kCentral;
   /// Per-block engine phase window (EngineOptions::max_inflight_phases);
   /// bounds how far a block's own pipeline runs ahead of its slowest
   /// in-flight phase. Cross-block skew is bounded separately by

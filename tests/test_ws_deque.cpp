@@ -1,0 +1,363 @@
+// Protocol stress for the work-stealing dispatch primitives (PR 9):
+// the bounded Chase–Lev deque (concurrency/ws_deque.hpp), the overflow
+// injector, the per-worker parker (concurrency/parker.hpp), and the
+// composed dispatch layer (core/dispatch.hpp).
+//
+// These suites are the designated checker for the lock-free protocols the
+// static thread-safety analysis cannot express (see the header comments):
+// they run under the CI TSan leg via `ctest -L concurrency`. Every stress
+// asserts *conservation* — each pushed item is consumed exactly once, by
+// exactly one consumer — across the specific races the deque resolves:
+// index wraparound over many laps, overflow spilling to the injector, and
+// thieves racing the owner's pop for the last element. Payloads carry a
+// heap vector on purpose: a double-consume or consume/overwrite race is a
+// real use-after-move TSan can see, not a benign torn word.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "concurrency/parker.hpp"
+#include "concurrency/ws_deque.hpp"
+#include "core/dispatch.hpp"
+
+namespace df::conc {
+namespace {
+
+// Non-trivially-copyable payload modelling Scheduler::ReadyPair: the value
+// is duplicated into heap storage so any protocol violation (element read
+// or overwritten while another consumer still owns it) is a data race on
+// heap memory, and a moved-from double-consume shows up as an empty body.
+struct Item {
+  std::uint64_t value = 0;
+  std::vector<std::uint64_t> body;
+
+  Item() = default;
+  explicit Item(std::uint64_t v) : value(v), body{v, ~v} {}
+  Item(Item&&) = default;
+  Item& operator=(Item&&) = default;
+};
+
+std::uint64_t checked_value(const Item& item) {
+  EXPECT_EQ(item.body.size(), 2U) << "consumed a moved-from item";
+  EXPECT_EQ(item.body[0], item.value);
+  EXPECT_EQ(item.body[1], ~item.value);
+  return item.value;
+}
+
+TEST(WsDeque, OwnerLifoOrderAndManyLapWraparound) {
+  WsDeque<Item> deque(8);
+  std::uint64_t next = 0;
+  // Thousands of laps over an 8-slot buffer: any slot-freeing bug (wrong
+  // lap tag) turns into a push refusal or a stale element within one lap.
+  for (int round = 0; round < 20000; ++round) {
+    const std::size_t burst = 1 + round % 8;
+    std::vector<std::uint64_t> pushed;
+    for (std::size_t i = 0; i < burst; ++i) {
+      Item item(next);
+      ASSERT_TRUE(deque.push(item)) << "round " << round << " item " << i;
+      pushed.push_back(next++);
+    }
+    for (std::size_t i = 0; i < burst; ++i) {
+      std::optional<Item> item = deque.pop();
+      ASSERT_TRUE(item.has_value());
+      EXPECT_EQ(checked_value(*item), pushed[burst - 1 - i]) << "LIFO order";
+    }
+    EXPECT_FALSE(deque.pop().has_value());
+  }
+}
+
+// Regression for the slot free-marker rule (WsDeque::FreeFor): an interior
+// owner pop returns bottom to the popped index, so the *same* absolute
+// index is pushed next — if pop freed the slot a lap ahead instead, this
+// push would spuriously report full forever (livelock, not a race).
+TEST(WsDeque, SlotIsReusableImmediatelyAfterInteriorPop) {
+  WsDeque<Item> deque(4);
+  for (int round = 0; round < 1000; ++round) {
+    for (std::uint64_t v = 0; v < 4; ++v) {
+      Item item(v);
+      ASSERT_TRUE(deque.push(item));
+    }
+    Item overflow(99);
+    EXPECT_FALSE(deque.push(overflow)) << "full deque must refuse";
+    EXPECT_EQ(overflow.value, 99U) << "refused item must stay intact";
+    ASSERT_TRUE(deque.pop().has_value());  // interior pop (size 4 -> 3)
+    Item again(100);
+    EXPECT_TRUE(deque.push(again)) << "slot must be free for the same index";
+    while (deque.pop().has_value()) {
+    }
+  }
+}
+
+TEST(WsDeque, StealTakesOldestPopTakesNewest) {
+  WsDeque<Item> deque(8);
+  for (std::uint64_t v = 0; v < 3; ++v) {
+    Item item(v);
+    ASSERT_TRUE(deque.push(item));
+  }
+  std::optional<Item> stolen = deque.steal();
+  ASSERT_TRUE(stolen.has_value());
+  EXPECT_EQ(checked_value(*stolen), 0U) << "thief takes FIFO";
+  std::optional<Item> popped = deque.pop();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(checked_value(*popped), 2U) << "owner takes LIFO";
+}
+
+// The central conservation stress: one owner pushing/popping with spill to
+// the injector, several thieves stealing, everyone hammering a deliberately
+// tiny deque so wraparound, overflow, and the size-one owner-vs-thief CAS
+// race all fire constantly. Every value 0..N-1 must be consumed exactly
+// once across all parties.
+void run_conservation_stress(std::size_t capacity, std::size_t thieves,
+                             std::uint64_t total) {
+  WsDeque<Item> deque(capacity);
+  Injector<Item> injector;
+  std::atomic<bool> done{false};
+
+  std::vector<std::vector<std::uint64_t>> taken(thieves + 1);
+  std::vector<std::thread> threads;
+  threads.reserve(thieves);
+  for (std::size_t t = 0; t < thieves; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::uint64_t>& mine = taken[t + 1];
+      for (;;) {
+        if (std::optional<Item> item = deque.steal()) {
+          mine.push_back(checked_value(*item));
+          continue;
+        }
+        if (std::optional<Item> item = injector.try_pop()) {
+          mine.push_back(checked_value(*item));
+          continue;
+        }
+        if (done.load(std::memory_order_acquire)) {
+          // Producer finished: one last sweep of both sources, then out.
+          while (std::optional<Item> item = deque.steal()) {
+            mine.push_back(checked_value(*item));
+          }
+          while (std::optional<Item> item = injector.try_pop()) {
+            mine.push_back(checked_value(*item));
+          }
+          return;
+        }
+      }
+    });
+  }
+
+  // Owner: bursts of pushes (spilling on refusal), interleaved with own
+  // pops — the pop of a size-one deque races the thieves' CAS directly.
+  std::vector<std::uint64_t>& own = taken[0];
+  std::uint64_t next = 0;
+  while (next < total) {
+    const std::size_t burst = 1 + next % (capacity + 2);
+    for (std::size_t i = 0; i < burst && next < total; ++i) {
+      Item item(next);
+      if (deque.push(item)) {
+        ++next;
+      } else {
+        ASSERT_TRUE(injector.push(std::move(item)));
+        ++next;
+      }
+    }
+    if (next % 3 != 0) {
+      if (std::optional<Item> item = deque.pop()) {
+        own.push_back(checked_value(*item));
+      }
+    }
+  }
+  // Drain what the thieves leave behind, then release them.
+  while (std::optional<Item> item = deque.pop()) {
+    own.push_back(checked_value(*item));
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  while (std::optional<Item> item = injector.try_pop()) {
+    own.push_back(checked_value(*item));
+  }
+
+  std::vector<std::uint64_t> all;
+  for (const auto& part : taken) {
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  ASSERT_EQ(all.size(), total) << "lost or duplicated items";
+  std::sort(all.begin(), all.end());
+  for (std::uint64_t v = 0; v < total; ++v) {
+    ASSERT_EQ(all[v], v) << "conservation broken at " << v;
+  }
+}
+
+TEST(WsDeque, MultiThiefConservationTinyDeque) {
+  // capacity 4 forces overflow spills and near-permanent size-one races.
+  run_conservation_stress(4, 3, 60000);
+}
+
+TEST(WsDeque, MultiThiefConservationWraparound) {
+  // Larger buffer, more laps of sustained mixed traffic.
+  run_conservation_stress(16, 2, 120000);
+}
+
+// Ping-pong termination proof for the parker: each round, each side parks
+// until the peer's unpark arrives. A single lost wakeup deadlocks the test
+// (caught by the ctest timeout); the sticky-permit exchange must carry it
+// through every interleaving, including unpark-before-park.
+TEST(Parker, PingPongNeverLosesAWakeup) {
+  Parker a;
+  Parker b;
+  constexpr int kRounds = 50000;
+  std::thread peer([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      a.unpark();
+      b.park();
+    }
+  });
+  for (int i = 0; i < kRounds; ++i) {
+    a.park();
+    b.unpark();
+  }
+  peer.join();
+}
+
+TEST(Parker, BankedPermitMakesNextParkImmediate) {
+  Parker parker;
+  parker.unpark();
+  parker.unpark();  // idempotent while banked
+  parker.park();    // consumes the permit without blocking
+  SUCCEED();
+}
+
+TEST(Injector, BatchRoundTripAndClose) {
+  Injector<Item> injector;
+  std::vector<Item> batch;
+  for (std::uint64_t v = 0; v < 40; ++v) {
+    batch.emplace_back(v);
+  }
+  ASSERT_TRUE(injector.push_batch(std::span<Item>(batch)));
+  std::vector<Item> out;
+  EXPECT_EQ(injector.try_pop_batch(out, 25), 25U);
+  EXPECT_EQ(injector.try_pop_batch(out, 100), 15U);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(checked_value(out[i]), i) << "FIFO order";
+  }
+  injector.close();
+  Item late(7);
+  EXPECT_FALSE(injector.push(std::move(late)));
+  EXPECT_TRUE(injector.empty());
+}
+
+// Dispatch-layer conservation: an external producer feeds batches, workers
+// consume through the full acquire path (own pop -> inbox -> steal ->
+// injector -> park) until close. Tiny deques force the inbox-overflow
+// spill; one item per chunk forces maximal cross-lane distribution.
+TEST(StealDispatch, ExternalBatchesConservedAcrossWorkers) {
+  using Dispatch = df::core::StealDispatch<Item>;
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::uint64_t kTotal = 40000;
+  Dispatch dispatch(kWorkers, /*deque_capacity=*/4, /*chunk=*/1);
+
+  std::vector<std::vector<std::uint64_t>> taken(kWorkers);
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      while (std::optional<Item> item = dispatch.acquire(w, [] {})) {
+        taken[w].push_back(checked_value(*item));
+      }
+    });
+  }
+  std::vector<Item> batch;
+  std::uint64_t next = 0;
+  while (next < kTotal) {
+    batch.clear();
+    const std::uint64_t burst = 1 + next % 13;
+    for (std::uint64_t i = 0; i < burst && next < kTotal; ++i) {
+      batch.emplace_back(next++);
+    }
+    ASSERT_TRUE(dispatch.push_batch(batch, Dispatch::kExternalProducer));
+  }
+  dispatch.close();
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+
+  std::vector<std::uint64_t> all;
+  for (const auto& part : taken) {
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  ASSERT_EQ(all.size(), kTotal);
+  std::sort(all.begin(), all.end());
+  for (std::uint64_t v = 0; v < kTotal; ++v) {
+    ASSERT_EQ(all[v], v);
+  }
+  const Dispatch::Counters counters = dispatch.counters();
+  // Each exiting worker runs at least one empty steal sweep before it
+  // observes the close, so the counters must have registered activity.
+  EXPECT_GT(counters.steals_ok + counters.steals_empty, 0U);
+}
+
+// Workers as producers: each consumed item with budget k > 0 re-enqueues
+// two children with budget k - 1 from the consuming worker's own lane
+// (exercising owner-push chunks + cross-lane inbox chunks + targeted
+// unparks). The consumed total must equal the full binary tree.
+TEST(StealDispatch, WorkerProducedTreesConserved) {
+  using Dispatch = df::core::StealDispatch<Item>;
+  constexpr std::size_t kWorkers = 3;
+  constexpr std::uint64_t kDepth = 9;
+  constexpr std::uint64_t kSeeds = 8;
+  // Item value encodes the remaining budget; total nodes per seed tree of
+  // depth d is 2^(d+1) - 1.
+  constexpr std::uint64_t kExpected = kSeeds * ((1ULL << (kDepth + 1)) - 1);
+
+  Dispatch dispatch(kWorkers, /*deque_capacity=*/8, /*chunk=*/0);
+  std::atomic<std::uint64_t> consumed{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      std::vector<Item> children;
+      while (std::optional<Item> item = dispatch.acquire(w, [] {})) {
+        const std::uint64_t budget = checked_value(*item);
+        if (consumed.fetch_add(1) + 1 == kExpected) {
+          // Last node of the last tree: nothing can be in flight anymore
+          // (every ancestor was consumed to produce it), so close here.
+          dispatch.close();
+        }
+        if (budget > 0) {
+          children.clear();
+          children.emplace_back(budget - 1);
+          children.emplace_back(budget - 1);
+          if (!dispatch.push_batch(children, w)) {
+            ADD_FAILURE() << "push rejected before close";
+          }
+        }
+      }
+    });
+  }
+  std::vector<Item> seeds;
+  for (std::uint64_t s = 0; s < kSeeds; ++s) {
+    seeds.emplace_back(kDepth);
+  }
+  ASSERT_TRUE(dispatch.push_batch(seeds, Dispatch::kExternalProducer));
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  EXPECT_EQ(consumed.load(), kExpected);
+}
+
+TEST(StealDispatch, CloseRejectsFurtherBatches) {
+  using Dispatch = df::core::StealDispatch<Item>;
+  Dispatch dispatch(2, 8, 0);
+  dispatch.close();
+  std::vector<Item> batch;
+  batch.emplace_back(1);
+  EXPECT_FALSE(dispatch.push_batch(batch, Dispatch::kExternalProducer));
+  // Workers see closed + empty and exit immediately.
+  EXPECT_FALSE(dispatch.acquire(0, [] {}).has_value());
+}
+
+}  // namespace
+}  // namespace df::conc
