@@ -58,6 +58,17 @@ int main(int argc, char** argv) {
   const auto dispatch = dispatch_name == "steal"
                             ? core::EngineOptions::Dispatch::kWorkStealing
                             : core::EngineOptions::Dispatch::kCentral;
+  // Fault-tolerance overhead axis: checkpoint every K completed phases
+  // (0 = off, the default). A non-zero K prices quiesce + snapshot +
+  // egress retention on the same rows as the plain run, so the overhead
+  // is a column, not a separate benchmark.
+  const std::size_t checkpoint_every =
+      flags.get("checkpoint-every", std::uint64_t{0});
+  if (checkpoint_every > 0 && shards > 1) {
+    std::printf("--checkpoint-every requires --shards=1 "
+                "(snapshots need the flat scheduler)\n");
+    return 2;
+  }
   const std::uint64_t hw_concurrency =
       static_cast<std::uint64_t>(std::thread::hardware_concurrency());
 
@@ -99,6 +110,7 @@ int main(int argc, char** argv) {
       options.engine_threads = engine_threads;
       options.scheduler_shards = shards;
       options.dispatch = dispatch;
+      options.checkpoint_every = checkpoint_every;
       distrib::TransportEngine transport(program, options);
       transport.run(phases, nullptr);
 
@@ -129,6 +141,8 @@ int main(int argc, char** argv) {
                   static_cast<std::uint64_t>(engine_threads))
           .config("shards", static_cast<std::uint64_t>(shards))
           .config("dispatch", dispatch_name)
+          .config("checkpoint_every",
+                  static_cast<std::uint64_t>(checkpoint_every))
           .config("hw_concurrency", hw_concurrency)
           .metric("phases_per_sec", stats.phases_per_second())
           .metric("pairs_per_sec", stats.pairs_per_second())
@@ -149,6 +163,8 @@ int main(int argc, char** argv) {
           .metric("steals_ok", stats.steals_ok)
           .metric("steals_empty", stats.steals_empty)
           .metric("parks", stats.parks)
+          .metric("checkpoints_taken", tstats.checkpoints_taken)
+          .metric("checkpoint_bytes", tstats.checkpoint_bytes)
           .emit();
 
       const auto report =

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <bit>
 
+#include "core/checkpoint.hpp"
 #include "graph/partition.hpp"
 #include "support/check.hpp"
+#include "support/state_archive.hpp"
 #include "support/stopwatch.hpp"
 
 namespace df::core {
@@ -380,6 +382,102 @@ void Engine::run(event::PhaseId num_phases, PhaseFeed* feed) {
   }
   finish();
   wall_seconds_ = wall.elapsed_s();
+}
+
+namespace {
+
+constexpr std::uint32_t kEngineImageMagic = 0x44464547u;  // "DFEG"
+constexpr std::uint32_t kEngineImageVersion = 1;
+
+}  // namespace
+
+void Engine::quiesce() {
+  DF_CHECK(started_ && !finished_, "quiesce outside start()/finish()");
+  conc::UniqueLock lock(mutex_);
+  // Explicit loop: the flat-path predicate reads the guarded scheduler_.
+  // Workers apply everything staged before blocking on an empty dispatcher
+  // (the pre-block hook), so completion of the last started phase is always
+  // reached and notified without caller involvement.
+  while (!(sharded_ != nullptr ? sharded_->all_started_phases_complete()
+                               : scheduler_.all_started_phases_complete())) {
+    progress_cv_.wait(lock);
+  }
+}
+
+std::vector<std::uint8_t> Engine::snapshot_state() {
+  DF_CHECK(sharded_ == nullptr,
+           "snapshot_state supports the flat scheduler only");
+  DF_CHECK(started_ && !finished_, "snapshot_state outside start()/finish()");
+  auto ar = support::StateArchive::saver();
+  std::uint32_t magic = kEngineImageMagic;
+  std::uint32_t version = kEngineImageVersion;
+  ar.u32(magic);
+  ar.u32(version);
+  std::vector<std::uint8_t> sched;
+  {
+    conc::MutexLock lock(mutex_);
+    sched = scheduler_.snapshot_state();
+  }
+  ar.sequence(sched,
+              [](support::StateArchive& a, std::uint8_t& b) { a.u8(b); });
+  // Module/rng/latest state for every owned vertex, by global index. Read
+  // without locks: the quiescent-point precondition guarantees no worker is
+  // executing (an issued-but-unfinished pair would keep its phase active).
+  std::uint32_t begin = offset_ + 1;
+  std::uint32_t end = block_end_;
+  ar.u32(begin);
+  ar.u32(end);
+  for (std::uint32_t v = begin; v <= end; ++v) {
+    VertexRuntime& rt = instance_.runtime(v);
+    rt.rng.persist(ar);
+    ar.sequence(rt.latest, [](support::StateArchive& a, event::Value& value) {
+      persist_value(a, value);
+    });
+    ar.bool_vector(rt.has_latest);
+    rt.module->persist_state(ar);
+  }
+  return seal_image(std::move(ar).take());
+}
+
+void Engine::restore_state(const std::vector<std::uint8_t>& image) {
+  DF_CHECK(sharded_ == nullptr,
+           "restore_state supports the flat scheduler only");
+  DF_CHECK(started_ && !finished_,
+           "restore_state requires a started engine (before any phase)");
+  auto ar = support::StateArchive::loader(open_image(image, "engine"));
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  ar.u32(magic);
+  DF_CHECK(magic == kEngineImageMagic,
+           "engine checkpoint: bad magic (not a DFEG image)");
+  ar.u32(version);
+  DF_CHECK(version == kEngineImageVersion,
+           "engine checkpoint: unsupported version ", version);
+  std::vector<std::uint8_t> sched;
+  ar.sequence(sched,
+              [](support::StateArchive& a, std::uint8_t& b) { a.u8(b); });
+  {
+    conc::MutexLock lock(mutex_);
+    scheduler_.restore_state(sched);
+  }
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  ar.u32(begin);
+  ar.u32(end);
+  DF_CHECK(begin == offset_ + 1 && end == block_end_,
+           "engine checkpoint: block range mismatch");
+  for (std::uint32_t v = begin; v <= end; ++v) {
+    VertexRuntime& rt = instance_.runtime(v);
+    rt.rng.persist(ar);
+    ar.sequence(rt.latest, [](support::StateArchive& a, event::Value& value) {
+      persist_value(a, value);
+    });
+    ar.bool_vector(rt.has_latest);
+    DF_CHECK(rt.latest.size() == rt.has_latest.size(),
+             "engine checkpoint: latest-value cache size mismatch");
+    rt.module->persist_state(ar);
+  }
+  ar.finish();
 }
 
 event::PhaseId Engine::completed_phases() const {

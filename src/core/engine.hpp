@@ -199,6 +199,29 @@ class Engine final : public Executor {
   /// Phases fully completed so far (prefix 1..k).
   event::PhaseId completed_phases() const;
 
+  // Checkpointing (crash-restart recovery; DESIGN.md "Crash-restart
+  // recovery"). Flat-scheduler path only — the sharded scheduler
+  // DF_CHECK-rejects.
+  /// Blocks until every started phase has completed and every staged finish
+  /// has been applied (workers drain their rings before blocking, so this
+  /// needs no help from the caller). The engine stays running; this is the
+  /// quiescent point snapshots are taken at.
+  void quiesce();
+  /// Serializes the block's full execution state into a self-validating
+  /// "DFEG" image: the scheduler image (nested "DFSC" blob) plus, for every
+  /// owned vertex, the module state (Module::persist_state), the rng stream,
+  /// and the latest-value cache. Call only at a quiescent point (after
+  /// quiesce(), with no concurrent start_phase) — module state is read
+  /// without locks on the guarantee that no worker is executing.
+  std::vector<std::uint8_t> snapshot_state();
+  /// Rebuilds state from a snapshot_state image. Must be called after
+  /// start() (reserve_steady_state precedes the first phase) and before any
+  /// start_phase on this engine. Magic, version, checksum, block range, and
+  /// scheduler geometry are all validated; failure throws
+  /// support::check_error and leaves the engine unusable — discard it and
+  /// retry with an older image.
+  void restore_state(const std::vector<std::uint8_t>& image);
+
   const SinkStore& sinks() const override { return sinks_; }
   ExecStats stats() const override;
 

@@ -188,6 +188,23 @@ class Scheduler {
 
   Snapshot snapshot() const;
 
+  /// Serializes the complete scheduler state — active-phase ring, pending/
+  /// partial bitsets, cursors, per-vertex full-phase FIFOs and issued marks,
+  /// and every live (partial or full-but-unissued) input bundle — into a
+  /// self-validating image ("DFSC" magic, version, FNV-1a trailer; see
+  /// core/checkpoint.hpp). Issued-but-unfinished pairs are recorded by
+  /// membership only: their sealed bundles travel with the caller's
+  /// ReadyPairs, which the caller must re-present after restore.
+  std::vector<std::uint8_t> snapshot_state();
+
+  /// Rebuilds the state from a snapshot_state image. Must be called on a
+  /// fresh scheduler (no phase started) constructed with the same m-vector
+  /// and signal-source prefix; both are validated against the image, as are
+  /// the magic, version, checksum, and internal set counts. Any failure
+  /// throws support::check_error and leaves the scheduler unspecified —
+  /// discard it and fall back to an older image.
+  void restore_state(const std::vector<std::uint8_t>& image);
+
  private:
   // BundlePool, VertexSchedState, the bundle-table sentinel and the bitset
   // helpers are shared with the sharded scheduler; see

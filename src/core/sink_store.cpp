@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "support/check.hpp"
+
 namespace df::core {
 
 void SinkStore::record_batch(std::vector<SinkRecord> batch) {
@@ -51,6 +53,24 @@ std::vector<SinkRecord> SinkStore::for_vertex(graph::VertexId vertex) const {
 void SinkStore::clear() {
   conc::MutexLock lock(mutex_);
   records_.clear();
+}
+
+void SinkStore::truncate(std::size_t count) {
+  conc::MutexLock lock(mutex_);
+  DF_CHECK(count <= records_.size(),
+           "SinkStore::truncate past the end: ", count, " > ",
+           records_.size());
+  records_.resize(count);
+}
+
+void SinkStore::drain_into(SinkStore& target) {
+  std::vector<SinkRecord> moved;
+  {
+    conc::MutexLock lock(mutex_);
+    moved = std::move(records_);
+    records_.clear();
+  }
+  target.record_batch(std::move(moved));
 }
 
 std::string to_string(const SinkRecord& record) {

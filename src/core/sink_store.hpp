@@ -45,6 +45,18 @@ class SinkStore {
 
   void clear();
 
+  /// Drops every record past the first `count`, restoring the store to the
+  /// size it had at a checkpoint. Correct at quiesced checkpoints only: with
+  /// no vertex mid-execution, positions [0, count) hold exactly the records
+  /// of completed phases regardless of the interleaving that appended them,
+  /// and re-execution after restore appends only later phases.
+  void truncate(std::size_t count);
+
+  /// Moves every record into `target` (batch append) and clears this store.
+  /// Used by the transport to fold per-partition stores into the engine's
+  /// canonical store after all partitions finish.
+  void drain_into(SinkStore& target);
+
  private:
   mutable conc::Mutex mutex_;
   std::vector<SinkRecord> records_ DF_GUARDED_BY(mutex_);

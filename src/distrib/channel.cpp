@@ -8,7 +8,10 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <string>
+#include <utility>
 
+#include "distrib/protocol.hpp"
 #include "distrib/wire.hpp"
 #include "support/check.hpp"
 
@@ -206,12 +209,31 @@ bool SocketChannel::recv(std::vector<std::uint8_t>& frame) {
         if (errno == EINTR) {
           continue;
         }
+        // Half-open teardown: a peer that died abruptly (RST instead of an
+        // orderly FIN) surfaces as ECONNRESET here. That is a *retryable*
+        // peer-loss — the crash-restart supervisor replays past it — so it
+        // gets its own exception type, distinct from the fatal truncated
+        // stream below (an orderly close mid-frame can only be a sender
+        // bug) and from genuinely unexpected read errors.
+        if (errno == ECONNRESET) {
+          throw protocol::peer_lost_error(
+              std::string("peer connection lost: ") + std::strerror(errno));
+        }
         DF_CHECK(false, "socket read failed: ", std::strerror(errno));
       }
       if (result == 0) {
-        DF_CHECK(eof_ok && got == 0,
-                 "peer closed mid-frame (truncated stream)");
-        return false;
+        if (eof_ok && got == 0) {
+          return false;
+        }
+        // Mid-frame EOF on an intact stream can only be a sender bug; the
+        // same EOF after a local close_recv() is just where shutdown()
+        // truncated the reader — retryable peer loss, like the ECONNRESET
+        // the close()-and-RST teardown used to produce here.
+        if (torn_down_.load(std::memory_order_relaxed)) {
+          throw protocol::peer_lost_error(
+              "channel torn down under a mid-frame read");
+        }
+        DF_CHECK(false, "peer closed mid-frame (truncated stream)");
       }
       got += static_cast<std::size_t>(result);
     }
@@ -236,12 +258,22 @@ bool SocketChannel::recv(std::vector<std::uint8_t>& frame) {
 }
 
 void SocketChannel::close_recv() {
-  // A full close (not shutdown) makes the kernel answer later-arriving data
-  // with RST, which surfaces as EPIPE/ECONNRESET on a sender blocked in a
-  // full-buffer write — exactly the unblock-and-drop teardown we need.
+  // shutdown(), never close(): close()ing a descriptor while another
+  // thread is blocked in read() on it is an fd-lifetime race (the number
+  // can be reused under the reader; TSan flags it). shutdown() wakes the
+  // blocked reader with EOF and leaves the descriptor alive until the
+  // destructor, which runs only after every reader has let go of the
+  // channel. shutdown() on the receive side does *not* wake a peer sender
+  // blocked in a full-buffer write, though — that takes SHUT_WR on the
+  // sender's own descriptor, which makes its blocked send() return EPIPE
+  // (MSG_NOSIGNAL) and drop. Both ends of this stream live here, so tear
+  // both down: abandon-the-channel must unblock reader and sender alike.
+  torn_down_.store(true, std::memory_order_relaxed);
   if (read_fd_ >= 0) {
-    ::close(read_fd_);
-    read_fd_ = -1;
+    ::shutdown(read_fd_, SHUT_RDWR);
+  }
+  if (write_fd_ >= 0) {
+    ::shutdown(write_fd_, SHUT_WR);
   }
 }
 
@@ -295,6 +327,123 @@ bool FaultInjectingChannel::recv(std::vector<std::uint8_t>& frame) {
 
 void FaultInjectingChannel::close_recv() {
   inner_->close_recv();
+}
+
+// --- CrashableChannel -------------------------------------------------------
+
+CrashableChannel::CrashableChannel(std::unique_ptr<Channel> inner,
+                                   Factory factory)
+    : inner_(std::move(inner)), factory_(std::move(factory)) {
+  DF_CHECK(inner_ != nullptr, "crashable channel needs an inner channel");
+  DF_CHECK(factory_ != nullptr, "crashable channel needs a revive factory");
+}
+
+std::shared_ptr<Channel> CrashableChannel::snapshot(bool& dead) {
+  conc::MutexLock lock(mutex_);
+  dead = dead_;
+  return inner_;
+}
+
+void CrashableChannel::send(std::span<const std::uint8_t> frame) {
+  bool dead = false;
+  const std::shared_ptr<Channel> inner = snapshot(dead);
+  if (dead) {
+    return;  // frame lost in flight; retention upstream will replay it
+  }
+  // A kill() racing this call lands the frame in the severed inner, where
+  // it is discarded with the rest of the dead receiver's backlog — the
+  // same in-flight loss, decided a moment later.
+  inner->send(frame);
+}
+
+void CrashableChannel::close_send() {
+  std::shared_ptr<Channel> inner;
+  {
+    conc::MutexLock lock(mutex_);
+    if (dead_) {
+      // Absorbed: the sender machine is kClosed, and the retention replay
+      // re-issues close_send against the revived channel so the restarted
+      // receiver still observes frames-then-EOF.
+      return;
+    }
+    if (hold_close_) {
+      // Between revive() and release_close() the sender may finish its run
+      // and close — but the pending replay's frames must precede the EOF,
+      // so the close is parked until the replay releases it.
+      deferred_close_ = true;
+      return;
+    }
+    inner = inner_;
+  }
+  inner->close_send();
+}
+
+bool CrashableChannel::recv(std::vector<std::uint8_t>& frame) {
+  bool dead = false;
+  const std::shared_ptr<Channel> inner = snapshot(dead);
+  if (dead) {
+    return false;  // the old reader exits; frames in the severed inner drop
+  }
+  return inner->recv(frame);
+}
+
+void CrashableChannel::close_recv() {
+  bool dead = false;
+  const std::shared_ptr<Channel> inner = snapshot(dead);
+  if (dead) {
+    return;
+  }
+  inner->close_recv();
+}
+
+void CrashableChannel::kill() {
+  std::shared_ptr<Channel> severed;
+  {
+    conc::MutexLock lock(mutex_);
+    if (dead_) {
+      return;
+    }
+    dead_ = true;
+    hold_close_ = false;
+    deferred_close_ = false;  // the channel it was parked for is dying
+    severed = inner_;
+  }
+  // Outside the lock: both calls may contend with blocked peers. close_recv
+  // unblocks both a sender stuck on a full channel (it drops and moves on)
+  // and a reader parked mid-recv (EOF or retryable peer loss); close_send
+  // marks the sender side closed so the old reader drains what already
+  // arrived and exits through its closed marker.
+  severed->close_recv();
+  severed->close_send();
+}
+
+void CrashableChannel::revive() {
+  std::unique_ptr<Channel> fresh = factory_();
+  DF_CHECK(fresh != nullptr, "crashable channel factory returned null");
+  conc::MutexLock lock(mutex_);
+  DF_CHECK(dead_, "revive() without a preceding kill()");
+  inner_ = std::move(fresh);
+  dead_ = false;
+  // Park sender closes until the pending replay has run (release_close):
+  // without this, a sender that finishes during the recovery window could
+  // close the fresh channel before the replayed frames enter it, and the
+  // restarted receiver would observe EOF ahead of frames it still needs.
+  hold_close_ = true;
+}
+
+void CrashableChannel::release_close() {
+  std::shared_ptr<Channel> inner;
+  bool apply = false;
+  {
+    conc::MutexLock lock(mutex_);
+    hold_close_ = false;
+    apply = deferred_close_ && !dead_;
+    deferred_close_ = false;
+    inner = inner_;
+  }
+  if (apply) {
+    inner->close_send();
+  }
 }
 
 }  // namespace df::distrib

@@ -16,16 +16,23 @@
 //     configuration that proves real bytes cross the boundary; pointing the
 //     same code at a remote address is deployment, not engineering.
 //
-// Plus one test implementation:
+// Plus two test implementations:
 //   * FaultInjectingChannel — wraps any channel and duplicates, reorders
 //     (within a bounded window), and delays frames on the send side. The
 //     receiver's sequence-number reassembly must absorb all of it; the
 //     fault-injection suite in test_transport.cpp asserts exactly-once
 //     delivery and unchanged sink output.
+//   * CrashableChannel — wraps any channel behind a kill()/revive() switch
+//     simulating receiver process death: kill() severs the inner channel
+//     (in-flight frames are lost, blocked peers unblock and drop, the old
+//     reader runs to EOF) and revive() installs a factory-fresh inner for
+//     the restarted receiver. The crash-restart suite and the transport's
+//     partition supervisor (DESIGN.md, "Crash-restart recovery") drive it.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -121,6 +128,11 @@ class SocketChannel final : public Channel {
   /// Set when a send hit a dead peer (EPIPE/ECONNRESET after the receiver
   /// closed); later sends drop immediately.
   std::atomic<bool> broken_{false};
+  /// Set by close_recv() before it shutdown()s the stream. A mid-frame EOF
+  /// is normally a fatal sender bug, but after a local teardown it is just
+  /// wherever shutdown happened to truncate the reader — reclassified as
+  /// the retryable peer_lost_error the old RST-based teardown surfaced.
+  std::atomic<bool> torn_down_{false};
 };
 
 /// Knobs for FaultInjectingChannel. All faults are send-side: the wrapped
@@ -163,6 +175,67 @@ class FaultInjectingChannel final : public Channel {
   std::vector<std::vector<std::uint8_t>> held_;
   std::uint64_t duplicates_injected_ = 0;
   std::uint64_t frames_held_ = 0;
+};
+
+/// Wraps a channel behind a kill()/revive() switch that simulates the
+/// *receiving* process dying and restarting. Both endpoints keep their
+/// pointer to this wrapper across the death:
+///
+///   * kill() marks the wrapper dead and severs the current inner channel
+///     (close_recv so a sender blocked on a full channel unblocks and
+///     drops, close_send so the old reader drains what arrived and hits
+///     EOF). Frames the dead receiver had not consumed are lost — exactly
+///     the in-flight loss a real crash causes — and sends during the dead
+///     window are dropped at the wrapper.
+///   * revive() installs a factory-fresh inner channel for the restarted
+///     receiver; subsequent sends and recvs flow through it. The sender's
+///     retention layer then replays everything past the receiver's last
+///     acknowledged sequence number (distrib/transport.cpp, EgressHub).
+///
+/// Thread-safety: send/recv/close_* snapshot the inner channel under the
+/// mutex and call it outside (a blocked recv must not hold the lock kill()
+/// needs); the shared_ptr keeps a severed inner alive until every blocked
+/// call on it returns. close_send during the dead window is absorbed — the
+/// sender's machine records the close and replay re-issues it against the
+/// revived channel.
+class CrashableChannel final : public Channel {
+ public:
+  using Factory = std::function<std::unique_ptr<Channel>()>;
+
+  /// `factory` builds replacement inner channels for revive(); it must
+  /// produce the same kind (and wrapping) as `inner`.
+  CrashableChannel(std::unique_ptr<Channel> inner, Factory factory);
+
+  void send(std::span<const std::uint8_t> frame) override;
+  void close_send() override;
+  bool recv(std::vector<std::uint8_t>& frame) override;
+  void close_recv() override;
+
+  /// Receiver death. Idempotent while dead.
+  void kill();
+  /// Receiver restart; requires a preceding kill(). Also parks any
+  /// subsequent close_send() until release_close(): the restarted
+  /// receiver's replay request races the sender's normal completion, and
+  /// the replayed frames must enter the fresh channel before its EOF.
+  void revive();
+  /// Ends the close hold revive() engaged, applying a close_send parked in
+  /// the meantime. Called by the receiver's recovery once its replay
+  /// request has been served (even a failed one — the hold must not
+  /// outlive the replay attempt, or EOF never arrives).
+  void release_close();
+
+ private:
+  /// Snapshots (inner, dead) under the lock.
+  std::shared_ptr<Channel> snapshot(bool& dead);
+
+  conc::Mutex mutex_;
+  std::shared_ptr<Channel> inner_ DF_GUARDED_BY(mutex_);
+  Factory factory_;
+  bool dead_ DF_GUARDED_BY(mutex_) = false;
+  /// revive() sets, release_close() clears: close_send() defers while set.
+  bool hold_close_ DF_GUARDED_BY(mutex_) = false;
+  /// A close_send() arrived during the hold and awaits release_close().
+  bool deferred_close_ DF_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace df::distrib

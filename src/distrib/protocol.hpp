@@ -19,33 +19,49 @@
 //         kFlush (phase batches + watermark sent)
 //          v--.
 //       [kOpen] --kSendError--> [kFailed]
-//          |                        |
-//          +------kClose------------+--> [[kClosed]]
+//        | ^ |                      |
+//        | | +------kClose----------+--> [[kClosed]]
+//        | kReplayDone                        ^
+//        v |      kFlush (retained re-send)   |
+//     [kReplaying]<--/  --kClose--------------+   (kSendError -> kFailed)
 //
 //   Receiver — one per ingress sequencer (engine thread only):
 //
 //         kFrame/kWatermark/kDuplicate
 //          v--.
 //     [kStreaming] --kFinalWatermark--> [kDrained] --.kDuplicate
-//          |    \--kError-->[[kFailed]]<--kError-- | ^--/
-//          |                                       +--kEof--> [[kEof]]
-//          +--kEof--> [[kPeerClosed]]   (close before the final watermark:
-//                                        the peer aborted; secondary error)
+//        ^ |    \--kError-->[[kFailed]]<--kError-- | ^--/
+//        | |                                       +--kEof--> [[kEof]]
+//        | +--kEof--> [[kPeerClosed]]   (close before the final watermark:
+//        |                               the peer aborted; secondary error)
+//        +--kFrame/kWatermark-- [kReplaying]   (restart-initial state;
+//           kDuplicate self-loops absorb       kFinalWatermark -> kDrained,
+//           the below-floor replay stream)     kEof/kError as from kStreaming)
 //
 //   Engine — one per partition engine_main:
 //
 //     [kCreated] -kStart-> [kRunning] -kLocalComplete-> [kLocalDone]
-//         |                    |                            |
-//         |                    |            kCloseEgress    v
-//         |                    |                      [kEgressClosed]
-//         |                    v    kError                  |
-//         +----kError----> [kAborting] <---------------+    | kIngressEof
-//                              | kCloseEgress           \   v
-//                              v                         [[kDone]]
+//         |  \                 | ^                          |
+//         |   kRestore         | +--kStart--[kReplaying]    v
+//         |    \               |             (restored;  [kEgressClosed]
+//         |     ----------------------kError---^ gen n+1)   | kCloseEgress
+//         |                    v    kError                  | kIngressEof
+//         +----kError----> [kAborting] <---------------+    v
+//                              | kCloseEgress           \ [[kDone]]
+//                              v
 //                    [kAbortingEgressClosed] (kCloseEgress/kError self-loop)
 //                              | kIngressEof
 //                              v
 //                         [[kAborted]]
+//
+// Crash-restart (DESIGN.md "Crash-restart recovery") extends all three
+// machines with a kReplaying state: the sender enters it from kOpen when a
+// restarted peer requests replay (kReplayStart), re-flushes retained frames,
+// and returns via kReplayDone; a restarted sequencer *starts* in receiver
+// kReplaying, where kDuplicate self-loops absorb the below-floor replay
+// stream until the first fresh frame/watermark rejoins kStreaming; a
+// restored engine passes kCreated -kRestore-> kReplaying -kStart-> kRunning,
+// so a generation that skips restore_state cannot claim to have replayed.
 //
 // ([[x]] = terminal.) The teardown ordering invariant — close egress first,
 // then drain ingress to EOF — is exactly the edge structure: kIngressEof is
@@ -143,14 +159,16 @@ class Machine {
 
 // --- Sender (one per egress link) -------------------------------------------
 
-enum class SenderState : std::uint8_t { kOpen, kFailed, kClosed };
-enum class SenderEvent : std::uint8_t { kFlush, kSendError, kClose };
+enum class SenderState : std::uint8_t { kOpen, kFailed, kClosed, kReplaying };
+enum class SenderEvent : std::uint8_t { kFlush, kSendError, kClose,
+                                        kReplayStart, kReplayDone };
 
 constexpr const char* to_string(SenderState s) {
   switch (s) {
     case SenderState::kOpen: return "Open";
     case SenderState::kFailed: return "Failed";
     case SenderState::kClosed: return "Closed";
+    case SenderState::kReplaying: return "Replaying";
   }
   return "?";
 }
@@ -159,24 +177,37 @@ constexpr const char* to_string(SenderEvent e) {
     case SenderEvent::kFlush: return "Flush";
     case SenderEvent::kSendError: return "SendError";
     case SenderEvent::kClose: return "Close";
+    case SenderEvent::kReplayStart: return "ReplayStart";
+    case SenderEvent::kReplayDone: return "ReplayDone";
   }
   return "?";
 }
 
 /// No kFlush edge exists from kFailed or kClosed: send-after-close (or
 /// send-after-failure) is structurally impossible, not merely unexercised.
+/// kReplaying is bracketed — only kReplayStart from kOpen enters it and only
+/// kReplayDone leaves it for kOpen, so retained-frame re-sends (kFlush while
+/// kReplaying) can never interleave with fresh-phase flushes: EgressHub's
+/// flush_through loop runs only while the machine is(kOpen).
 inline constexpr Edge<SenderState, SenderEvent> kSenderEdges[] = {
     {SenderState::kOpen, SenderEvent::kFlush, SenderState::kOpen},
     {SenderState::kOpen, SenderEvent::kSendError, SenderState::kFailed},
     {SenderState::kOpen, SenderEvent::kClose, SenderState::kClosed},
     {SenderState::kFailed, SenderEvent::kClose, SenderState::kClosed},
+    {SenderState::kOpen, SenderEvent::kReplayStart, SenderState::kReplaying},
+    {SenderState::kReplaying, SenderEvent::kFlush, SenderState::kReplaying},
+    {SenderState::kReplaying, SenderEvent::kReplayDone, SenderState::kOpen},
+    {SenderState::kReplaying, SenderEvent::kSendError, SenderState::kFailed},
+    {SenderState::kReplaying, SenderEvent::kClose, SenderState::kClosed},
 };
 inline constexpr std::span<const Edge<SenderState, SenderEvent>> kSenderTable{
     kSenderEdges};
 inline constexpr SenderState kSenderStates[] = {
-    SenderState::kOpen, SenderState::kFailed, SenderState::kClosed};
+    SenderState::kOpen, SenderState::kFailed, SenderState::kClosed,
+    SenderState::kReplaying};
 inline constexpr SenderEvent kSenderEvents[] = {
-    SenderEvent::kFlush, SenderEvent::kSendError, SenderEvent::kClose};
+    SenderEvent::kFlush, SenderEvent::kSendError, SenderEvent::kClose,
+    SenderEvent::kReplayStart, SenderEvent::kReplayDone};
 
 class SenderMachine : public Machine<SenderState, SenderEvent> {
  public:
@@ -191,6 +222,7 @@ enum class ReceiverState : std::uint8_t {
   kEof,         // terminal: clean end-of-stream after drain
   kFailed,      // terminal: reader/validation error on this channel
   kPeerClosed,  // terminal: EOF before the final watermark (peer aborted)
+  kReplaying,   // restart-initial: absorbing the below-floor replay stream
 };
 enum class ReceiverEvent : std::uint8_t {
   kFrame,           // in-order delivery/batch frame consumed
@@ -208,6 +240,7 @@ constexpr const char* to_string(ReceiverState s) {
     case ReceiverState::kEof: return "Eof";
     case ReceiverState::kFailed: return "Failed";
     case ReceiverState::kPeerClosed: return "PeerClosed";
+    case ReceiverState::kReplaying: return "Replaying";
   }
   return "?";
 }
@@ -244,12 +277,28 @@ inline constexpr Edge<ReceiverState, ReceiverEvent> kReceiverEdges[] = {
      ReceiverState::kDrained},
     {ReceiverState::kDrained, ReceiverEvent::kEof, ReceiverState::kEof},
     {ReceiverState::kDrained, ReceiverEvent::kError, ReceiverState::kFailed},
+    // A restarted sequencer starts in kReplaying: below-floor duplicates
+    // self-loop, and the first fresh frame/watermark rejoins the normal
+    // stream. kEof while still replaying means the peer died before
+    // completing the replay — same secondary-abort semantics as kStreaming.
+    {ReceiverState::kReplaying, ReceiverEvent::kDuplicate,
+     ReceiverState::kReplaying},
+    {ReceiverState::kReplaying, ReceiverEvent::kFrame,
+     ReceiverState::kStreaming},
+    {ReceiverState::kReplaying, ReceiverEvent::kWatermark,
+     ReceiverState::kStreaming},
+    {ReceiverState::kReplaying, ReceiverEvent::kFinalWatermark,
+     ReceiverState::kDrained},
+    {ReceiverState::kReplaying, ReceiverEvent::kEof,
+     ReceiverState::kPeerClosed},
+    {ReceiverState::kReplaying, ReceiverEvent::kError, ReceiverState::kFailed},
 };
 inline constexpr std::span<const Edge<ReceiverState, ReceiverEvent>>
     kReceiverTable{kReceiverEdges};
 inline constexpr ReceiverState kReceiverStates[] = {
     ReceiverState::kStreaming, ReceiverState::kDrained, ReceiverState::kEof,
-    ReceiverState::kFailed, ReceiverState::kPeerClosed};
+    ReceiverState::kFailed, ReceiverState::kPeerClosed,
+    ReceiverState::kReplaying};
 inline constexpr ReceiverEvent kReceiverEvents[] = {
     ReceiverEvent::kFrame,     ReceiverEvent::kWatermark,
     ReceiverEvent::kFinalWatermark, ReceiverEvent::kDuplicate,
@@ -257,8 +306,11 @@ inline constexpr ReceiverEvent kReceiverEvents[] = {
 
 class ReceiverMachine : public Machine<ReceiverState, ReceiverEvent> {
  public:
-  ReceiverMachine()
-      : Machine(kReceiverTable, ReceiverState::kStreaming, "receiver") {}
+  /// Fresh sequencers stream from seq 0; restarted ones pass
+  /// ReceiverState::kReplaying so the replay prefix is absorbed under a
+  /// state the verifier models, not an ad-hoc flag.
+  explicit ReceiverMachine(ReceiverState initial = ReceiverState::kStreaming)
+      : Machine(kReceiverTable, initial, "receiver") {}
 };
 
 // --- Engine (one per partition engine_main) ---------------------------------
@@ -272,6 +324,7 @@ enum class EngineState : std::uint8_t {
   kAborting,              // error captured; egress not yet closed
   kAbortingEgressClosed,  // error captured; draining ingress to EOF
   kAborted,               // terminal
+  kReplaying,             // restored from a checkpoint; not yet running
 };
 enum class EngineEvent : std::uint8_t {
   kStart,
@@ -279,6 +332,7 @@ enum class EngineEvent : std::uint8_t {
   kCloseEgress,
   kIngressEof,
   kError,
+  kRestore,
 };
 
 constexpr const char* to_string(EngineState s) {
@@ -291,6 +345,7 @@ constexpr const char* to_string(EngineState s) {
     case EngineState::kAborting: return "Aborting";
     case EngineState::kAbortingEgressClosed: return "AbortingEgressClosed";
     case EngineState::kAborted: return "Aborted";
+    case EngineState::kReplaying: return "Replaying";
   }
   return "?";
 }
@@ -301,6 +356,7 @@ constexpr const char* to_string(EngineEvent e) {
     case EngineEvent::kCloseEgress: return "CloseEgress";
     case EngineEvent::kIngressEof: return "IngressEof";
     case EngineEvent::kError: return "Error";
+    case EngineEvent::kRestore: return "Restore";
   }
   return "?";
 }
@@ -330,6 +386,13 @@ inline constexpr Edge<EngineState, EngineEvent> kEngineEdges[] = {
      EngineState::kAbortingEgressClosed},
     {EngineState::kAbortingEgressClosed, EngineEvent::kIngressEof,
      EngineState::kAborted},
+    // Crash-restart: a restored generation must pass through kReplaying
+    // (kRestore fires only after restore_state succeeds), so kStart out of a
+    // restart always carries replayed state. An error during restore aborts
+    // through the normal path.
+    {EngineState::kCreated, EngineEvent::kRestore, EngineState::kReplaying},
+    {EngineState::kReplaying, EngineEvent::kStart, EngineState::kRunning},
+    {EngineState::kReplaying, EngineEvent::kError, EngineState::kAborting},
 };
 inline constexpr std::span<const Edge<EngineState, EngineEvent>> kEngineTable{
     kEngineEdges};
@@ -337,10 +400,11 @@ inline constexpr EngineState kEngineStates[] = {
     EngineState::kCreated,  EngineState::kRunning,
     EngineState::kLocalDone, EngineState::kEgressClosed,
     EngineState::kDone,     EngineState::kAborting,
-    EngineState::kAbortingEgressClosed, EngineState::kAborted};
+    EngineState::kAbortingEgressClosed, EngineState::kAborted,
+    EngineState::kReplaying};
 inline constexpr EngineEvent kEngineEvents[] = {
     EngineEvent::kStart, EngineEvent::kLocalComplete, EngineEvent::kCloseEgress,
-    EngineEvent::kIngressEof, EngineEvent::kError};
+    EngineEvent::kIngressEof, EngineEvent::kError, EngineEvent::kRestore};
 
 class EngineMachine : public Machine<EngineState, EngineEvent> {
  public:
@@ -354,6 +418,17 @@ class EngineMachine : public Machine<EngineState, EngineEvent> {
 /// and the run is tearing down. The coordinator reports the root cause, not
 /// these secondary aborts.
 class peer_closed_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a socket peer vanished abruptly (ECONNRESET / EPIPE on a
+/// once-healthy connection) — the process-death signature, as opposed to the
+/// torn-stream "peer closed mid-frame" which means the peer wrote garbage.
+/// Retryable: a crash-restart supervisor treats it as "trigger recovery",
+/// while an unsupervised run reports it like any other secondary abort
+/// (classify() ranks it with peer_closed_error, below a root cause).
+class peer_lost_error : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
@@ -376,6 +451,8 @@ inline ErrorRank classify(const std::exception_ptr& error) {
   try {
     std::rethrow_exception(error);
   } catch (const peer_closed_error&) {
+    return ErrorRank::kPeerClosed;
+  } catch (const peer_lost_error&) {
     return ErrorRank::kPeerClosed;
   } catch (...) {
     return ErrorRank::kRootCause;

@@ -1,6 +1,7 @@
 #include "distrib/transport.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <map>
 #include <string>
@@ -51,9 +52,37 @@ constexpr std::size_t kBatchFlushBytes = std::size_t{48} * 1024;
 /// added while its producing pair executes, the pair's finish is applied
 /// afterwards, and only then can phase q complete and trigger the flush —
 /// with the link mutex serializing add against flush.
+///
+/// Crash-restart recovery (retain mode, DESIGN.md "Crash-restart
+/// recovery") layers three things on top, all inactive when retain is
+/// false:
+///   * retention — every sent frame is kept, keyed by seq, until the
+///     downstream partition's checkpoint commit calls ack_through; a
+///     restarted downstream asks replay_from to re-send everything past
+///     its checkpoint's consumed floor;
+///   * deterministic framing — deliveries stage as live objects and are
+///     sorted by (to_index, to_port) (unique within a phase: one delivery
+///     per in-edge per phase) before encoding at flush time, so a
+///     restarted *sender's* re-executed phases reproduce byte-identical
+///     frames under the original seqs and the peer's sequencer can drop
+///     them as duplicates. The trade: staged deliveries hold live Values,
+///     so memory per open (link, phase) is bounded by the phase's traffic
+///     rather than kBatchFlushBytes;
+///   * rollback — a restarted sender rewinds its seq/flush cursors to the
+///     checkpoint's and clears in-progress batches; re-execution restages
+///     them. Re-sends of already-sent seqs count as frames_replayed, not
+///     frames_sent, so frames_sent keeps counting unique seqs and the
+///     frames-per-phase ceiling holds across restarts.
 class EgressHub {
  public:
-  explicit EgressHub(const std::vector<Channel*>& channels) {
+  /// One link's send-side cursor pair, recorded into checkpoints.
+  struct LinkCursor {
+    std::uint64_t next_seq = 0;
+    event::PhaseId flushed_through = 0;
+  };
+
+  EgressHub(const std::vector<Channel*>& channels, bool retain)
+      : retain_(retain) {
     links_.reserve(channels.size());
     for (Channel* channel : channels) {
       links_.push_back(std::make_unique<Link>());
@@ -80,6 +109,12 @@ class EgressHub {
              "egress delivery for phase ", phase,
              " after its watermark was flushed");
     PhaseBatch& batch = link.batches[phase];
+    if (retain_) {
+      // Deterministic framing: stage the live delivery; the flush sorts
+      // and encodes the whole phase at once.
+      batch.staged.push_back(std::move(delivery));
+      return;
+    }
     batch.encoder.add(delivery);
     if (batch.encoder.payload_bytes() >= kBatchFlushBytes) {
       link.stats.batched_deliveries += batch.encoder.pending();
@@ -100,6 +135,9 @@ class EgressHub {
     for (std::unique_ptr<Link>& entry : links_) {
       Link& link = *entry;
       conc::MutexLock lock(link.mutex);
+      if (retain_) {
+        prune_locked(link);  // harvest acks posted since the last flush
+      }
       while (link.machine.is(SenderState::kOpen) && link.flushed_through < p) {
         const event::PhaseId q = link.flushed_through + 1;
         try {
@@ -138,6 +176,115 @@ class EgressHub {
     return error_;
   }
 
+  /// Snapshot of every link's send-side cursors, for the checkpoint image.
+  /// Call only at a quiescent point after flush_through (no concurrent
+  /// adds or flushes advancing the cursors mid-snapshot).
+  std::vector<LinkCursor> cursors() {
+    std::vector<LinkCursor> out;
+    out.reserve(links_.size());
+    for (std::unique_ptr<Link>& entry : links_) {
+      Link& link = *entry;
+      conc::MutexLock lock(link.mutex);
+      out.push_back({link.next_seq, link.flushed_through});
+    }
+    return out;
+  }
+
+  /// Restart rollback: rewinds every link to a checkpoint's cursors and
+  /// discards in-progress batches (re-execution restages them). The
+  /// downstream peer never died, so the sender machine stays kOpen and the
+  /// re-executed flushes re-send their frames under the original seqs —
+  /// deterministically identical bytes — which the peer's sequencer drops
+  /// as duplicates. Retained frames are kept: another partition may still
+  /// request them.
+  void rollback(const std::vector<LinkCursor>& cursors) {
+    DF_CHECK(retain_, "egress rollback without retention");
+    DF_CHECK(cursors.size() == links_.size(), "egress rollback cursor count");
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      Link& link = *links_[i];
+      conc::MutexLock lock(link.mutex);
+      DF_CHECK(link.machine.is(SenderState::kOpen),
+               "egress rollback on a ", protocol::to_string(link.machine.state()),
+               " link");
+      link.batches.clear();
+      link.next_seq = cursors[i].next_seq;
+      link.flushed_through = cursors[i].flushed_through;
+    }
+  }
+
+  /// Downstream checkpoint commit for link `link_index`: frames below
+  /// `floor` can never be requested again, so retention may drop them.
+  /// This is the watermark bound on replay memory. Deliberately lock-free
+  /// (a monotone atomic floor, harvested by the sender's own flushes and
+  /// by replay_from): the caller is the *downstream* coordinator, and this
+  /// link's mutex may be held by an upstream worker blocked on a send into
+  /// the very channel that coordinator has stopped draining — taking the
+  /// mutex here would close a deadlock cycle through the backpressure.
+  void ack_through(std::size_t link_index, std::uint64_t floor) {
+    std::atomic<std::uint64_t>& cell = links_[link_index]->ack_floor;
+    std::uint64_t seen = cell.load(std::memory_order_relaxed);
+    while (seen < floor &&
+           !cell.compare_exchange_weak(seen, floor,
+                                       std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Re-sends every retained frame with seq >= from_seq down link
+  /// `link_index`, bracketed by the sender machine's kReplayStart /
+  /// kReplayDone edges. Called by the *restarted downstream partition's*
+  /// supervisor thread — not by this block's own workers — after it
+  /// revived its end of the channel; holding the link mutex for the whole
+  /// replay means a concurrent flush_through never observes kReplaying
+  /// (the verifier's model additionally proves the interleaved composition
+  /// safe). If the original session had already closed, a fresh sender
+  /// machine walks the same verified open->replay->close path and the
+  /// close is re-issued so the revived peer still sees frames-then-EOF.
+  void replay_from(std::size_t link_index, std::uint64_t from_seq) {
+    DF_CHECK(retain_, "egress replay without retention");
+    Link& link = *links_[link_index];
+    conc::MutexLock lock(link.mutex);
+    if (link.machine.is(SenderState::kFailed)) {
+      return;  // the run is aborting; the restarted peer will observe EOF
+    }
+    const bool was_closed = link.machine.is(SenderState::kClosed);
+    if (was_closed) {
+      link.machine = protocol::SenderMachine();
+    }
+    // Requesting replay from `from_seq` is also an ack: the restarted peer
+    // committed that floor, so earlier frames are unreachable.
+    ack_through(link_index, from_seq);
+    prune_locked(link);
+    link.machine.advance(SenderEvent::kReplayStart);
+    try {
+      for (auto it = link.retained.lower_bound(from_seq);
+           it != link.retained.end(); ++it) {
+        link.channel->send(it->second);
+        link.machine.advance(SenderEvent::kFlush);
+        ++link.stats.frames_replayed;
+      }
+    } catch (...) {
+      record_error(std::current_exception());
+      link.machine.advance(SenderEvent::kSendError);
+      return;
+    }
+    link.machine.advance(SenderEvent::kReplayDone);
+    if (was_closed) {
+      link.machine.advance(SenderEvent::kClose);
+      try {
+        link.channel->close_send();
+      } catch (...) {
+        record_error(std::current_exception());
+      }
+    }
+  }
+
+  /// frames_replayed is deliberately NOT folded here: fold_stats runs
+  /// when this hub's own partition completes, but a crashed *downstream*
+  /// partition's replay_from can still bump the counter afterwards (the
+  /// upstream may finish its run long before the victim even crashes).
+  /// The ensemble reads frames_replayed() once every partition thread has
+  /// joined instead.
   void fold_stats(TransportStats& total) {
     for (std::unique_ptr<Link>& entry : links_) {
       Link& link = *entry;
@@ -151,6 +298,19 @@ class EgressHub {
     }
   }
 
+  /// Sum of replayed frames across links — rollback re-sends and
+  /// retention replays both land here. Only stable once no restarted
+  /// peer can request another replay (all partition threads joined).
+  std::uint64_t frames_replayed() {
+    std::uint64_t total = 0;
+    for (std::unique_ptr<Link>& entry : links_) {
+      Link& link = *entry;
+      conc::MutexLock lock(link.mutex);
+      total += link.stats.frames_replayed;
+    }
+    return total;
+  }
+
  private:
   struct LinkStats {
     std::uint64_t frames_sent = 0;
@@ -159,57 +319,139 @@ class EgressHub {
     std::uint64_t batched_deliveries = 0;
     std::uint64_t watermarks_sent = 0;
     std::uint64_t remote_messages = 0;
+    std::uint64_t frames_replayed = 0;
   };
 
   /// One (link, phase) accumulation: the in-progress incremental batch
   /// plus any threshold-overflow frames already encoded and awaiting their
-  /// send-time seq.
+  /// send-time seq. Retain mode uses `staged` instead — live deliveries
+  /// held until the flush sorts and encodes them.
   struct PhaseBatch {
     wire::BatchEncoder encoder;
     std::vector<std::vector<std::uint8_t>> held_frames;
+    std::vector<core::Delivery> staged;
   };
 
   struct Link {
     Channel* channel = nullptr;  // set once at construction, then immutable
     conc::Mutex mutex;
     /// Lifecycle per protocol.hpp's sender machine: one kFlush per flushed
-    /// phase, kSendError on the first failure, kClose exactly once.
+    /// phase, kSendError on the first failure, kClose exactly once —
+    /// plus, in retain mode, kReplayStart/kReplayDone brackets around
+    /// replay_from.
     protocol::SenderMachine machine DF_GUARDED_BY(mutex);
     std::uint64_t next_seq DF_GUARDED_BY(mutex) = 0;
     event::PhaseId flushed_through DF_GUARDED_BY(mutex) = 0;
+    /// Count of distinct seqs ever sent (the high-water mark next_seq ever
+    /// reached); a send below it is a rollback re-send.
+    std::uint64_t sent_high DF_GUARDED_BY(mutex) = 0;
     std::map<event::PhaseId, PhaseBatch> batches DF_GUARDED_BY(mutex);
+    /// Retain mode: sent frames keyed by seq, pruned below ack_floor.
+    std::map<std::uint64_t, std::vector<std::uint8_t>> retained
+        DF_GUARDED_BY(mutex);
+    /// Monotone retention floor posted by the downstream peer's checkpoint
+    /// commits (ack_through); applied to `retained` only by threads already
+    /// holding the mutex (prune_locked).
+    std::atomic<std::uint64_t> ack_floor{0};
     // encode scratch, capacity retained
     std::vector<std::uint8_t> buf DF_GUARDED_BY(mutex);
     LinkStats stats DF_GUARDED_BY(mutex);
   };
+
+  /// Drops retained frames below the acked floor (the sender-side half of
+  /// ack_through's deferred handshake).
+  void prune_locked(Link& link) DF_REQUIRES(link.mutex) {
+    const std::uint64_t floor = link.ack_floor.load(std::memory_order_acquire);
+    link.retained.erase(link.retained.begin(),
+                        link.retained.lower_bound(floor));
+  }
+
+  /// Sends one fully encoded frame already stamped with `seq` (the caller
+  /// advanced link.next_seq). Retain mode stores the frame for replay —
+  /// or, when a rollback re-execution re-produces an already-retained seq,
+  /// byte-compares against the stored copy, turning any egress
+  /// nondeterminism into a loud failure instead of silent divergence at
+  /// the peer. Re-sends of already-sent seqs count as frames_replayed
+  /// only; `deliveries` is the batch's delivery count (0 for watermarks
+  /// and for frames whose deliveries were counted at add time).
+  void send_encoded_locked(Link& link, std::uint64_t seq,
+                           std::span<const std::uint8_t> frame,
+                           bool watermark, std::uint64_t deliveries)
+      DF_REQUIRES(link.mutex) {
+    if (retain_) {
+      const auto it = link.retained.find(seq);
+      if (it == link.retained.end()) {
+        link.retained.emplace(
+            seq, std::vector<std::uint8_t>(frame.begin(), frame.end()));
+      } else {
+        DF_CHECK(it->second.size() == frame.size() &&
+                     std::equal(frame.begin(), frame.end(),
+                                it->second.begin()),
+                 "rollback re-execution produced different bytes for seq ",
+                 seq, " (nondeterministic egress framing)");
+      }
+    }
+    link.channel->send(frame);
+    if (seq < link.sent_high) {
+      ++link.stats.frames_replayed;
+      return;
+    }
+    link.sent_high = seq + 1;
+    ++link.stats.frames_sent;
+    link.stats.bytes_sent += frame.size();
+    if (watermark) {
+      ++link.stats.watermarks_sent;
+    } else {
+      ++link.stats.batch_frames_sent;
+      link.stats.batched_deliveries += deliveries;
+    }
+  }
 
   void flush_phase_locked(Link& link, event::PhaseId q)
       DF_REQUIRES(link.mutex) {
     const auto it = link.batches.find(q);
     if (it != link.batches.end()) {
       PhaseBatch& batch = it->second;
+      if (retain_) {
+        // Deterministic framing: a fixed total order over the phase's
+        // deliveries ((to_index, to_port) is unique within a phase — one
+        // delivery per in-edge per phase) plus threshold splitting at a
+        // fixed point in that order makes frame boundaries and bytes a
+        // pure function of the phase's delivery set, independent of
+        // worker interleaving — the property rollback re-sends rely on.
+        std::sort(batch.staged.begin(), batch.staged.end(),
+                  [](const core::Delivery& a, const core::Delivery& b) {
+                    return a.to_index != b.to_index ? a.to_index < b.to_index
+                                                    : a.to_port < b.to_port;
+                  });
+        for (core::Delivery& d : batch.staged) {
+          batch.encoder.add(d);
+          if (batch.encoder.payload_bytes() >= kBatchFlushBytes) {
+            const std::uint64_t seq = link.next_seq++;
+            const std::uint64_t count = batch.encoder.pending();
+            batch.encoder.finish(seq, q, link.buf);
+            send_encoded_locked(link, seq, link.buf, /*watermark=*/false,
+                                count);
+          }
+        }
+      }
       for (std::vector<std::uint8_t>& frame : batch.held_frames) {
-        wire::patch_seq(frame, link.next_seq++);
-        link.channel->send(frame);
-        ++link.stats.frames_sent;
-        ++link.stats.batch_frames_sent;
-        link.stats.bytes_sent += frame.size();
+        const std::uint64_t seq = link.next_seq++;
+        wire::patch_seq(frame, seq);
+        // Deliveries already counted at add time (threshold overflow).
+        send_encoded_locked(link, seq, frame, /*watermark=*/false, 0);
       }
       if (batch.encoder.pending() > 0) {
-        link.stats.batched_deliveries += batch.encoder.pending();
-        batch.encoder.finish(link.next_seq++, q, link.buf);
-        link.channel->send(link.buf);
-        ++link.stats.frames_sent;
-        ++link.stats.batch_frames_sent;
-        link.stats.bytes_sent += link.buf.size();
+        const std::uint64_t seq = link.next_seq++;
+        const std::uint64_t count = batch.encoder.pending();
+        batch.encoder.finish(seq, q, link.buf);
+        send_encoded_locked(link, seq, link.buf, /*watermark=*/false, count);
       }
       link.batches.erase(it);
     }
-    wire::encode_watermark(link.next_seq++, q, link.buf);
-    link.channel->send(link.buf);
-    ++link.stats.frames_sent;
-    ++link.stats.watermarks_sent;
-    link.stats.bytes_sent += link.buf.size();
+    const std::uint64_t seq = link.next_seq++;
+    wire::encode_watermark(seq, q, link.buf);
+    send_encoded_locked(link, seq, link.buf, /*watermark=*/true, 0);
   }
 
   void record_error(std::exception_ptr error) {
@@ -219,6 +461,7 @@ class EgressHub {
     }
   }
 
+  const bool retain_;
   std::vector<std::unique_ptr<Link>> links_;
   conc::Mutex error_mutex_;
   std::exception_ptr error_ DF_GUARDED_BY(error_mutex_);
@@ -334,6 +577,20 @@ class IngressQueue {
 /// needs no synchronization of its own.
 class IngressSequencer {
  public:
+  /// Fresh stream from seq 0 (receiver machine starts kStreaming).
+  IngressSequencer() = default;
+
+  /// Restored stream for a restarted partition: `floor` is the restored
+  /// checkpoint's consumed count, so the sequence resumes exactly where the
+  /// checkpointed engine had consumed to — replayed frames below it drop as
+  /// duplicates, frames at/above it re-deliver. The receiver machine starts
+  /// in kReplaying (protocol.hpp): duplicates self-loop there and the first
+  /// live frame or watermark returns the stream to kStreaming.
+  explicit IngressSequencer(std::uint64_t floor)
+      : next_seq_(floor),
+        consumed_(floor),
+        machine_(protocol::ReceiverState::kReplaying) {}
+
   /// Accepts one validated frame: duplicates are counted and dropped (their
   /// buffers recycled), early arrivals parked, and every frame that
   /// completes the sequence moves to the in-order ready queue.
@@ -369,8 +626,16 @@ class IngressSequencer {
     }
     out = std::move(ready_.front());
     ready_.pop_front();
+    ++consumed_;
     return true;
   }
+
+  /// Seq of the next frame the engine would consume — the replay floor a
+  /// checkpoint records: everything below it has been folded into the
+  /// checkpointed engine state, everything at/above it must be replayed
+  /// after a restore. Distinct from next_seq_ (frames *sequenced*, which
+  /// may run ahead of consumption while later phases sit in ready_).
+  std::uint64_t consumed() const { return consumed_; }
 
   void mark_closed() { closed_ = true; }
   bool closed() const { return closed_; }
@@ -397,6 +662,7 @@ class IngressSequencer {
 
  private:
   std::uint64_t next_seq_ = 0;
+  std::uint64_t consumed_ = 0;
   std::map<std::uint64_t, RawFrame> out_of_order_;
   std::deque<RawFrame> ready_;
   protocol::ReceiverMachine machine_;
@@ -451,6 +717,37 @@ void reader_main(Channel* channel, std::size_t src, IngressQueue& queue,
   queue.push(std::move(closed));
 }
 
+/// One committed partition checkpoint, held in the supervisor's memory —
+/// the crash model is the partition's *execution state* dying (engine,
+/// in-flight phases, channel contents), not host storage loss; a durable
+/// variant would write exactly these bytes to disk at the commit point.
+struct PartitionCheckpoint {
+  event::PhaseId phase = 0;                   // completed through
+  std::vector<std::uint8_t> engine_image;     // core::Engine::snapshot_state
+  std::vector<std::uint64_t> ingress_floors;  // consumed seq per upstream
+  std::vector<EgressHub::LinkCursor> egress;  // send cursors per egress link
+  std::size_t sink_records = 0;               // partition sink store size
+};
+
+/// Adds one generation's engine stats into the partition's accumulator.
+/// Across a restart the re-executed work is counted again on purpose: the
+/// exec stats report work *performed* — exactly-once applies to sink
+/// output and wire effects, not to effort.
+void fold_exec_stats(core::ExecStats& total, const core::ExecStats& gen) {
+  total.executed_pairs += gen.executed_pairs;
+  total.messages_delivered += gen.messages_delivered;
+  total.sink_records += gen.sink_records;
+  total.compute_ns += gen.compute_ns;
+  total.bookkeeping_ns += gen.bookkeeping_ns;
+  total.phases_completed =
+      std::max(total.phases_completed, gen.phases_completed);
+  total.max_inflight_phases =
+      std::max(total.max_inflight_phases, gen.max_inflight_phases);
+  total.steals_ok += gen.steals_ok;
+  total.steals_empty += gen.steals_empty;
+  total.parks += gen.parks;
+}
+
 }  // namespace
 
 /// Everything one partition engine owns: its block bounds, its channel
@@ -470,6 +767,24 @@ struct TransportEngine::EngineState {
   std::unique_ptr<IngressQueue> queue;
   BufferPool pool;  // recycles frame buffers engine -> readers
   std::vector<Channel*> egress_channels;  // to blocks block+1.., ascending
+  /// The block's egress hub, built in run() (before any engine thread
+  /// starts) rather than inside engine_main: a restarted *downstream*
+  /// partition's supervisor calls replay_from / takes ack_through on its
+  /// upstream blocks' hubs, so hubs must be addressable across threads.
+  std::unique_ptr<EgressHub> hub;
+  /// Hubs of blocks 0..block-1, for checkpoint acks and restart replay
+  /// requests; upstream_hubs[j]'s link to this block is index
+  /// block - j - 1.
+  std::vector<EgressHub*> upstream_hubs;
+  /// Crash-harness wrappers around ingress_channels (parallel vector; only
+  /// populated when crash_hook is set) — the supervisor kills them on a
+  /// CrashSignal and revives them before replay.
+  std::vector<CrashableChannel*> ingress_crashable;
+  /// This partition's own sink store: recovery truncates it back to the
+  /// checkpoint's record count, which only works if no other partition
+  /// interleaves records into it; run() folds the per-partition stores at
+  /// the end.
+  core::SinkStore sinks;
   std::vector<std::vector<event::ExternalEvent>> events;  // [phase - 1]
   core::ExecStats stats;
   TransportStats tstats;
@@ -491,6 +806,11 @@ TransportEngine::TransportEngine(const core::Program& program,
            "transport needs at least one scheduler shard per block");
   DF_CHECK(options_.max_inflight_phases >= 1,
            "transport block engines need a finite phase window");
+  DF_CHECK(options_.checkpoint_every == 0 || options_.scheduler_shards == 1,
+           "checkpointing requires the flat scheduler (scheduler_shards = 1)");
+  DF_CHECK(!options_.crash_hook || options_.checkpoint_every > 0,
+           "crash_hook requires checkpoint_every > 0 (recovery replays from "
+           "retained frames)");
   const auto n = static_cast<std::uint32_t>(program_.numbering.size());
   graph::validate_partition_cut(partitioning_, n, options_.machines);
   owner_.assign(n + 1, 0);
@@ -504,29 +824,52 @@ TransportEngine::TransportEngine(const core::Program& program,
 
 void TransportEngine::engine_main(EngineState& state,
                                   event::PhaseId num_phases) {
-  // The egress hub and the block engine outlive the try below: the catch
-  // path must capture the engine's partial stats and close the hub's
-  // channels, and the stats fold at the bottom runs on both paths.
-  EgressHub hub(state.egress_channels);
+  // The egress hub (owned by EngineState, built in run()) and the block
+  // engine outlive the try below: the catch paths must capture the
+  // engine's partial stats and close the hub's channels, and the stats
+  // fold at the bottom runs on every path.
+  EgressHub& hub = *state.hub;
   std::unique_ptr<core::Engine> engine;
 
   // This partition's lifecycle machine. Every control-flow milestone below
   // steps it through a checked advance; an out-of-order milestone (e.g.
   // draining ingress before closing egress) is a DF_CHECK failure in every
   // build type, and tools/verify_protocol explores the same table
-  // exhaustively in CI.
+  // exhaustively in CI. A crash discards it with the rest of the dead
+  // generation; the replacement walks kCreated -> kReplaying -> kRunning.
   protocol::EngineMachine machine;
 
-  // One reader per ingress channel for the whole run; they exit at channel
-  // EOF (every sender closes its egress on completion *and* on abort, so
-  // EOF always arrives).
+  // One reader per ingress channel per partition *generation*; they exit
+  // at channel EOF (every sender closes its egress on completion *and* on
+  // abort, and a killed CrashableChannel severs to EOF, so EOF always
+  // arrives).
   std::vector<std::thread> readers;
-  readers.reserve(state.ingress_channels.size());
-  for (std::size_t j = 0; j < state.ingress_channels.size(); ++j) {
-    readers.emplace_back(reader_main, state.ingress_channels[j], j,
-                         std::ref(*state.queue), std::ref(state.pool));
-  }
+  const auto spawn_readers = [&] {
+    readers.clear();
+    readers.reserve(state.ingress_channels.size());
+    for (std::size_t j = 0; j < state.ingress_channels.size(); ++j) {
+      readers.emplace_back(reader_main, state.ingress_channels[j], j,
+                           std::ref(*state.queue), std::ref(state.pool));
+    }
+  };
+  spawn_readers();
   std::size_t open_channels = state.ingress_channels.size();
+
+  // One helper thread per upstream replay request. replay_from must not
+  // run on this coordinator thread: it blocks on the upstream link mutex,
+  // which an upstream flush may hold while blocked sending into *this*
+  // partition's bounded ingress path — a cycle only this coordinator's
+  // consumption can break. The helpers wait out that backpressure while
+  // the phase loop below keeps draining; they finish as soon as their
+  // sends are consumed (every replayed frame precedes a watermark this
+  // partition must ingest, so joining after the phase loop never waits).
+  std::vector<std::thread> replayers;
+  const auto join_replayers = [&replayers] {
+    for (std::thread& replayer : replayers) {
+      replayer.join();
+    }
+    replayers.clear();
+  };
 
   // Takes one item off the ingress queue: feeds a frame to its channel's
   // sequencer, or marks the channel closed (rethrowing the reader's error,
@@ -545,7 +888,23 @@ void TransportEngine::engine_main(EngineState& state,
     state.sequencers[item.src].feed(std::move(item.frame), state.pool);
   };
 
-  try {
+  // Crash-restart supervisor state. The loop below runs one iteration per
+  // partition generation: normally exactly one, plus one per CrashSignal
+  // a crash_hook throws. `last_good` is the restart target; before the
+  // first commit the target is the initial state (phase 0, everything
+  // zero), which restarts from scratch.
+  const std::size_t checkpoint_every = options_.checkpoint_every;
+  PartitionCheckpoint last_good;
+  bool have_checkpoint = false;
+  bool restarting = false;
+  const auto crash_point = [&](event::PhaseId p, CrashPoint where) {
+    if (options_.crash_hook) {
+      options_.crash_hook(state.block, p, where);
+    }
+  };
+
+  for (;;) {
+    try {
     const auto n = static_cast<std::uint32_t>(program_.numbering.size());
 
     // The block's full worker pool: a core::Engine scoped to [begin, end].
@@ -571,14 +930,27 @@ void TransportEngine::engine_main(EngineState& state,
                d.to_index);
       hub.add(dest - state.block - 1, phase, std::move(d));
     };
-    scope.sinks = &sinks_;  // shared store; record_batch is thread-safe
+    // Partition-private store (folded by run()): recovery truncates it back
+    // to the checkpoint's record count, which a store shared across
+    // partitions could not support.
+    scope.sinks = &state.sinks;
     eopts.block = std::move(scope);
     eopts.on_phase_complete = [&hub](event::PhaseId completed) {
       hub.flush_through(completed);
     };
     engine = std::make_unique<core::Engine>(program_, std::move(eopts));
     engine->start();
-    machine.advance(EngineEvent::kStart);
+    if (restarting) {
+      // kCreated -> kReplaying -> kRunning: the restore must land between
+      // start() (reserve_steady_state) and the first start_phase.
+      machine.advance(EngineEvent::kRestore);
+      if (have_checkpoint) {
+        engine->restore_state(last_good.engine_image);
+      }
+      machine.advance(EngineEvent::kStart);
+    } else {
+      machine.advance(EngineEvent::kStart);
+    }
 
     // Reassembled remote deliveries for the phase being opened, still
     // addressed by global internal index; start_phase consumes them.
@@ -590,7 +962,10 @@ void TransportEngine::engine_main(EngineState& state,
       remote.push_back(std::move(d));
     };
 
-    for (event::PhaseId p = 1; p <= num_phases; ++p) {
+    const event::PhaseId first_phase =
+        restarting ? (have_checkpoint ? last_good.phase + 1 : 1) : 1;
+    for (event::PhaseId p = first_phase; p <= num_phases; ++p) {
+      crash_point(p, CrashPoint::kBeforeIngest);
       remote.clear();
       // Phase-advance handshake: ingest every upstream block's phase-p
       // deliveries, in ascending block order, blocking on each until its
@@ -660,8 +1035,13 @@ void TransportEngine::engine_main(EngineState& state,
           }
           state.pool.release(std::move(raw.bytes));
         }
+        // One upstream's phase-p traffic fully consumed, the rest still
+        // pending — the mid-ingest kill point (a crash here loses a
+        // half-reassembled phase).
+        crash_point(p, CrashPoint::kMidIngest);
       }
 
+      crash_point(p, CrashPoint::kBeforePhase);
       // Open the phase window: external events plus the injected remote
       // deliveries enter together, then the worker pool takes over. The
       // call blocks while max_inflight_phases are active — the inner
@@ -670,6 +1050,40 @@ void TransportEngine::engine_main(EngineState& state,
       // no-deadlock argument is unchanged (DESIGN.md, "Two-level
       // parallelism").
       engine->start_phase(state.events[p - 1], remote);
+
+      if (checkpoint_every > 0 && p % checkpoint_every == 0) {
+        // Checkpoint: quiesce the block (all started phases complete, all
+        // staged finishes applied), make the egress cursors final (the
+        // completion hook may still be in flight on a worker; the
+        // coordinator's own idempotent flush closes that window), then
+        // snapshot everything a restart needs.
+        engine->quiesce();
+        hub.flush_through(p);
+        if (hub.error() != nullptr) {
+          std::rethrow_exception(hub.error());
+        }
+        PartitionCheckpoint next;
+        next.phase = p;
+        next.engine_image = engine->snapshot_state();
+        next.ingress_floors.reserve(state.sequencers.size());
+        for (IngressSequencer& in : state.sequencers) {
+          next.ingress_floors.push_back(in.consumed());
+        }
+        next.egress = hub.cursors();
+        next.sink_records = state.sinks.size();
+        crash_point(p, CrashPoint::kMidCheckpoint);
+        // The commit point. Only now — never for an uncommitted image —
+        // may upstream retention drop frames below this image's floors.
+        last_good = std::move(next);
+        have_checkpoint = true;
+        ++state.tstats.checkpoints_taken;
+        state.tstats.checkpoint_bytes += last_good.engine_image.size();
+        for (std::size_t j = 0; j < state.upstream_hubs.size(); ++j) {
+          state.upstream_hubs[j]->ack_through(state.block - j - 1,
+                                             last_good.ingress_floors[j]);
+        }
+        crash_point(p, CrashPoint::kAfterCheckpoint);
+      }
     }
 
     // Wait for every started phase to finish (rethrows the first module
@@ -678,7 +1092,7 @@ void TransportEngine::engine_main(EngineState& state,
     // waiting). The flush_through below is belt-and-braces for the
     // final callback having raced with finish(); it is idempotent.
     engine->finish();
-    state.stats = engine->stats();
+    fold_exec_stats(state.stats, engine->stats());
     engine.reset();
     if (hub.error() != nullptr) {
       std::rethrow_exception(hub.error());
@@ -708,11 +1122,108 @@ void TransportEngine::engine_main(EngineState& state,
       // (kDrained), so the observed EOF is clean. With zero phases the
       // machine is still kStreaming and the same edge lands in
       // kPeerClosed — with nothing expected, that close is also clean.
+      // A generation restored past the final checkpoint with no replayed
+      // traffic left can still be kReplaying; its EOF is equally clean.
       in.machine().advance(ReceiverEvent::kEof);
       in.check_drained();
     }
     machine.advance(EngineEvent::kIngressEof);
-  } catch (...) {
+    break;  // generation ran to completion; supervisor done
+    } catch (const CrashSignal&) {
+      // == Simulated process death of this partition ==
+      // Everything the dead generation owned is discarded, in dependency
+      // order, then a fresh generation restarts from last_good.
+      //
+      // 1. The execution state dies. Destroying the engine joins or
+      //    abandons its workers (destroy-mid-run is a tested engine
+      //    contract), so after reset() no hook can touch the hub.
+      if (engine != nullptr) {
+        fold_exec_stats(state.stats, engine->stats());
+        engine.reset();
+      }
+      // 2. Its channel endpoints die: killing the ingress wrappers severs
+      //    the inner channels, so upstream sends during the outage drop
+      //    (in-flight loss — retention replays them) and the old readers
+      //    run to EOF. Egress channels stay up: downstream never notices
+      //    this death; rollback re-sends arrive as byte-identical
+      //    duplicates it drops by seq.
+      for (CrashableChannel* wrapper : state.ingress_crashable) {
+        wrapper->kill();
+      }
+      // 3. Drain the queue to every closed marker, discarding frames (the
+      //    dead engine's unconsumed backlog is lost with it) and absorbing
+      //    reader errors (the death itself is not an error).
+      while (open_channels > 0) {
+        IngressItem item = state.queue->pop();
+        if (item.closed) {
+          --open_channels;
+        } else {
+          state.pool.release(std::move(item.frame.bytes));
+        }
+      }
+      for (std::thread& reader : readers) {
+        reader.join();
+      }
+      // A previous restart's replay helpers can still be mid-send; the
+      // kill above turned those sends into drops, so they finish now (the
+      // frames they were re-sending stay retained and the next replay
+      // request covers them).
+      join_replayers();
+      // 4. Restore from the checkpoint: fresh sequencers seeded at the
+      //    checkpoint's consumed floors (receiver machines start
+      //    kReplaying), egress cursors rewound, sink store truncated to
+      //    the committed record count. The dead generation's wire
+      //    counters fold into the partition totals first.
+      for (const IngressSequencer& in : state.sequencers) {
+        state.tstats.frames_received += in.frames_received();
+        state.tstats.bytes_received += in.bytes_received();
+        state.tstats.duplicates_dropped += in.duplicates_dropped();
+      }
+      std::vector<IngressSequencer> fresh;
+      fresh.reserve(state.sequencers.size());
+      for (std::size_t j = 0; j < state.sequencers.size(); ++j) {
+        fresh.emplace_back(IngressSequencer(
+            have_checkpoint ? last_good.ingress_floors[j] : 0));
+      }
+      state.sequencers = std::move(fresh);
+      hub.rollback(have_checkpoint
+                       ? last_good.egress
+                       : std::vector<EgressHub::LinkCursor>(
+                             state.egress_channels.size()));
+      state.sinks.truncate(have_checkpoint ? last_good.sink_records : 0);
+      // 5. Revive the ingress channels (which parks upstream closes until
+      //    each link's replay has run — a racing normal completion must
+      //    not EOF the fresh channel ahead of the replayed frames) and
+      //    spawn the new generation's readers *before* requesting replay
+      //    (replay sends block on channel backpressure until a reader
+      //    drains them). The replay requests themselves run on helper
+      //    threads: replay_from blocks on the upstream link mutex, which
+      //    an upstream flush may hold while blocked sending into this
+      //    partition's bounded ingress path — a cycle only this
+      //    coordinator's continued consumption can break.
+      for (CrashableChannel* wrapper : state.ingress_crashable) {
+        wrapper->revive();
+      }
+      spawn_readers();
+      open_channels = state.ingress_channels.size();
+      for (std::size_t j = 0; j < state.upstream_hubs.size(); ++j) {
+        EgressHub* upstream = state.upstream_hubs[j];
+        CrashableChannel* wrapper = state.ingress_crashable[j];
+        const std::size_t link = state.block - j - 1;
+        const std::uint64_t floor =
+            have_checkpoint ? last_good.ingress_floors[j] : 0;
+        replayers.emplace_back([upstream, wrapper, link, floor] {
+          upstream->replay_from(link, floor);
+          wrapper->release_close();
+        });
+      }
+      // 6. A fresh lifecycle machine for the new generation; the next
+      //    iteration advances it kRestore -> kReplaying -> kRunning.
+      machine = protocol::EngineMachine();
+      restarting = true;
+      ++state.tstats.restarts;
+      continue;
+    } catch (...) {
     state.error = std::current_exception();
     machine.advance(EngineEvent::kError);
     // Abort teardown: capture whatever the block engine managed to do,
@@ -723,7 +1234,7 @@ void TransportEngine::engine_main(EngineState& state,
     // upstream senders never block forever on a full channel to us.
     // Secondary reader errors are absorbed — the root cause is recorded.
     if (engine != nullptr) {
-      state.stats = engine->stats();
+      fold_exec_stats(state.stats, engine->stats());
       engine.reset();
     }
     hub.close_all();
@@ -735,12 +1246,17 @@ void TransportEngine::engine_main(EngineState& state,
       }
     }
     machine.advance(EngineEvent::kIngressEof);
+    break;
+    }
   }
   DF_CHECK(machine.terminal(), "engine teardown ended in non-terminal state ",
            protocol::to_string(machine.state()));
   for (std::thread& reader : readers) {
     reader.join();
   }
+  // Both exits drained ingress to EOF, which transitively required every
+  // outstanding replay send to be consumed — the helpers are already done.
+  join_replayers();
   for (const IngressSequencer& in : state.sequencers) {
     state.tstats.frames_received += in.frames_received();
     state.tstats.bytes_received += in.bytes_received();
@@ -775,27 +1291,55 @@ void TransportEngine::run(event::PhaseId num_phases, core::PhaseFeed* feed) {
   // One channel per ordered pair (j, k), j < k; forward-only traffic needs
   // nothing else. Watermarks flow on every channel each phase, so even a
   // pair with no crossing edges keeps its handshake (and an *empty* block
-  // still paces its downstream neighbours).
+  // still paces its downstream neighbours). With a crash_hook set, every
+  // channel additionally goes behind a CrashableChannel so the receiving
+  // partition's supervisor can sever and revive it across a simulated
+  // death; the factory rebuilds the same kind (and test wrapping) for the
+  // revived generation.
+  const auto build_channel = [this](std::size_t j,
+                                    std::size_t k) -> std::unique_ptr<Channel> {
+    std::unique_ptr<Channel> channel;
+    switch (options_.channel) {
+      case ChannelKind::kInProcess:
+        channel =
+            std::make_unique<InProcessChannel>(options_.channel_capacity);
+        break;
+      case ChannelKind::kSocket:
+        channel = SocketChannel::make_loopback();
+        break;
+    }
+    if (options_.channel_wrapper) {
+      channel = options_.channel_wrapper(std::move(channel), j, k);
+      DF_CHECK(channel != nullptr, "channel_wrapper returned null");
+    }
+    return channel;
+  };
   for (std::size_t j = 0; j < machines; ++j) {
     for (std::size_t k = j + 1; k < machines; ++k) {
-      std::unique_ptr<Channel> channel;
-      switch (options_.channel) {
-        case ChannelKind::kInProcess:
-          channel =
-              std::make_unique<InProcessChannel>(options_.channel_capacity);
-          break;
-        case ChannelKind::kSocket:
-          channel = SocketChannel::make_loopback();
-          break;
-      }
-      if (options_.channel_wrapper) {
-        channel = options_.channel_wrapper(std::move(channel), j, k);
-        DF_CHECK(channel != nullptr, "channel_wrapper returned null");
+      std::unique_ptr<Channel> channel = build_channel(j, k);
+      if (options_.crash_hook) {
+        auto crashable = std::make_unique<CrashableChannel>(
+            std::move(channel),
+            [build_channel, j, k] { return build_channel(j, k); });
+        states[k].ingress_crashable.push_back(crashable.get());
+        channel = std::move(crashable);
       }
       states[j].egress_channels.push_back(channel.get());
       states[k].ingress_channels.push_back(channel.get());
       states[k].sequencers.emplace_back();
       channels_.push_back(std::move(channel));
+    }
+  }
+
+  // Egress hubs live in EngineState rather than inside engine_main: a
+  // restarted partition's supervisor thread calls replay_from (and its
+  // checkpoints call ack_through) on its *upstream* blocks' hubs.
+  const bool retain = options_.checkpoint_every > 0;
+  for (std::size_t k = 0; k < machines; ++k) {
+    states[k].hub =
+        std::make_unique<EgressHub>(states[k].egress_channels, retain);
+    for (std::size_t j = 0; j < k; ++j) {
+      states[k].upstream_hubs.push_back(states[j].hub.get());
     }
   }
 
@@ -858,6 +1402,19 @@ void TransportEngine::run(event::PhaseId num_phases, core::PhaseFeed* feed) {
     transport_stats_.duplicates_dropped += state.tstats.duplicates_dropped;
     transport_stats_.remote_messages += state.tstats.remote_messages;
     transport_stats_.local_messages += state.tstats.local_messages;
+    // Read from the hub, not the folded tstats: a downstream restart's
+    // replay_from can bump the upstream hub's counter *after* that
+    // upstream partition completed and folded (see fold_stats). Here
+    // every partition thread has joined, so the count is final.
+    transport_stats_.frames_replayed +=
+        state.hub != nullptr ? state.hub->frames_replayed() : 0;
+    transport_stats_.checkpoints_taken += state.tstats.checkpoints_taken;
+    transport_stats_.checkpoint_bytes += state.tstats.checkpoint_bytes;
+    transport_stats_.restarts += state.tstats.restarts;
+    // Fold the partition-private sink store into the engine's (canonical
+    // order is imposed at comparison time; within-partition emission order
+    // is preserved by the batch append).
+    state.sinks.drain_into(sinks_);
     const protocol::ErrorRank rank = protocol::classify(state.error);
     if (protocol::outranks(rank, first_rank)) {
       first_rank = rank;

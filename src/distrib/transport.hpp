@@ -86,6 +86,27 @@ enum class ChannelKind {
   kSocket,     // loopback TCP, length-prefixed frames
 };
 
+/// Thrown by a TransportOptions::crash_hook to kill the calling partition
+/// at that instant: its block engine (all in-flight phases, module state,
+/// staged egress) is destroyed, its ingress channels die mid-stream, and
+/// the supervisor restarts it from its last committed checkpoint. Not an
+/// std::exception on purpose — nothing but the supervisor may absorb it.
+struct CrashSignal {};
+
+/// Instrumented points of the partition coordinator loop where a
+/// crash_hook fires (and may throw CrashSignal). Together they cover the
+/// interesting failure geometry: between phases, mid-ingest (after one
+/// upstream's watermark but before the next), and on both sides of the
+/// checkpoint commit point — a kMidCheckpoint crash must restart from the
+/// *previous* checkpoint, kAfterCheckpoint from the new one.
+enum class CrashPoint : std::uint8_t {
+  kBeforeIngest,    // top of the phase loop, before any ingestion
+  kMidIngest,       // first upstream's watermark consumed, rest pending
+  kBeforePhase,     // all remote deliveries reassembled, phase not started
+  kMidCheckpoint,   // snapshot built but not yet committed
+  kAfterCheckpoint  // checkpoint committed and upstream retention acked
+};
+
 struct TransportOptions {
   std::size_t machines = 2;
   ChannelKind channel = ChannelKind::kInProcess;
@@ -118,6 +139,26 @@ struct TransportOptions {
   /// channel_capacity. Must be >= 1 (the per-block engines need a finite
   /// window to pace the watermark flush).
   std::size_t max_inflight_phases = 64;
+  /// Crash-restart recovery (DESIGN.md, "Crash-restart recovery"): when
+  /// > 0, every partition engine checkpoints its full execution state
+  /// (core::Engine::snapshot_state plus ingress/egress cursors and the
+  /// partition's sink count) each `checkpoint_every` completed phases, and
+  /// egress links retain their sent frames until the downstream partition's
+  /// checkpoint commit acknowledges them (watermark-bounded replay). Egress
+  /// framing also switches to the deterministic sorted-flush path so a
+  /// restarted partition's re-executed phases reproduce byte-identical
+  /// frames under the original sequence numbers. 0 (default) disables
+  /// checkpointing, retention, and the deterministic path entirely — the
+  /// incremental-encode hot path is untouched. Requires scheduler_shards
+  /// == 1 (snapshots are flat-scheduler only).
+  std::size_t checkpoint_every = 0;
+  /// Test seam for the kill-a-partition harness: called at the instrumented
+  /// CrashPoints of every partition coordinator with (block, phase, point).
+  /// Throwing CrashSignal from it simulates that partition's process death;
+  /// anything else it throws aborts the run like a module error. Setting it
+  /// requires checkpoint_every > 0 (recovery needs retained frames to
+  /// replay) and wraps every channel in a CrashableChannel.
+  std::function<void(std::size_t, event::PhaseId, CrashPoint)> crash_hook;
 };
 
 /// Per-run wire accounting, summed over every engine. The differential
@@ -136,6 +177,15 @@ struct TransportStats {
   std::uint64_t duplicates_dropped = 0;
   std::uint64_t remote_messages = 0;    // deliveries that crossed a boundary
   std::uint64_t local_messages = 0;     // deliveries within a block
+  /// Re-sends of frames whose sequence number had already been sent on
+  /// that link — retention replays after a downstream restart plus a
+  /// restarted partition's own rollback re-flushes. Counted separately
+  /// from frames_sent, which keeps counting *unique* seqs only, so the
+  /// frames-per-phase ceiling holds across restarts.
+  std::uint64_t frames_replayed = 0;
+  std::uint64_t checkpoints_taken = 0;  // committed partition checkpoints
+  std::uint64_t checkpoint_bytes = 0;   // engine snapshot bytes, summed
+  std::uint64_t restarts = 0;           // partition generations beyond the first
 };
 
 class TransportEngine final : public core::Executor {

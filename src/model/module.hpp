@@ -28,6 +28,7 @@
 #include "event/value.hpp"
 #include "graph/dag.hpp"
 #include "support/rng.hpp"
+#include "support/state_archive.hpp"
 
 namespace df::model {
 
@@ -69,6 +70,14 @@ class Module {
  public:
   virtual ~Module() = default;
   virtual void on_phase(PhaseContext& ctx) = 0;
+
+  /// Checkpoint hook: save-mode archives append every piece of mutable state
+  /// on_phase reads besides its inputs and rng; load-mode archives read the
+  /// same fields back in the same order (support::StateArchive is
+  /// bidirectional, so one override serves both). Stateless modules keep the
+  /// default no-op. A module that omits mutable state here silently breaks
+  /// crash-restart determinism — the crash differential suite is the guard.
+  virtual void persist_state(support::StateArchive&) {}
 };
 
 /// Creates a fresh module instance. Executors instantiate their own copies

@@ -26,6 +26,9 @@ class ConstantSource final : public Module {
  public:
   explicit ConstantSource(event::Value value);
   void on_phase(PhaseContext& ctx) override;
+  void persist_state(support::StateArchive& ar) override {
+    ar.boolean(emitted_);
+  }
 
  private:
   event::Value value_;
@@ -70,6 +73,11 @@ class RandomWalkSource final : public Module {
  public:
   RandomWalkSource(double start, double step_stddev, double emit_threshold);
   void on_phase(PhaseContext& ctx) override;
+  void persist_state(support::StateArchive& ar) override {
+    ar.f64(value_);
+    ar.optional(last_emitted_,
+                [](support::StateArchive& a, double& x) { a.f64(x); });
+  }
 
  private:
   double value_;
@@ -86,6 +94,10 @@ class TemperatureSource final : public Module {
   TemperatureSource(double base, double amplitude, std::uint64_t period,
                     double noise, double report_delta);
   void on_phase(PhaseContext& ctx) override;
+  void persist_state(support::StateArchive& ar) override {
+    ar.optional(last_reported_,
+                [](support::StateArchive& a, double& x) { a.f64(x); });
+  }
 
  private:
   double base_;
@@ -120,6 +132,11 @@ class DiseaseIncidenceSource final : public Module {
   DiseaseIncidenceSource(double base_rate, double outbreak_probability,
                          double outbreak_boost, double decay);
   void on_phase(PhaseContext& ctx) override;
+  void persist_state(support::StateArchive& ar) override {
+    ar.f64(current_boost_);
+    ar.optional(last_emitted_,
+                [](support::StateArchive& a, std::int64_t& x) { a.i64(x); });
+  }
 
  private:
   double base_rate_;
@@ -137,6 +154,9 @@ class BurstSource final : public Module {
  public:
   BurstSource(double burst_probability, double mean_burst_length);
   void on_phase(PhaseContext& ctx) override;
+  void persist_state(support::StateArchive& ar) override {
+    ar.boolean(in_burst_);
+  }
 
  private:
   double burst_probability_;

@@ -22,6 +22,9 @@ class MovingAverageModule final : public Module {
  public:
   explicit MovingAverageModule(std::size_t window);
   void on_phase(PhaseContext& ctx) override;
+  void persist_state(support::StateArchive& ar) override {
+    stats_.persist(ar);
+  }
 
  private:
   support::WindowedStats stats_;
@@ -32,6 +35,9 @@ class MovingStdDevModule final : public Module {
  public:
   explicit MovingStdDevModule(std::size_t window);
   void on_phase(PhaseContext& ctx) override;
+  void persist_state(support::StateArchive& ar) override {
+    stats_.persist(ar);
+  }
 
  private:
   support::WindowedStats stats_;
@@ -42,6 +48,7 @@ class EwmaModule final : public Module {
  public:
   explicit EwmaModule(double alpha);
   void on_phase(PhaseContext& ctx) override;
+  void persist_state(support::StateArchive& ar) override { ewma_.persist(ar); }
 
  private:
   support::Ewma ewma_;
@@ -52,6 +59,10 @@ class SumModule final : public Module {
  public:
   explicit SumModule(std::size_t fan_in);
   void on_phase(PhaseContext& ctx) override;
+  void persist_state(support::StateArchive& ar) override {
+    ar.optional(last_sum_,
+                [](support::StateArchive& a, double& x) { a.f64(x); });
+  }
 
  private:
   std::size_t fan_in_;
@@ -63,6 +74,10 @@ class MaxModule final : public Module {
  public:
   explicit MaxModule(std::size_t fan_in);
   void on_phase(PhaseContext& ctx) override;
+  void persist_state(support::StateArchive& ar) override {
+    ar.optional(last_max_,
+                [](support::StateArchive& a, double& x) { a.f64(x); });
+  }
 
  private:
   std::size_t fan_in_;
@@ -74,6 +89,10 @@ class MinModule final : public Module {
  public:
   explicit MinModule(std::size_t fan_in);
   void on_phase(PhaseContext& ctx) override;
+  void persist_state(support::StateArchive& ar) override {
+    ar.optional(last_min_,
+                [](support::StateArchive& a, double& x) { a.f64(x); });
+  }
 
  private:
   std::size_t fan_in_;
@@ -97,6 +116,9 @@ class QuantileModule final : public Module {
  public:
   explicit QuantileModule(double q);
   void on_phase(PhaseContext& ctx) override;
+  void persist_state(support::StateArchive& ar) override {
+    sketch_.persist(ar);
+  }
 
  private:
   support::P2Quantile sketch_;
@@ -109,6 +131,10 @@ class ChangeFilterModule final : public Module {
  public:
   explicit ChangeFilterModule(double epsilon);
   void on_phase(PhaseContext& ctx) override;
+  void persist_state(support::StateArchive& ar) override {
+    ar.optional(last_forwarded_,
+                [](support::StateArchive& a, double& x) { a.f64(x); });
+  }
 
  private:
   double epsilon_;
@@ -120,6 +146,10 @@ class DebounceModule final : public Module {
  public:
   explicit DebounceModule(event::PhaseId min_gap);
   void on_phase(PhaseContext& ctx) override;
+  void persist_state(support::StateArchive& ar) override {
+    ar.optional(last_forward_phase_,
+                [](support::StateArchive& a, event::PhaseId& p) { a.u64(p); });
+  }
 
  private:
   event::PhaseId min_gap_;
@@ -132,6 +162,10 @@ class RateEstimatorModule final : public Module {
  public:
   explicit RateEstimatorModule(event::PhaseId window);
   void on_phase(PhaseContext& ctx) override;
+  void persist_state(support::StateArchive& ar) override {
+    ar.sequence(arrivals_,
+                [](support::StateArchive& a, event::PhaseId& p) { a.u64(p); });
+  }
 
  private:
   event::PhaseId window_;
@@ -145,6 +179,7 @@ class CorrelatorModule final : public Module {
  public:
   explicit CorrelatorModule(std::size_t window);
   void on_phase(PhaseContext& ctx) override;
+  void persist_state(support::StateArchive& ar) override { corr_.persist(ar); }
 
  private:
   support::RollingCorrelation corr_;

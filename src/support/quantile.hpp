@@ -8,6 +8,8 @@
 #include <array>
 #include <cstdint>
 
+#include "support/state_archive.hpp"
+
 namespace df::support {
 
 /// Estimates a single quantile q of a stream using five markers.
@@ -21,6 +23,15 @@ class P2Quantile {
   std::uint64_t count() const { return count_; }
   /// Current estimate. Exact while fewer than five samples have been seen.
   double value() const;
+
+  void persist(StateArchive& ar) {
+    ar.f64(quantile_);
+    for (auto& h : heights_) ar.f64(h);
+    for (auto& p : positions_) ar.f64(p);
+    for (auto& d : desired_) ar.f64(d);
+    for (auto& inc : increments_) ar.f64(inc);
+    ar.u64(count_);
+  }
 
  private:
   double quantile_;

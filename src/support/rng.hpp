@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "support/state_archive.hpp"
+
 namespace df::support {
 
 /// SplitMix64: tiny generator used to expand a single 64-bit seed into the
@@ -82,6 +84,14 @@ class Rng {
       using std::swap;
       swap(items[i - 1], items[j]);
     }
+  }
+
+  /// Checkpoint hook: the full generator state (xoshiro words plus the
+  /// cached Marsaglia spare), so a restored stream continues bit-identically.
+  void persist(StateArchive& ar) {
+    for (auto& word : state_) ar.u64(word);
+    ar.f64(spare_normal_);
+    ar.boolean(has_spare_normal_);
   }
 
   /// UniformRandomBitGenerator interface (for interop with <algorithm>).

@@ -9,6 +9,9 @@
 #include <limits>
 #include <vector>
 
+#include "support/check.hpp"
+#include "support/state_archive.hpp"
+
 namespace df::support {
 
 /// Welford's online mean/variance accumulator. Numerically stable; O(1)
@@ -30,6 +33,15 @@ class RunningStats {
   double min() const { return min_; }
   double max() const { return max_; }
   double sum() const { return sum_; }
+
+  void persist(StateArchive& ar) {
+    ar.u64(count_);
+    ar.f64(mean_);
+    ar.f64(m2_);
+    ar.f64(sum_);
+    ar.f64(min_);
+    ar.f64(max_);
+  }
 
  private:
   std::uint64_t count_ = 0;
@@ -63,6 +75,17 @@ class WindowedStats {
   double back() const;
   const std::deque<double>& samples() const { return window_; }
 
+  void persist(StateArchive& ar) {
+    std::uint64_t cap = capacity_;
+    ar.u64(cap);
+    DF_CHECK(cap == capacity_, "WindowedStats: checkpoint capacity mismatch");
+    ar.sequence(window_, [](StateArchive& a, double& x) { a.f64(x); });
+    DF_CHECK(window_.size() <= capacity_,
+             "WindowedStats: checkpoint window exceeds capacity");
+    ar.f64(sum_);
+    ar.f64(sum_sq_);
+  }
+
  private:
   std::size_t capacity_;
   std::deque<double> window_;
@@ -82,6 +105,11 @@ class Ewma {
   bool initialized() const { return initialized_; }
   double value() const { return value_; }
   double alpha() const { return alpha_; }
+
+  void persist(StateArchive& ar) {
+    ar.f64(value_);
+    ar.boolean(initialized_);
+  }
 
  private:
   double alpha_;
@@ -110,6 +138,15 @@ class OnlineLinearRegression {
   /// Pearson correlation coefficient of the accumulated samples.
   double correlation() const;
 
+  void persist(StateArchive& ar) {
+    ar.u64(count_);
+    ar.f64(sum_x_);
+    ar.f64(sum_y_);
+    ar.f64(sum_xx_);
+    ar.f64(sum_yy_);
+    ar.f64(sum_xy_);
+  }
+
  private:
   std::uint64_t count_ = 0;
   double sum_x_ = 0.0;
@@ -131,6 +168,18 @@ class RollingCorrelation {
   std::size_t size() const { return xs_.size(); }
   bool full() const { return xs_.size() == capacity_; }
   double correlation() const;
+
+  void persist(StateArchive& ar) {
+    std::uint64_t cap = capacity_;
+    ar.u64(cap);
+    DF_CHECK(cap == capacity_,
+             "RollingCorrelation: checkpoint capacity mismatch");
+    ar.sequence(xs_, [](StateArchive& a, double& x) { a.f64(x); });
+    ar.sequence(ys_, [](StateArchive& a, double& y) { a.f64(y); });
+    DF_CHECK(xs_.size() == ys_.size() && xs_.size() <= capacity_,
+             "RollingCorrelation: inconsistent checkpoint window");
+    acc_.persist(ar);
+  }
 
  private:
   std::size_t capacity_;

@@ -165,6 +165,97 @@ TEST(EngineMachine, TerminalStatesAcceptNothing) {
   }
 }
 
+// --- crash-restart replay states (DESIGN.md, "Crash-restart recovery") -------
+
+TEST(SenderMachine, ReplayIsBracketed) {
+  // kReplayStart is the only way in, kReplayDone the only way back: a
+  // retained-frame re-send can never interleave with a fresh-phase flush.
+  proto::SenderMachine m;
+  m.advance(SenderEvent::kFlush);
+  m.advance(SenderEvent::kReplayStart);
+  EXPECT_TRUE(m.is(SenderState::kReplaying));
+  m.advance(SenderEvent::kFlush);  // retained re-sends self-loop
+  m.advance(SenderEvent::kFlush);
+  EXPECT_TRUE(m.is(SenderState::kReplaying));
+  EXPECT_THROW(m.advance(SenderEvent::kReplayStart), support::check_error);
+  m.advance(SenderEvent::kReplayDone);
+  EXPECT_TRUE(m.is(SenderState::kOpen));
+  // Back in kOpen: no stray kReplayDone, and normal flushing resumes.
+  EXPECT_THROW(m.advance(SenderEvent::kReplayDone), support::check_error);
+  m.advance(SenderEvent::kFlush);
+  m.advance(SenderEvent::kClose);
+  EXPECT_TRUE(m.is(SenderState::kClosed));
+}
+
+TEST(SenderMachine, ReplayFailureAndCloseStillExit) {
+  proto::SenderMachine failing;
+  failing.advance(SenderEvent::kReplayStart);
+  failing.advance(SenderEvent::kSendError);
+  EXPECT_TRUE(failing.is(SenderState::kFailed));
+
+  // An upstream that completes while the replay hold is released closes
+  // out of kReplaying directly (the revive/close latch makes this real).
+  proto::SenderMachine closing;
+  closing.advance(SenderEvent::kReplayStart);
+  closing.advance(SenderEvent::kClose);
+  EXPECT_TRUE(closing.is(SenderState::kClosed));
+}
+
+TEST(ReceiverMachine, RestartedSequencerAbsorbsReplayPrefix) {
+  // A restarted sequencer starts in kReplaying: below-floor duplicates
+  // self-loop, and the first in-sequence frame (or watermark) resumes the
+  // ordinary streaming lifecycle.
+  proto::ReceiverMachine m(ReceiverState::kReplaying);
+  m.advance(ReceiverEvent::kDuplicate);
+  m.advance(ReceiverEvent::kDuplicate);
+  EXPECT_TRUE(m.is(ReceiverState::kReplaying));
+  m.advance(ReceiverEvent::kFrame);
+  EXPECT_TRUE(m.is(ReceiverState::kStreaming));
+  m.advance(ReceiverEvent::kFinalWatermark);
+  m.advance(ReceiverEvent::kEof);
+  EXPECT_TRUE(m.is(ReceiverState::kEof));
+}
+
+TEST(ReceiverMachine, ReplayingEofIsPeerClosedNotClean) {
+  // EOF while still absorbing replay means the upstream died again before
+  // delivering the suffix — a peer abort, never a clean end-of-stream.
+  proto::ReceiverMachine m(ReceiverState::kReplaying);
+  m.advance(ReceiverEvent::kDuplicate);
+  m.advance(ReceiverEvent::kEof);
+  EXPECT_TRUE(m.is(ReceiverState::kPeerClosed));
+  EXPECT_TRUE(m.terminal());
+}
+
+TEST(EngineMachine, RestoredGenerationPassesThroughReplaying) {
+  // kRestore fires only after restore_state succeeds; the restored
+  // generation must walk kCreated -> kReplaying -> kRunning, then tear
+  // down like any other generation.
+  proto::EngineMachine m;
+  m.advance(EngineEvent::kRestore);
+  EXPECT_TRUE(m.is(EngineState::kReplaying));
+  m.advance(EngineEvent::kStart);
+  EXPECT_TRUE(m.is(EngineState::kRunning));
+  m.advance(EngineEvent::kLocalComplete);
+  m.advance(EngineEvent::kCloseEgress);
+  m.advance(EngineEvent::kIngressEof);
+  EXPECT_TRUE(m.is(EngineState::kDone));
+}
+
+TEST(EngineMachine, RestoreFromRunningIsIllegal) {
+  // Restore happens between start() and the first phase, never mid-run —
+  // the table has no edge for it, so the discipline is structural.
+  proto::EngineMachine m;
+  m.advance(EngineEvent::kStart);
+  EXPECT_THROW(m.advance(EngineEvent::kRestore), support::check_error);
+
+  // A failed restore aborts the generation (engine discarded, older image
+  // retried); the abort path out of kReplaying is the standard one.
+  proto::EngineMachine failing;
+  failing.advance(EngineEvent::kRestore);
+  failing.advance(EngineEvent::kError);
+  EXPECT_TRUE(failing.is(EngineState::kAborting));
+}
+
 // --- error precedence ---------------------------------------------------------
 
 std::exception_ptr make_error(bool peer) {
@@ -178,10 +269,21 @@ std::exception_ptr make_error(bool peer) {
   }
 }
 
+std::exception_ptr make_peer_lost() {
+  try {
+    throw proto::peer_lost_error("peer connection lost");
+  } catch (...) {
+    return std::current_exception();
+  }
+}
+
 TEST(ErrorRank, ClassifyAndOutrank) {
   EXPECT_EQ(proto::classify(nullptr), proto::ErrorRank::kNone);
   EXPECT_EQ(proto::classify(make_error(true)), proto::ErrorRank::kPeerClosed);
   EXPECT_EQ(proto::classify(make_error(false)), proto::ErrorRank::kRootCause);
+  // Abrupt peer loss ranks with the orderly peer-closed aborts: secondary
+  // to whatever root cause killed the peer.
+  EXPECT_EQ(proto::classify(make_peer_lost()), proto::ErrorRank::kPeerClosed);
 
   EXPECT_TRUE(proto::outranks(proto::ErrorRank::kRootCause,
                               proto::ErrorRank::kPeerClosed));

@@ -33,6 +33,7 @@
 
 #include "distrib/channel.hpp"
 #include "distrib/cluster.hpp"
+#include "distrib/protocol.hpp"
 #include "distrib/transport.hpp"
 #include "distrib/wire.hpp"
 #include "model/sources.hpp"
@@ -731,6 +732,41 @@ TEST(TransportTeardown, HalfWrittenFrameAtCloseSurfacesAsError) {
   }
 }
 
+// Half-open teardown: a peer that dies *abruptly* (connection reset, the
+// process-death signature — e.g. between its checkpoint and the next
+// watermark) must surface as the retryable peer_lost_error so the
+// crash-restart supervisor can trigger recovery, distinct from the fatal
+// "peer closed mid-frame" above (an orderly close mid-frame can only be a
+// sender bug) and from clean EOF.
+TEST(TransportTeardown, AbruptPeerDeathSurfacesAsRetryablePeerLost) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // One complete frame reaches the receiver's queue before the death.
+  const std::uint8_t good[8] = {4, 0, 0, 0, 9, 9, 9, 9};
+  ASSERT_EQ(::write(fds[0], good, sizeof good), 8);
+  // Unread data in the dying peer's queue turns its close into a reset
+  // (the kernel's equivalent of a TCP RST) instead of an orderly FIN.
+  const std::uint8_t junk = 0x5a;
+  ASSERT_EQ(::write(fds[1], &junk, 1), 1);
+  ::close(fds[0]);
+
+  auto channel = distrib::SocketChannel::adopt(-1, fds[1]);
+  std::vector<std::uint8_t> frame;
+  // Frames already in flight before the reset are still delivered.
+  ASSERT_TRUE(channel->recv(frame));
+  EXPECT_EQ(frame, (std::vector<std::uint8_t>{9, 9, 9, 9}));
+  // The reset itself is the retryable peer-loss, caught by exact type —
+  // a check_error here would abort the run instead of triggering restart.
+  try {
+    channel->recv(frame);
+    FAIL() << "peer reset decoded as clean EOF";
+  } catch (const distrib::protocol::peer_lost_error& error) {
+    EXPECT_NE(std::string(error.what()).find("peer connection lost"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
 // --- channel stress (ctest label: transport; runs under TSan in CI) ---------
 
 std::vector<std::uint8_t> stress_frame(std::uint64_t i) {
@@ -793,6 +829,26 @@ TEST(ChannelStress, CloseRecvUnblocksAFullSender) {
   ASSERT_TRUE(channel.recv(frame));  // let the sender make some progress
   channel.close_recv();
   sender.join();  // must not hang: remaining sends drop
+}
+
+TEST(ChannelStress, CloseRecvUnblocksAFullSocketSender) {
+  // Socket flavour of the same contract: the sender fills the kernel
+  // buffer and parks inside send(); close_recv() must wake it (the blocked
+  // send returns EPIPE under MSG_NOSIGNAL and the channel goes broken, so
+  // the rest of the loop drops) without close()ing a descriptor out from
+  // under anyone.
+  auto channel = distrib::SocketChannel::make_loopback();
+  std::thread sender([&] {
+    const std::vector<std::uint8_t> frame(4096, 0xab);
+    for (int i = 0; i < 10000; ++i) {
+      channel->send(frame);
+    }
+    channel->close_send();
+  });
+  std::vector<std::uint8_t> frame;
+  ASSERT_TRUE(channel->recv(frame));  // let the sender make some progress
+  channel->close_recv();
+  sender.join();  // must not hang: shutdown(SHUT_WR) wakes the parked send
 }
 
 }  // namespace

@@ -150,12 +150,12 @@ struct Composite {
   bool operator==(const Composite&) const = default;
 };
 
-constexpr int kStateCount = 8 * 3 * 5 * 8 * (kChannelCap + 1);
+constexpr int kStateCount = 9 * 4 * 6 * 9 * (kChannelCap + 1);
 
 int pack(const Composite& c) {
-  return (((static_cast<int>(c.up) * 3 + static_cast<int>(c.sender)) * 5 +
+  return (((static_cast<int>(c.up) * 4 + static_cast<int>(c.sender)) * 6 +
            static_cast<int>(c.recv)) *
-              8 +
+              9 +
           static_cast<int>(c.down)) *
              (kChannelCap + 1) +
          c.chan;
@@ -246,7 +246,7 @@ std::vector<Composite> successors(const Composite& c) {
   // Sender flush / send failure: only while the upstream engine is live
   // (workers and the completion hook exist between kStart and close_all)
   // and there is channel room. The sender table has no kFlush edge outside
-  // kOpen, so a closed or failed link structurally cannot send.
+  // kOpen/kReplaying, so a closed or failed link structurally cannot send.
   const bool up_live =
       c.up == EngineState::kRunning || c.up == EngineState::kLocalDone;
   if (c.sender == SenderState::kOpen && up_live && c.chan < kChannelCap) {
@@ -256,6 +256,43 @@ std::vector<Composite> successors(const Composite& c) {
     Composite failed = c;
     failed.sender = SenderState::kFailed;
     add(failed);  // SenderEvent::kSendError
+  }
+
+  // Crash-restart of the downstream partition: the supervisor restores the
+  // engine from its checkpoint (fresh machine passing kCreated -kRestore->
+  // kReplaying), installs a fresh sequencer whose receiver machine starts
+  // in kReplaying, and calls replay_from on the upstream hub, entering the
+  // sender's kReplaying session. Frames the dead generation left in flight
+  // stay in the channel — the restarted receiver consumes them as
+  // duplicates or fresh frames. Only a healthy link restarts: a live
+  // upstream with an open sender, and a downstream that was running.
+  if (up_live && c.sender == SenderState::kOpen &&
+      c.down == EngineState::kRunning &&
+      (c.recv == ReceiverState::kStreaming ||
+       c.recv == ReceiverState::kDrained)) {
+    Composite n = c;
+    n.sender = SenderState::kReplaying;  // SenderEvent::kReplayStart
+    n.recv = ReceiverState::kReplaying;  // fresh sequencer, restart-initial
+    n.down = engine_next(EngineState::kCreated, EngineEvent::kRestore);
+    add(n);
+  }
+
+  // Replay re-sends are driven by the *downstream* supervisor thread
+  // holding the link mutex, so they need channel room but not an upstream
+  // engine still between kStart and close_all; kReplayDone ends the
+  // session unconditionally (replay_from is synchronous).
+  if (c.sender == SenderState::kReplaying) {
+    if (c.chan < kChannelCap) {
+      Composite flushed = c;
+      flushed.chan = c.chan + 1;
+      add(flushed);  // SenderEvent::kFlush (retained-frame re-send)
+      Composite failed = c;
+      failed.sender = SenderState::kFailed;
+      add(failed);  // SenderEvent::kSendError
+    }
+    Composite done = c;
+    done.sender = SenderState::kOpen;
+    add(done);  // SenderEvent::kReplayDone
   }
 
   // Receiver consuming one frame. Which event a frame carries is resolved
@@ -397,10 +434,10 @@ void explore() {
   std::vector<std::vector<int>> reverse(kStateCount);
   std::deque<int> back_frontier;
   std::vector<bool> can_finish(kStateCount, false);
-  for (int up = 0; up < 8; ++up) {
-    for (int s = 0; s < 3; ++s) {
-      for (int r = 0; r < 5; ++r) {
-        for (int down = 0; down < 8; ++down) {
+  for (int up = 0; up < 9; ++up) {
+    for (int s = 0; s < 4; ++s) {
+      for (int r = 0; r < 6; ++r) {
+        for (int down = 0; down < 9; ++down) {
           for (int chan = 0; chan <= kChannelCap; ++chan) {
             const Composite c{static_cast<EngineState>(up),
                               static_cast<SenderState>(s),
@@ -455,10 +492,12 @@ int main() {
       proto::kEngineEvents, {EngineState::kDone, EngineState::kAborted});
 
   // Send-after-close / send-after-failure are unrepresentable: the only
-  // kFlush edge in the sender table leaves kOpen.
+  // kFlush edges in the sender table leave kOpen and the bracketed
+  // kReplaying session (entered from kOpen, left for kOpen).
   for (SenderState s : proto::kSenderStates) {
     expect((proto::find_edge(proto::kSenderTable, s, SenderEvent::kFlush) !=
-            nullptr) == (s == SenderState::kOpen),
+            nullptr) ==
+               (s == SenderState::kOpen || s == SenderState::kReplaying),
            std::string("sender: unexpected kFlush edge from ") + to_string(s));
   }
 
